@@ -1,0 +1,63 @@
+"""Ablation — InstaPLC's detection threshold.
+
+The paper makes the switchover trigger "a configurable number of I/O
+cycles".  This ablation sweeps the threshold and shows the trade: lower
+thresholds hand over faster (larger margin to the device watchdog), while
+every setting below the watchdog factor keeps the device alive.
+"""
+
+from conftest import print_table
+
+from repro.instaplc import run_fig5
+from repro.simcore.units import MS, SEC
+
+CYCLE = 1_250_000
+THRESHOLDS = (1.0, 1.5, 2.0)
+
+
+def run_threshold_sweep():
+    results = {}
+    for detection_cycles in THRESHOLDS:
+        result = run_fig5(
+            cycle_ns=CYCLE,
+            duration_ns=3 * SEC,
+            crash_ns=round(1.5 * SEC),
+            detection_cycles=detection_cycles,
+            watchdog_factor=3,
+            seed=0,
+        )
+        results[detection_cycles] = result
+    return results
+
+
+def test_bench_instaplc_detection_threshold(benchmark):
+    results = benchmark.pedantic(run_threshold_sweep, rounds=1, iterations=1)
+
+    rows = []
+    for threshold, result in results.items():
+        latency = result.switchover_latency_ns or 0
+        gap = result.max_io_gap_after_ns(500 * MS)
+        rows.append(
+            [
+                f"{threshold:.1f}",
+                f"{latency / 1e6:.2f}",
+                f"{gap / 1e6:.2f}",
+                str(result.device_watchdog_expirations),
+            ]
+        )
+    print_table(
+        "Ablation — InstaPLC detection threshold (cycles)",
+        ["threshold", "switchover (ms)", "max I/O gap (ms)", "wd expirations"],
+        rows,
+    )
+
+    latencies = [
+        results[t].switchover_latency_ns for t in THRESHOLDS
+    ]
+    # Faster detection with lower thresholds, monotonically.
+    assert latencies == sorted(latencies)
+    # Every threshold below the watchdog factor keeps the device alive
+    # and the I/O gap within the watchdog budget.
+    for result in results.values():
+        assert result.device_watchdog_expirations == 0
+        assert result.max_io_gap_after_ns(500 * MS) < 3 * CYCLE

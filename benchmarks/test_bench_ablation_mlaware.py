@@ -1,0 +1,92 @@
+"""Ablation — the ML-aware design space (cell size, frame compression).
+
+Explores the knobs the optimizer sets for Figure 6's winning topology:
+cell size trades cost against latency, and the accuracy-preserving frame
+compression is where most of the traffic savings come from.
+"""
+
+from conftest import print_table
+
+from repro.mlnet import (
+    MlAwareOptimizer,
+    OBJECT_IDENTIFICATION,
+    build_ml_aware_deployment,
+    run_deployment,
+)
+from repro.simcore import Simulator
+from repro.simcore.units import MS
+
+CLIENTS = 128
+CELL_SIZES = (16, 32, 64)
+
+
+def run_cell_sweep():
+    measured = {}
+    for cell_size in CELL_SIZES:
+        sim = Simulator(seed=0)
+        deployment = build_ml_aware_deployment(
+            sim, CLIENTS, OBJECT_IDENTIFICATION, cell_size=cell_size
+        )
+        mean_ms, p99_ms, _ = run_deployment(
+            deployment, OBJECT_IDENTIFICATION, sim, duration_ns=400 * MS
+        )
+        design = MlAwareOptimizer(OBJECT_IDENTIFICATION).design(
+            CLIENTS, cell_size
+        )
+        measured[cell_size] = (mean_ms, p99_ms, design.cost_units)
+    return measured
+
+
+def test_bench_mlaware_cell_size(benchmark):
+    measured = benchmark.pedantic(run_cell_sweep, rounds=1, iterations=1)
+
+    rows = [
+        [str(size), f"{mean:.2f}", f"{p99:.2f}", f"{cost:.0f}"]
+        for size, (mean, p99, cost) in measured.items()
+    ]
+    print_table(
+        f"Ablation — ML-aware cell size at {CLIENTS} clients",
+        ["cell size", "mean (ms)", "p99 (ms)", "cost units"],
+        rows,
+    )
+
+    costs = [measured[size][2] for size in CELL_SIZES]
+    means = [measured[size][0] for size in CELL_SIZES]
+    # Cost falls with bigger cells (fewer switches/servers)...
+    assert costs == sorted(costs, reverse=True)
+    # ...while latency stays within a narrow band (the optimizer keeps
+    # compute utilization bounded at every size).
+    assert max(means) - min(means) < 0.5
+
+
+def test_bench_mlaware_compression_value(benchmark):
+    def run_compression_pair():
+        results = {}
+        for label, frame_bytes in (
+            ("optimized", None),  # optimizer's accuracy-preserving minimum
+            ("reference", OBJECT_IDENTIFICATION.reference_frame_bytes),
+        ):
+            sim = Simulator(seed=0)
+            deployment = build_ml_aware_deployment(
+                sim, CLIENTS, OBJECT_IDENTIFICATION, frame_bytes=frame_bytes
+            )
+            mean_ms, _, _ = run_deployment(
+                deployment, OBJECT_IDENTIFICATION, sim, duration_ns=400 * MS
+            )
+            results[label] = (deployment.frame_bytes, mean_ms)
+        return results
+
+    results = benchmark.pedantic(run_compression_pair, rounds=1, iterations=1)
+    rows = [
+        [label, str(frame), f"{mean:.2f}"]
+        for label, (frame, mean) in results.items()
+    ]
+    print_table(
+        "Ablation — accuracy-preserving compression",
+        ["frames", "bytes/frame", "mean latency (ms)"],
+        rows,
+    )
+    optimized_frame, optimized_ms = results["optimized"]
+    reference_frame, reference_ms = results["reference"]
+    assert optimized_frame < reference_frame / 1.5
+    assert optimized_ms < reference_ms

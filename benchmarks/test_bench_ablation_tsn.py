@@ -1,0 +1,105 @@
+"""Ablation — what TSN gating buys over priority queueing.
+
+Sweeps the protection mechanism for one cyclic flow under saturating
+best-effort interference: FIFO queues, strict priority, and a synthesized
+no-wait gate schedule.  The jitter ordering quantifies Section 1.1's
+"TSN enables pre-computed transmission schedules" argument.
+"""
+
+import numpy as np
+from conftest import print_table
+
+from repro.metrics import jitter_report
+from repro.net import (
+    CyclicSender,
+    FlowSpec,
+    PoissonSender,
+    TrafficClass,
+    build_line,
+    install_shortest_path_routes,
+)
+from repro.simcore import Simulator, MS, SEC
+from repro.tsn import ScheduleSynthesizer, enable_preemption
+
+CYCLE = 2 * MS
+
+
+def run_mechanism(mechanism):
+    """One run; ``fifo`` is emulated by putting the interfering traffic in
+    the same class as the cyclic flow (within a class, service is FIFO)."""
+    sim = Simulator(seed=21)
+    topo = build_line(sim, 4)
+    # Give the interfering host a fast access link so a real backlog can
+    # form at the shared fabric links (otherwise its own 1 Gbit/s access
+    # link paces it and no queue ever builds).
+    topo.link_between("sw1", "h1").bandwidth_bps = 10e9
+    install_shortest_path_routes(topo)
+    spec = FlowSpec(
+        "rt", "h0", "h3", period_ns=CYCLE, payload_bytes=50,
+        traffic_class=TrafficClass.CYCLIC_RT,
+    )
+    if mechanism == "gated":
+        schedule = ScheduleSynthesizer(topo).synthesize([spec])
+        schedule.install_gate_control(slack_ns=5_000)
+    elif mechanism == "preemption":
+        for switch in topo.switches():
+            for port in switch.ports:
+                enable_preemption(port)
+    arrivals = []
+    topo.devices["h3"].on_flow("rt", lambda p: arrivals.append(sim.now))
+    CyclicSender(sim, topo.devices["h0"], spec).start()
+    noise = PoissonSender(
+        sim,
+        topo.devices["h1"],
+        FlowSpec(
+            "noise", "h1", "h3", payload_bytes=1_400,
+            traffic_class=(
+                TrafficClass.CYCLIC_RT if mechanism == "fifo"
+                else TrafficClass.BEST_EFFORT
+            ),
+        ),
+        rate_pps=50_000,
+        rng=sim.streams.stream("noise"),
+    )
+    noise.start()
+    sim.run(until=3 * SEC)
+    return jitter_report(arrivals[5:], CYCLE)
+
+
+def run_all():
+    return {m: run_mechanism(m) for m in ("fifo", "priority", "preemption", "gated")}
+
+
+def test_bench_tsn_protection_ablation(benchmark):
+    reports = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    rows = [
+        [
+            name,
+            f"{report.mean_abs_jitter_ns / 1000:.2f}",
+            f"{report.max_abs_jitter_ns / 1000:.2f}",
+        ]
+        for name, report in reports.items()
+    ]
+    print_table(
+        "Ablation — cyclic-flow jitter (us) by protection mechanism",
+        ["mechanism", "mean", "worst"],
+        rows,
+    )
+
+    # Gating eliminates interference jitter entirely (no-wait schedule);
+    # preemption shrinks the blocking to fragment tails; priority bounds
+    # it at one full frame per hop; FIFO (traffic in the same class) is
+    # strictly worse.
+    assert reports["gated"].max_abs_jitter_ns == 0
+    assert (
+        reports["preemption"].max_abs_jitter_ns
+        < reports["priority"].max_abs_jitter_ns / 3
+    )
+    # One in-service 1400 B frame is ~11.5 us; the path has three shared
+    # switch hops, so priority's worst case is bounded by ~3 blockings.
+    assert reports["priority"].max_abs_jitter_ns <= 3 * 11_540 + 2_000
+    assert (
+        reports["fifo"].mean_abs_jitter_ns
+        > reports["priority"].mean_abs_jitter_ns
+    )

@@ -1,0 +1,56 @@
+"""E8 — Section 2.2's consolidation-risk argument, quantified.
+
+The paper: industrial automation demands >= 99.9999 % availability, while
+"consolidating virtual PLCs in centralized data centers increases potential
+for failures: even a short-lived outage can simultaneously affect dozens of
+production cells".  This benchmark composes component MTBF/MTTR profiles
+into the three candidate plant architectures and prints the comparison.
+"""
+
+from conftest import print_table
+
+from repro.core import compare_architectures
+from repro.metrics import availability_to_nines
+
+CELLS = 24
+
+
+def run_comparison():
+    return compare_architectures(CELLS)
+
+
+def test_bench_availability_architectures(benchmark):
+    report = benchmark.pedantic(run_comparison, rounds=1, iterations=1)
+
+    rows = []
+    for name, metrics in report.items():
+        rows.append(
+            [
+                name,
+                f"{availability_to_nines(metrics['cell_availability']):.1f}",
+                f"{metrics['cell_downtime_s_per_year']:.0f}",
+                f"{metrics['blast_radius_cells']:.0f}",
+                f"{metrics['cell_outages_per_year']:.2f}",
+            ]
+        )
+    print_table(
+        f"Section 2.2 — plant architectures at {CELLS} cells",
+        ["architecture", "nines/cell", "downtime s/yr", "blast radius",
+         "cell-outages/yr"],
+        rows,
+    )
+
+    classic = report["classic-ot"]
+    consolidated = report["consolidated-vplc"]
+    redundant = report["redundant-vplc"]
+    # Naive consolidation loses about a nine per cell and multiplies
+    # simultaneous cell outages by the plant size.
+    assert consolidated["cell_availability"] < classic["cell_availability"]
+    assert consolidated["blast_radius_cells"] == CELLS
+    assert (
+        consolidated["cell_outages_per_year"]
+        > 50 * classic["cell_outages_per_year"]
+    )
+    # Redundancy (the InstaPLC direction) more than recovers the loss.
+    assert redundant["cell_availability"] > classic["cell_availability"]
+    assert redundant["cell_outages_per_year"] < classic["cell_outages_per_year"]

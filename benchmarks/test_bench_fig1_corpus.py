@@ -1,0 +1,41 @@
+"""E1 — Figure 1: terminology gap in SIGCOMM/HotNets proceedings.
+
+Regenerates the thirteen-bar occurrence chart over the synthetic corpus
+and checks the published counts and the orders-of-magnitude gap.
+"""
+
+from conftest import print_table
+
+from repro.corpus import PAPER_COUNTS, analyze_corpus, generate_corpus
+
+
+def run_fig1():
+    documents = generate_corpus(seed=0)
+    return analyze_corpus(documents)
+
+
+def test_bench_fig1_term_gap(benchmark):
+    report = benchmark.pedantic(run_fig1, rounds=1, iterations=1)
+
+    rows = [
+        [name, str(count), str(PAPER_COUNTS[name])]
+        for name, count in sorted(report.counts.items(), key=lambda i: i[1])
+    ]
+    print_table(
+        "Figure 1 — occurrences (with permutations)",
+        ["term group", "measured", "paper"],
+        rows,
+    )
+    print(f"research gap ratio (general/industrial): {report.gap_ratio:.1f}x")
+
+    # Exact reproduction of the published counts.
+    assert report.counts == PAPER_COUNTS
+    # The figure's message: the gap spans about two orders of magnitude.
+    assert report.gap_ratio > 50
+    # vPLC never appears; the top-3 general terms each exceed 1900.
+    assert report.counts["vPLC"] == 0
+    assert min(
+        report.counts["TCP/UDP/IPv4/IPv6"],
+        report.counts["Internet"],
+        report.counts["Datacenter"],
+    ) > 1900

@@ -1,0 +1,55 @@
+"""E2 — Figure 4 (left): per-variant eBPF/XDP delay CDFs.
+
+Runs Traffic Reflection for all six program variants and reproduces the
+panel's claims: small code changes shift the CDF, and the ring-buffer
+variants form a clearly slower cluster.
+"""
+
+from conftest import print_table
+
+from repro.ebpf import paper_variants, verify
+from repro.metrics import dominates
+from repro.reflection import run_variant_sweep
+
+CYCLES = 400
+
+
+def run_sweep():
+    return run_variant_sweep(paper_variants(), flow_count=1, cycles=CYCLES)
+
+
+def test_bench_fig4_delay_cdfs(benchmark):
+    results = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+
+    cdfs = {name: r.delay_cdf() for name, r in results.items()}
+    bounds = {p.name: verify(p) for p in paper_variants()}
+    rows = [
+        [
+            name,
+            f"{cdf.quantile(0.5):.2f}",
+            f"{cdf.quantile(0.9):.2f}",
+            f"{cdf.quantile(0.99):.2f}",
+            f"{bounds[name].expected_ns / 1000:.2f}",
+        ]
+        for name, cdf in cdfs.items()
+    ]
+    print_table(
+        "Figure 4 (left) — reflection delay (us)",
+        ["variant", "p50", "p90", "p99", "static eBPF cost"],
+        rows,
+    )
+
+    # Claim 1: adding helpers shifts the CDF right, in program order.
+    assert cdfs["Base"].median < cdfs["TS"].median < cdfs["TS-TS"].median
+    # Claim 2: the ring-buffer cluster is clearly separated (paper: the
+    # left panel splits into "No Ring Buffer" vs "Ring Buffer" groups).
+    no_rb_max = max(
+        cdfs[name].quantile(0.9) for name in ("Base", "TS", "TS-TS", "TS-OW")
+    )
+    rb_min = min(cdfs[name].quantile(0.1) for name in ("TS-RB", "TS-D-RB"))
+    assert rb_min > no_rb_max
+    # Distribution-level: TS-RB dominates Base at every probed quantile.
+    assert dominates(cdfs["TS-RB"], cdfs["Base"])
+    # All delays sit in the paper's ~10-20 us band.
+    assert 8.0 < cdfs["Base"].median < 14.0
+    assert cdfs["TS-D-RB"].quantile(0.99) < 25.0

@@ -1,0 +1,48 @@
+"""E3 — Figure 4 (right): jitter growth with concurrent TSN flows.
+
+Runs the Base reflector under 1 vs 25 flows (plus intermediate points)
+and reproduces the claim that more real-time flows handled by eBPF/XDP
+increase jitter.
+"""
+
+from conftest import print_table
+
+from repro.ebpf import build_base
+from repro.metrics import dominance_fraction
+from repro.reflection import run_flow_scaling
+
+FLOW_COUNTS = [1, 5, 25]
+CYCLES = 400
+
+
+def run_scaling():
+    return run_flow_scaling(build_base(), FLOW_COUNTS, cycles=CYCLES)
+
+
+def test_bench_fig4_jitter_vs_flows(benchmark):
+    results = benchmark.pedantic(run_scaling, rounds=1, iterations=1)
+
+    cdfs = {count: r.jitter_cdf() for count, r in results.items()}
+    rows = [
+        [
+            str(count),
+            f"{cdf.quantile(0.5):.0f}",
+            f"{cdf.quantile(0.9):.0f}",
+            f"{cdf.quantile(0.99):.0f}",
+        ]
+        for count, cdf in cdfs.items()
+    ]
+    print_table(
+        "Figure 4 (right) — jitter (ns) vs concurrent flows",
+        ["flows", "p50", "p90", "p99"],
+        rows,
+    )
+
+    # The 25-flow CDF lies right of the 1-flow CDF over (nearly) all
+    # quantiles — the paper's monotone shift.
+    assert dominance_fraction(cdfs[25], cdfs[1]) > 0.9
+    assert cdfs[25].quantile(0.9) > cdfs[5].quantile(0.9) > cdfs[1].quantile(0.9)
+    # Magnitudes in the paper's sub-microsecond band, with the 25-flow
+    # tail reaching toward ~1000 ns.
+    assert cdfs[1].quantile(0.9) < 1_000
+    assert 400 < cdfs[25].quantile(0.99) < 4_000

@@ -1,0 +1,79 @@
+"""E5 — Figure 6: ML inference latency across topologies.
+
+Sweeps 32/64/128/256 clients for both applications over the industrial
+ring, leaf-spine, and the ML-aware design, printing the figure's series and
+asserting its shape: ring worst, leaf-spine slightly better, ML-aware
+lowest with a widening gap at scale.
+"""
+
+from conftest import print_table
+
+from repro.mlnet import (
+    DEFECT_DETECTION,
+    OBJECT_IDENTIFICATION,
+    PAPER_CLIENT_COUNTS,
+    run_point,
+)
+from repro.simcore.units import MS
+
+DURATION_NS = 400 * MS
+TOPOLOGIES = ("ring", "leaf-spine", "ml-aware")
+
+
+def run_app_sweep(app):
+    series = {}
+    for topology in TOPOLOGIES:
+        series[topology] = [
+            run_point(app, topology, clients, duration_ns=DURATION_NS).mean_latency_ms
+            for clients in PAPER_CLIENT_COUNTS
+        ]
+    return series
+
+
+def check_shape(series):
+    counts = PAPER_CLIENT_COUNTS
+    for i, clients in enumerate(counts):
+        ring = series["ring"][i]
+        leaf_spine = series["leaf-spine"][i]
+        ml_aware = series["ml-aware"][i]
+        # Ordering: ring >= leaf-spine > ml-aware (ties allowed at the
+        # smallest scale where all designs are uncongested).
+        if clients >= 64:
+            assert ring > leaf_spine > ml_aware, (clients, series)
+        assert ring >= ml_aware
+    # The gap widens with scale; the ML-aware curve stays essentially flat.
+    assert (series["ring"][-1] - series["ml-aware"][-1]) > (
+        series["ring"][0] - series["ml-aware"][0]
+    )
+    flatness = max(series["ml-aware"]) - min(series["ml-aware"])
+    assert flatness < 0.5
+    # Latencies in the paper's single-digit-ms band.
+    assert all(0.5 < v < 10.0 for row in series.values() for v in row)
+
+
+def print_series(title, series):
+    rows = [
+        [topology] + [f"{v:.2f}" for v in values]
+        for topology, values in series.items()
+    ]
+    print_table(
+        title,
+        ["topology"] + [str(c) for c in PAPER_CLIENT_COUNTS],
+        rows,
+    )
+
+
+def test_bench_fig6_object_identification(benchmark):
+    series = benchmark.pedantic(
+        run_app_sweep, args=(OBJECT_IDENTIFICATION,), rounds=1, iterations=1
+    )
+    print_series("Figure 6 — object identification, latency (ms)", series)
+    check_shape(series)
+
+
+def test_bench_fig6_defect_detection(benchmark):
+    series = benchmark.pedantic(
+        run_app_sweep, args=(DEFECT_DETECTION,), rounds=1, iterations=1
+    )
+    print_series("Figure 6 — defect detection, latency (ms)", series)
+    check_shape(series)

@@ -1,0 +1,120 @@
+"""E7 — Section 4's switchover numbers: InstaPLC vs the baselines.
+
+The paper motivates InstaPLC against two mechanisms: hardware redundant
+pairs ("within 50 ms to 300 ms") and vPLC-as-Kubernetes-pod ("~110 ms to
+~55.4 s").  This benchmark measures the I/O-observed outage of all three
+under the same failure and prints the comparison table.
+"""
+
+import numpy as np
+from conftest import print_table
+
+from repro.fieldbus import IoDeviceApp
+from repro.instaplc import run_fig5
+from repro.net import build_star
+from repro.net.routing import install_shortest_path_routes
+from repro.plc import (
+    HW_SWITCHOVER_MAX_NS,
+    HW_SWITCHOVER_MIN_NS,
+    KubernetesFailoverModel,
+    PlcRuntime,
+    RedundantPlcPair,
+    passthrough_program,
+)
+from repro.simcore import Simulator, MS, SEC
+
+CYCLE = 10 * MS
+SEEDS = (0, 1, 2)
+
+
+def outage_ns(rx_times, failure_ns):
+    stamps = np.asarray(rx_times, dtype=np.int64)
+    return int(np.diff(stamps[stamps > failure_ns - SEC]).max())
+
+
+def measure_instaplc(seed):
+    result = run_fig5(
+        cycle_ns=CYCLE, duration_ns=4 * SEC, crash_ns=2 * SEC, seed=seed
+    )
+    assert result.device_watchdog_expirations == 0
+    return result.max_io_gap_after_ns(1 * SEC)
+
+
+def measure_hw_pair(seed):
+    sim = Simulator(seed=seed)
+    topo = build_star(sim, 3)
+    install_shortest_path_routes(topo)
+    device = IoDeviceApp(sim, topo.devices["h2"])
+    primary = PlcRuntime(sim, topo.devices["h0"], passthrough_program({}),
+                         cycle_ns=CYCLE, name="p")
+    secondary = PlcRuntime(sim, topo.devices["h1"], passthrough_program({}),
+                           cycle_ns=CYCLE, name="s")
+    primary.assign_device("h2")
+    secondary.assign_device("h2")
+    pair = RedundantPlcPair(sim, primary, secondary)
+    pair.start()
+    sim.run(until=2 * SEC)
+    pair.inject_primary_failure()
+    sim.run(until=10 * SEC)
+    return outage_ns(device.stats.rx_times_ns, 2 * SEC)
+
+
+def measure_k8s(seed):
+    sim = Simulator(seed=seed)
+    topo = build_star(sim, 2)
+    install_shortest_path_routes(topo)
+    device = IoDeviceApp(sim, topo.devices["h1"])
+    plc = PlcRuntime(sim, topo.devices["h0"], passthrough_program({}),
+                     cycle_ns=CYCLE, name="pod")
+    plc.assign_device("h1")
+    model = KubernetesFailoverModel(sim, plc)
+    model.start()
+    sim.run(until=2 * SEC)
+    model.inject_primary_failure()
+    sim.run(until=120 * SEC)
+    return outage_ns(device.stats.rx_times_ns, 2 * SEC)
+
+
+def run_comparison():
+    return {
+        "InstaPLC": [measure_instaplc(seed) for seed in SEEDS],
+        "hw-pair": [measure_hw_pair(seed) for seed in SEEDS],
+        "k8s-pod": [measure_k8s(seed) for seed in SEEDS],
+    }
+
+
+def test_bench_switchover_comparison(benchmark):
+    outages = benchmark.pedantic(run_comparison, rounds=1, iterations=1)
+
+    paper_bands = {
+        "InstaPLC": "(in-cycle)",
+        "hw-pair": "50-300 ms (+detection)",
+        "k8s-pod": "110 ms - 55.4 s",
+    }
+    rows = [
+        [
+            name,
+            f"{min(values) / 1e6:.2f}",
+            f"{max(values) / 1e6:.2f}",
+            paper_bands[name],
+        ]
+        for name, values in outages.items()
+    ]
+    print_table(
+        "Section 4 — I/O-observed outage (ms) across mechanisms",
+        ["mechanism", "min", "max", "paper band"],
+        rows,
+    )
+
+    # Ordering: InstaPLC << hardware pair << k8s, for every seed.
+    assert max(outages["InstaPLC"]) < min(outages["hw-pair"])
+    assert max(outages["hw-pair"]) < max(outages["k8s-pod"])
+    # InstaPLC stays within the device watchdog (sub-3-cycle outage).
+    assert max(outages["InstaPLC"]) < 3 * CYCLE
+    # Hardware pair lands in the paper band plus detection/reconnect slack.
+    assert all(
+        HW_SWITCHOVER_MIN_NS <= v <= HW_SWITCHOVER_MAX_NS + 300 * MS
+        for v in outages["hw-pair"]
+    )
+    # The k8s tail exceeds the hardware band.
+    assert max(outages["k8s-pod"]) > HW_SWITCHOVER_MAX_NS

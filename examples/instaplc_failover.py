@@ -1,0 +1,50 @@
+#!/usr/bin/env python3
+"""InstaPLC (Section 4): seamless vPLC switchover in the data plane.
+
+Recreates Figure 5: two vPLCs control one I/O device through an InstaPLC
+switch; the primary is crashed mid-run and the data-plane watchdog hands
+control to the secondary before the device's own watchdog can fire.
+Prints both panels as packets-per-50 ms bar rows.
+
+Run:  python examples/instaplc_failover.py
+"""
+
+from repro.instaplc import run_fig5
+from repro.simcore.units import MS, SEC
+
+def bars(counts, full):
+    """Render a count series as a compact bar string."""
+    glyphs = " .:-=+*#"
+    out = []
+    for count in counts:
+        level = min(len(glyphs) - 1, round(count / full * (len(glyphs) - 1)))
+        out.append(glyphs[level])
+    return "".join(out)
+
+def main() -> None:
+    crash_ns = round(1.5 * SEC)
+    print("running the Figure 5 scenario (3 s, crash at 1.5 s)...")
+    result = run_fig5(duration_ns=3 * SEC, crash_ns=crash_ns, seed=0)
+
+    full = result.bin_width_ns // result.cycle_ns
+    print(f"\ncycle time {result.cycle_ns / 1e6:.2f} ms "
+          f"-> {full} packets per 50 ms bin at full rate")
+    print(f"{'':10s}0s{' ' * 26}1.5s (crash){' ' * 14}3s")
+    for name in ("vplc1", "vplc2", "to_io"):
+        series = result.binned(name)
+        print(f"{name:>8s}  |{bars(series.counts, full)}|")
+
+    event = result.switchovers[0]
+    latency_ms = (event.detected_ns - crash_ns) / 1e6
+    print(f"\nswitchover: {event.old_primary} -> {event.new_primary}, "
+          f"detected {latency_ms:.2f} ms after the crash")
+    print(f"largest to-I/O gap: "
+          f"{result.max_io_gap_after_ns(500 * MS) / 1e6:.2f} ms "
+          f"(device watchdog budget: {3 * result.cycle_ns / 1e6:.2f} ms)")
+    print(f"device watchdog expirations: {result.device_watchdog_expirations}")
+    print(f"device in fail-safe: {result.device_fail_safe}")
+    print("\nThe I/O device never noticed: control continuity across a")
+    print("controller crash, with no dedicated sync links between vPLCs.")
+
+if __name__ == "__main__":
+    main()

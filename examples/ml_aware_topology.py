@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""ML-aware industrial networks (Section 5): topology matters.
+
+Reproduces a slice of Figure 6: mean inference latency of the industrial
+ring, a leaf-spine fabric, and the traffic-aware ML-aware design, as the
+number of ML clients grows — and shows what the optimizer decided.
+
+Run:  python examples/ml_aware_topology.py
+"""
+
+from repro.mlnet import (
+    MlAwareOptimizer,
+    NetworkDegradation,
+    OBJECT_IDENTIFICATION,
+    run_point,
+)
+from repro.simcore.units import MS
+
+CLIENT_COUNTS = (32, 128, 256)
+
+def main() -> None:
+    profile = OBJECT_IDENTIFICATION
+    print(f"application: {profile.name}")
+    print(f"  reference frame {profile.reference_frame_bytes} B at "
+          f"{profile.fps:.0f} fps, target accuracy {profile.target_accuracy}")
+
+    optimizer = MlAwareOptimizer(profile)
+    design = optimizer.design(client_count=128)
+    degradation = NetworkDegradation.from_frame_bytes(
+        design.frame_bytes, profile.reference_frame_bytes
+    )
+    print("\noptimizer's ML-aware design (128 clients):")
+    print(f"  frame size     : {design.frame_bytes} B "
+          f"(compression {degradation.compression_ratio:.1f}x, "
+          f"predicted accuracy {design.predicted_accuracy:.3f})")
+    print(f"  edge servers   : {design.servers_per_cell} per "
+          f"{design.cell_size}-client cell")
+    print(f"  est. latency   : {design.estimated_latency_ms:.2f} ms "
+          f"(analytic M/M/c screen)")
+    print(f"  cost           : {design.cost_units:.0f} units")
+
+    print("\nsimulated mean inference latency (ms):")
+    header = f"{'topology':12s}" + "".join(f"{n:>8d}" for n in CLIENT_COUNTS)
+    print(header)
+    print("-" * len(header))
+    for topology in ("ring", "leaf-spine", "ml-aware"):
+        row = [f"{topology:12s}"]
+        for clients in CLIENT_COUNTS:
+            point = run_point(
+                profile, topology, clients, duration_ns=400 * MS
+            )
+            row.append(f"{point.mean_latency_ms:8.2f}")
+        print("".join(row))
+
+    print("\nAs in Figure 6: the legacy ring degrades with scale, leaf-spine")
+    print("only slightly improves it, and the traffic-aware design stays")
+    print("flat by sizing edge compute and compressing frames only as far")
+    print("as the accuracy target allows.")
+
+if __name__ == "__main__":
+    main()

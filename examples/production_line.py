@@ -1,0 +1,110 @@
+#!/usr/bin/env python3
+"""A realistic production line on the converged infrastructure.
+
+Addresses the paper's criticism that existing vPLC evaluations "only
+consider basic application scenarios, such as simple ping-pong tests" and
+"do not evaluate realistic industrial automation applications, e.g., a
+production line".
+
+The line: a furnace with a PID temperature loop, a conveyor moving parts
+past a counting light barrier, and a reject gate driven by the counter —
+all expressed as IEC 61131-style function blocks executing in a vPLC in
+the data-center fabric, closing their loops over the network every 2 ms.
+
+Run:  python examples/production_line.py
+"""
+
+from repro.core import ConvergedFactory, FactoryConfig, PROCESS_AUTOMATION
+from repro.plc import Ctu, FunctionBlockProgram, Lambda, Limit, Pid, Ton
+from repro.simcore import Simulator
+from repro.simcore.units import MS, SEC
+
+def build_line_program(cell):
+    """PID furnace control + conveyor part counting for one cell."""
+    furnace, conveyor = cell.devices[0].name, cell.devices[1].name
+    program = FunctionBlockProgram()
+    # Furnace: PID drives heater power toward a 450 C setpoint.
+    program.add_block(Lambda("setpoint", lambda i: {"out": 450.0}))
+    program.add_block(Pid("pid", kp=0.8, ki=0.4, kd=0.05,
+                          out_low=0.0, out_high=100.0))
+    program.add_block(Limit("power", low=0.0, high=100.0))
+    program.connect("setpoint", "out", "pid", "sp")
+    program.connect("pid", "out", "power", "in")
+    program.input_map[f"{furnace}.temperature"] = ("pid", "pv")
+    program.output_map[f"{furnace}.heater_power"] = ("power", "out")
+    # Conveyor: count parts at the light barrier; after 10 parts, hold the
+    # belt for a batch change (TON gives the operator 0.5 s of warning).
+    program.add_block(Ctu("batch", pv=10))
+    program.add_block(Ton("warn", pt_s=0.5))
+    program.add_block(Lambda("belt", lambda i: {"out": not bool(i.get("stop"))}))
+    program.connect("batch", "q", "warn", "in")
+    program.connect("warn", "q", "belt", "stop")
+    program.input_map[f"{conveyor}.light_barrier"] = ("batch", "cu")
+    program.output_map[f"{conveyor}.belt_run"] = ("belt", "out")
+    program.output_map[f"{conveyor}.batch_count"] = ("batch", "cv")
+    return program
+
+class FurnacePhysics:
+    """First-order furnace: temperature chases heater power."""
+
+    def __init__(self):
+        self.temperature = 20.0
+        self.power = 0.0
+
+    def sample(self):
+        # Called once per device cycle (2 ms): simple thermal response.
+        ambient_pull = (20.0 - self.temperature) * 0.0004
+        heating = self.power * 0.012
+        self.temperature += ambient_pull + heating
+        return {"temperature": round(self.temperature, 2)}
+
+    def apply(self, outputs):
+        self.power = float(outputs.get("heater_power", 0.0))
+
+class ConveyorPhysics:
+    """Parts pass the light barrier every ~60 ms while the belt runs."""
+
+    def __init__(self):
+        self.running = True
+        self.phase = 0
+
+    def sample(self):
+        self.phase = (self.phase + 1) % 30 if self.running else self.phase
+        return {"light_barrier": self.running and self.phase == 0}
+
+    def apply(self, outputs):
+        self.running = bool(outputs.get("belt_run", True))
+
+def main() -> None:
+    sim = Simulator(seed=11)
+    furnace, conveyor = FurnacePhysics(), ConveyorPhysics()
+    factory = ConvergedFactory(
+        sim,
+        FactoryConfig(cells=1, devices_per_cell=2, cycle_ns=2 * MS),
+        program_factory=build_line_program,
+    )
+    furnace_dev, conveyor_dev = factory.cells[0].devices
+    furnace_dev.sample_inputs = furnace.sample
+    furnace_dev.apply_outputs = furnace.apply
+    conveyor_dev.sample_inputs = conveyor.sample
+    conveyor_dev.apply_outputs = conveyor.apply
+
+    factory.start()
+    print("t(s)   furnace(C)  heater(%)  parts  belt")
+    for step in range(1, 11):
+        sim.run(until=step * SEC)
+        outputs = conveyor_dev.outputs
+        print(f"{step:3d}    {furnace.temperature:8.1f}   "
+              f"{furnace.power:7.1f}   {outputs.get('batch_count', 0):4d}  "
+              f"{'run' if conveyor.running else 'HOLD'}")
+
+    result = list(factory.timing_compliance(PROCESS_AUTOMATION).values())
+    print(f"\nprocess-automation compliance: "
+          f"{'PASS' if all(r.passed for r in result) else 'FAIL'} "
+          f"across {len(result)} devices")
+    print("The furnace loop settles near its setpoint and the conveyor")
+    print("halts after the 10-part batch - a production line whose every")
+    print("control decision crossed the converged network.")
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,50 @@
+#!/usr/bin/env python3
+"""Quickstart: a converged IT/OT factory in ~40 lines.
+
+Builds the paper's Figure 2 picture — virtual PLCs in a small leaf-spine
+data center controlling I/O devices out in production cells — runs it for
+five simulated seconds, and checks the cyclic traffic against the paper's
+Section 2 timing classes.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core import (
+    ConvergedFactory,
+    FactoryConfig,
+    MOTION_CONTROL,
+    PROCESS_AUTOMATION,
+)
+from repro.simcore import Simulator
+from repro.simcore.units import MS, SEC
+
+def main() -> None:
+    sim = Simulator(seed=42)
+    factory = ConvergedFactory(
+        sim,
+        FactoryConfig(cells=3, devices_per_cell=2, cycle_ns=2 * MS),
+    )
+    factory.start()
+    sim.run(until=5 * SEC)
+
+    print(f"factory running: {factory.all_running()}")
+    print(f"devices: {[device.name for device in factory.devices()]}")
+    print()
+
+    for requirement in (PROCESS_AUTOMATION, MOTION_CONTROL):
+        print(f"--- compliance vs {requirement.name} "
+              f"(jitter bound {requirement.max_jitter_ns / 1000:.0f} us) ---")
+        for device_name, result in factory.timing_compliance(requirement).items():
+            verdict = "PASS" if result.passed else "FAIL"
+            jitter_us = result.details["max_abs_jitter_ns"] / 1000
+            print(f"  {device_name}: {verdict}  "
+                  f"(worst-case jitter {jitter_us:.1f} us)")
+            for violation in result.violations:
+                print(f"      {violation}")
+        print()
+
+    print("The vPLC platform meets process automation (10-100 ms cycles)")
+    print("but not motion control's 1 us jitter - Section 2.1's core claim.")
+
+if __name__ == "__main__":
+    main()

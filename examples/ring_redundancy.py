@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Industrial ring redundancy: surviving a cable cut.
+
+A six-switch production ring carries a cyclic control relation.  At t=1 s a
+ring link is cut; the redundancy manager (MRP-style) detects the failure,
+unblocks the standby link, and reroutes — well inside the fieldbus
+watchdog, so the control relation never drops.
+
+Run:  python examples/ring_redundancy.py
+"""
+
+import numpy as np
+
+from repro.fieldbus import ConnectionParams, CyclicConnection, IoDeviceApp
+from repro.net import RingRedundancyManager, build_ring
+from repro.simcore import Simulator
+from repro.simcore.units import MS, SEC
+
+def main() -> None:
+    sim = Simulator(seed=4)
+    topo = build_ring(sim, 6, hosts_per_switch=1)
+    standby = topo.link_between("sw0", "sw5")
+    manager = RingRedundancyManager(sim, topo, standby_link=standby)
+    installed = manager.commission()
+    manager.start()
+    print(f"ring commissioned: {installed} routes, "
+          f"standby link sw0<->sw5 blocked")
+
+    device = IoDeviceApp(sim, topo.devices["h3_0"])
+    connection = CyclicConnection(
+        sim, topo.devices["h0_0"], "h3_0",
+        ConnectionParams(cycle_ns=10 * MS, watchdog_factor=10),
+    )
+    connection.open()
+    sim.run(until=1 * SEC)
+    print(f"relation running, device received "
+          f"{device.stats.cyclic_received} cyclic frames")
+
+    print("\ncutting ring link sw2<->sw3 at t=1s ...")
+    topo.link_between("sw2", "sw3").set_down()
+    sim.run(until=3 * SEC)
+
+    event = manager.events[0]
+    print(f"manager detected the failure and reconverged in "
+          f"{event.reconvergence_ns / 1e6:.1f} ms after detection")
+    gaps = np.diff(np.asarray(device.stats.rx_times_ns))
+    print(f"worst cyclic gap at the device: {gaps.max() / 1e6:.1f} ms "
+          f"(watchdog budget: 100 ms)")
+    print(f"device watchdog expirations: {device.stats.watchdog_expirations}")
+    print(f"relation state: {connection.state.name}")
+    print("\nThe standby link absorbed the failure: this is the availability")
+    print("engineering classic OT gets from MRP-style ring redundancy, and")
+    print("the bar any converged IT/OT fabric has to clear (Section 2.2).")
+
+if __name__ == "__main__":
+    main()

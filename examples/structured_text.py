@@ -1,0 +1,113 @@
+#!/usr/bin/env python3
+"""Programming a vPLC in IEC 61131-3 Structured Text.
+
+Compiles an ST program — the language real PLCs are programmed in — and
+runs it in a vPLC whose control loop closes over the simulated network:
+a silo filling line with two-point level control, a discharge interlock,
+and a batch counter.
+
+Run:  python examples/structured_text.py
+"""
+
+from repro.fieldbus import IoDeviceApp
+from repro.net import build_star
+from repro.net.routing import install_shortest_path_routes
+from repro.plc import PlcRuntime
+from repro.plc.st import compile_st
+from repro.simcore import Simulator
+from repro.simcore.units import MS, SEC
+
+SILO_CONTROL = """
+(* silo filling with two-point control and discharge interlock *)
+VAR_INPUT
+    level   : REAL;   (* percent *)
+    request : BOOL;   (* downstream asks for material *)
+END_VAR
+VAR_OUTPUT
+    fill_valve      : BOOL;
+    discharge_valve : BOOL;
+    batches         : INT;
+END_VAR
+VAR
+    filling  : BOOL := TRUE;
+    settle   : TON;
+    dispatch : R_TRIG;
+    counter  : CTU;
+END_VAR
+
+(* two-point control with hysteresis *)
+IF filling AND level >= 95.0 THEN
+    filling := FALSE;
+ELSIF NOT filling AND level <= 55.0 THEN
+    filling := TRUE;
+END_IF;
+fill_valve := filling;
+
+(* discharge only when full enough, settled, and requested *)
+settle(IN := level > 50.0, PT := T#300ms);
+discharge_valve := request AND settle.Q AND NOT fill_valve;
+
+(* count dispatched batches on the discharge edge *)
+dispatch(CLK := discharge_valve);
+counter(CU := dispatch.Q, PV := 9999);
+batches := counter.CV;
+"""
+
+class Silo:
+    """Level physics: fill and discharge flows."""
+
+    def __init__(self):
+        self.level = 0.0
+        self.filling = False
+        self.discharging = False
+        self.tick = 0
+
+    def sample(self):
+        self.tick += 1
+        if self.filling:
+            self.level = min(100.0, self.level + 0.9)
+        if self.discharging:
+            self.level = max(0.0, self.level - 2.5)
+        # Downstream requests material in bursts.
+        request = (self.tick // 150) % 2 == 1
+        return {"level": round(self.level, 2), "request": request}
+
+    def apply(self, outputs):
+        self.filling = bool(outputs.get("fill_valve"))
+        self.discharging = bool(outputs.get("discharge_valve"))
+
+def main() -> None:
+    sim = Simulator(seed=21)
+    topo = build_star(sim, 2)
+    install_shortest_path_routes(topo)
+    silo = Silo()
+    IoDeviceApp(sim, topo.devices["h1"],
+                sample_inputs=silo.sample, apply_outputs=silo.apply)
+    program = compile_st(
+        SILO_CONTROL,
+        input_map={"h1.level": "level", "h1.request": "request"},
+        output_map={
+            "h1.fill_valve": "fill_valve",
+            "h1.discharge_valve": "discharge_valve",
+            "h1.batches": "batches",
+        },
+    )
+    plc = PlcRuntime(sim, topo.devices["h0"], program,
+                     cycle_ns=5 * MS, name="st-vplc")
+    plc.assign_device("h1")
+    plc.start()
+
+    print("t(s)  level(%)  fill  discharge  batches")
+    for step in range(1, 13):
+        sim.run(until=step * SEC)
+        print(f"{step:3d}   {silo.level:7.1f}  "
+              f"{'open' if silo.filling else '  - ':>4s}  "
+              f"{'open' if silo.discharging else '   - ':>9s}  "
+              f"{program.variable('batches'):6d}")
+    print(f"\nscans executed: {plc.stats.scans}, overruns: "
+          f"{plc.stats.overruns}")
+    print("An IEC 61131-3 program, token for token, running in a vPLC")
+    print("with its I/O crossing the converged network each 5 ms cycle.")
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Traffic Reflection (Section 3): reveal eBPF/XDP's hidden delays.
+
+Reproduces both panels of Figure 4 in text form:
+
+- left: delay CDFs of the six eBPF program variants;
+- right: jitter growth when the same XDP hook serves 1 vs 25 TSN flows.
+
+Run:  python examples/traffic_reflection.py
+"""
+
+import numpy as np
+
+from repro.ebpf import paper_variants, verify
+from repro.reflection import run_flow_scaling, run_variant_sweep
+
+def ascii_cdf(cdf, low, high, width=48, marker="#"):
+    """One-line CDF sparkline between `low` and `high`."""
+    cells = []
+    for i in range(width):
+        x = low + (high - low) * i / (width - 1)
+        cells.append(marker if cdf.evaluate(x) >= 0.5 else ".")
+    return "".join(cells)
+
+def main() -> None:
+    print("verifying the six XDP programs (static cost bounds)...")
+    programs = paper_variants()
+    for program in programs:
+        bound = verify(program)
+        rb = "ring-buffer" if program.uses_ringbuf else "           "
+        print(f"  {program.name:8s} {len(program.instructions):2d} insns "
+              f"{rb}  expected {bound.expected_ns:7.1f} ns "
+              f"(+/- {bound.deviation_ns:5.1f})")
+
+    print("\n--- Figure 4 (left): reflection delay per variant ---")
+    results = run_variant_sweep(programs, cycles=400)
+    print(f"{'variant':8s} {'p50':>7s} {'p90':>7s} {'p99':>7s}   "
+          f"10us {'-' * 40} 20us")
+    for name, result in results.items():
+        cdf = result.delay_cdf()
+        print(f"{name:8s} {cdf.quantile(0.5):7.2f} {cdf.quantile(0.9):7.2f} "
+              f"{cdf.quantile(0.99):7.2f}   |{ascii_cdf(cdf, 10, 20)}|")
+    print("(medians in us; '#' marks where the CDF has passed 50%)")
+
+    print("\n--- Figure 4 (right): jitter vs concurrent flows ---")
+    scaling = run_flow_scaling(programs[0], [1, 5, 25], cycles=400)
+    for flows, result in scaling.items():
+        cdf = result.jitter_cdf()
+        print(f"  {flows:2d} flows: p50 {cdf.quantile(0.5):6.0f} ns, "
+              f"p90 {cdf.quantile(0.9):6.0f} ns, "
+              f"p99 {cdf.quantile(0.99):6.0f} ns")
+
+    print("\nTakeaways (matching the paper):")
+    print(" 1. small code changes (one helper call) visibly shift the CDF;")
+    print(" 2. bpf_ringbuf_output splits the variants into two clusters;")
+    print(" 3. more concurrent real-time flows => more jitter.")
+
+if __name__ == "__main__":
+    main()

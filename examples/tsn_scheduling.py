@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""TSN schedule synthesis: deterministic microflows by construction.
+
+Synthesizes a no-wait 802.1Qbv schedule for several cyclic flows crossing
+a line topology, installs the gate control lists, and measures what the
+gates buy: zero jitter under saturating best-effort interference, versus
+visible jitter without them.
+
+Run:  python examples/tsn_scheduling.py
+"""
+
+from repro.metrics import jitter_report
+from repro.net import (
+    CyclicSender,
+    FlowSpec,
+    PoissonSender,
+    TrafficClass,
+    build_line,
+    install_shortest_path_routes,
+)
+from repro.simcore import Simulator, MS, SEC
+from repro.simcore.units import format_duration
+from repro.tsn import ScheduleSynthesizer
+
+CYCLE = 2 * MS
+
+def build(gated):
+    sim = Simulator(seed=7)
+    topo = build_line(sim, 5)
+    topo.link_between("sw1", "h1").bandwidth_bps = 10e9  # fast IT host
+    install_shortest_path_routes(topo)
+    specs = [
+        FlowSpec(f"rt{i}", "h0", f"h{4 - i}", period_ns=CYCLE,
+                 payload_bytes=50, traffic_class=TrafficClass.CYCLIC_RT)
+        for i in range(3)
+    ]
+    schedule = None
+    if gated:
+        schedule = ScheduleSynthesizer(topo).synthesize(specs)
+        schedule.install_gate_control(slack_ns=5_000)
+    return sim, topo, specs, schedule
+
+def run(gated):
+    sim, topo, specs, schedule = build(gated)
+    arrivals = {spec.flow_id: [] for spec in specs}
+    for spec in specs:
+        topo.devices[spec.dst].on_flow(
+            spec.flow_id,
+            lambda p, fid=spec.flow_id: arrivals[fid].append(sim.now),
+        )
+        CyclicSender(sim, topo.devices["h0"], spec).start()
+    noise = PoissonSender(
+        sim, topo.devices["h1"],
+        FlowSpec("it", "h1", "h4", payload_bytes=1_400,
+                 traffic_class=TrafficClass.BEST_EFFORT),
+        rate_pps=50_000, rng=sim.streams.stream("it"),
+    )
+    noise.start()
+    sim.run(until=3 * SEC)
+    return arrivals, schedule
+
+def main() -> None:
+    print("synthesizing a no-wait schedule for 3 cyclic flows...")
+    gated_arrivals, schedule = run(gated=True)
+    print(f"  hyperperiod: {format_duration(schedule.hyperperiod_ns)}")
+    for flow_id, offset in sorted(schedule.offsets().items()):
+        print(f"  {flow_id}: injection offset {format_duration(offset)}")
+    ports = schedule.port_windows()
+    print(f"  gate control lists installed on {len(ports)} ports")
+
+    plain_arrivals, _ = run(gated=False)
+
+    print("\nworst-case interarrival jitter under 50 kpps IT interference:")
+    print(f"{'flow':6s} {'gated':>12s} {'priority only':>16s}")
+    for flow_id in sorted(gated_arrivals):
+        gated = jitter_report(gated_arrivals[flow_id][5:], CYCLE)
+        plain = jitter_report(plain_arrivals[flow_id][5:], CYCLE)
+        print(f"{flow_id:6s} {gated.max_abs_jitter_ns:9.0f} ns "
+              f"{plain.max_abs_jitter_ns:13.0f} ns")
+
+    print("\nPre-computed transmission schedules make the cyclic microflows")
+    print("deterministic by construction - the TSN promise of Section 1.1.")
+
+if __name__ == "__main__":
+    main()

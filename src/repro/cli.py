@@ -1,0 +1,78 @@
+"""Command-line interface: regenerate the paper's figures.
+
+Usage::
+
+    python -m repro list
+    python -m repro fig5
+    python -m repro fig4-delay --csv out/fig4_delay.csv --seed 3
+    python -m repro all --out-dir results/
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from . import __version__
+from .figures import FIGURES, rows_to_csv, rows_to_table
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Regenerate the figures of 'Data Centers Manufacturing Steel' "
+            "(HotNets '25) from the simulation models."
+        ),
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"repro {__version__}"
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+    subparsers.add_parser("list", help="list available figures")
+    for name, fn in FIGURES.items():
+        sub = subparsers.add_parser(name, help=(fn.__doc__ or "").splitlines()[0])
+        sub.add_argument("--seed", type=int, default=0, help="random seed")
+        sub.add_argument(
+            "--csv", type=Path, default=None,
+            help="write the rows to this CSV file instead of printing",
+        )
+    sub = subparsers.add_parser("all", help="regenerate every figure")
+    sub.add_argument("--seed", type=int, default=0)
+    sub.add_argument(
+        "--out-dir", type=Path, default=Path("results"),
+        help="directory receiving one CSV per figure",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        for name, fn in FIGURES.items():
+            summary = (fn.__doc__ or "").splitlines()[0]
+            print(f"{name:12s} {summary}")
+        return 0
+    if args.command == "all":
+        args.out_dir.mkdir(parents=True, exist_ok=True)
+        for name, fn in FIGURES.items():
+            rows = fn(seed=args.seed)
+            target = args.out_dir / f"{name.replace('-', '_')}.csv"
+            target.write_text(rows_to_csv(rows))
+            print(f"wrote {target} ({len(rows)} rows)")
+        return 0
+    rows = FIGURES[args.command](seed=args.seed)
+    if args.csv is not None:
+        args.csv.parent.mkdir(parents=True, exist_ok=True)
+        args.csv.write_text(rows_to_csv(rows))
+        print(f"wrote {args.csv} ({len(rows)} rows)")
+    else:
+        print(rows_to_table(rows))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

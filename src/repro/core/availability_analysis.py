@@ -1,0 +1,212 @@
+"""Architectural availability analysis (Section 2.2).
+
+The paper's availability argument, made computable: classical OT
+architectures keep each production cell independent (a local PLC fails
+alone), while consolidating virtual PLCs into a data center couples every
+cell to shared infrastructure — "even a short-lived outage can
+simultaneously affect dozens of production cells".
+
+The analysis composes per-component steady-state availabilities
+(MTBF/MTTR) along each cell's *dependency chain* and reports:
+
+- per-cell availability;
+- the expected number of simultaneously affected cells per shared-
+  component failure (the blast radius);
+- expected cell-downtime per year, aggregated over the plant.
+
+Three reference architectures are provided: classic on-premise PLCs,
+naive vPLC consolidation, and vPLC consolidation hardened with redundancy
+(the InstaPLC/redundant-pair direction).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..metrics.availability import (
+    SECONDS_PER_YEAR,
+    availability_from_mtbf_mttr,
+    parallel_availability,
+    series_availability,
+)
+
+HOURS = 3600.0
+
+
+@dataclass(frozen=True)
+class ComponentClass:
+    """A failure/repair profile for one kind of component."""
+
+    name: str
+    mtbf_s: float
+    mttr_s: float
+
+    @property
+    def availability(self) -> float:
+        """Steady-state availability."""
+        return availability_from_mtbf_mttr(self.mtbf_s, self.mttr_s)
+
+    @property
+    def failures_per_year(self) -> float:
+        """Expected failure count per year."""
+        return SECONDS_PER_YEAR / (self.mtbf_s + self.mttr_s)
+
+
+#: Reference profiles.  MTBFs follow common industrial/DC planning values:
+#: hardened PLC hardware is extremely reliable; servers and software stacks
+#: fail far more often but repair faster.
+HARDWARE_PLC_COMPONENT = ComponentClass(
+    "hardware-plc", mtbf_s=150_000 * HOURS, mttr_s=4 * HOURS
+)
+INDUSTRIAL_SWITCH = ComponentClass(
+    "industrial-switch", mtbf_s=200_000 * HOURS, mttr_s=2 * HOURS
+)
+DC_SERVER = ComponentClass("dc-server", mtbf_s=25_000 * HOURS, mttr_s=1 * HOURS)
+DC_SWITCH = ComponentClass("dc-switch", mtbf_s=100_000 * HOURS, mttr_s=1 * HOURS)
+DC_FIBER_LINK = ComponentClass(
+    # The paper cites the large spread in fiber reliability; this is a
+    # mid-range profile.
+    "dc-fiber-link", mtbf_s=20_000 * HOURS, mttr_s=6 * HOURS
+)
+VIRTUALIZATION_STACK = ComponentClass(
+    # Hypervisor/container platform: frequent small incidents, fast repair.
+    "virtualization-stack", mtbf_s=4_000 * HOURS, mttr_s=0.25 * HOURS
+)
+
+
+@dataclass(frozen=True)
+class DependencyChain:
+    """What one production cell needs to keep operating.
+
+    ``private`` components affect only this cell; ``shared`` components are
+    common to ``cells_sharing`` cells (the blast radius of their failure).
+    Redundant groups are expressed as tuples of parallel components.
+    """
+
+    private: tuple[ComponentClass, ...] = ()
+    private_redundant: tuple[tuple[ComponentClass, ...], ...] = ()
+    shared: tuple[ComponentClass, ...] = ()
+    shared_redundant: tuple[tuple[ComponentClass, ...], ...] = ()
+
+    def availability(self) -> float:
+        """Cell availability over the full chain."""
+        parts = [c.availability for c in self.private + self.shared]
+        parts += [
+            parallel_availability([c.availability for c in group])
+            for group in self.private_redundant + self.shared_redundant
+        ]
+        return series_availability(parts)
+
+
+@dataclass(frozen=True)
+class PlantArchitecture:
+    """A plant: N cells with a common dependency-chain template."""
+
+    name: str
+    cells: int
+    chain: DependencyChain
+
+    def cell_availability(self) -> float:
+        """Availability of one cell."""
+        return self.chain.availability()
+
+    def cell_downtime_s_per_year(self) -> float:
+        """Expected downtime of one cell per year."""
+        return (1.0 - self.cell_availability()) * SECONDS_PER_YEAR
+
+    def shared_failure_blast_radius(self) -> int:
+        """Cells simultaneously affected when a shared component fails."""
+        if self.chain.shared or self.chain.shared_redundant:
+            return self.cells
+        return 1
+
+    def simultaneous_cell_outages_per_year(self) -> float:
+        """Expected number of (cell x outage) events per year.
+
+        Each private failure costs one cell-outage; each shared failure
+        costs ``cells`` cell-outages at once — the consolidation penalty.
+        """
+        events = 0.0
+        for component in self.chain.private:
+            events += component.failures_per_year * 1
+        for group in self.chain.private_redundant:
+            events += _group_failures_per_year(group) * 1
+        for component in self.chain.shared:
+            events += component.failures_per_year * self.cells
+        for group in self.chain.shared_redundant:
+            events += _group_failures_per_year(group) * self.cells
+        return events
+
+
+def _group_failures_per_year(group: tuple[ComponentClass, ...]) -> float:
+    """Rate of *group-level* outages (all members down together).
+
+    Approximation: one member fails, and every other member is already
+    down with probability (1 - A); rates then multiply by those
+    unavailabilities.
+    """
+    rate = 0.0
+    for index, component in enumerate(group):
+        concurrent = 1.0
+        for other_index, other in enumerate(group):
+            if other_index != index:
+                concurrent *= 1.0 - other.availability
+        rate += component.failures_per_year * concurrent
+    return rate
+
+
+def classic_ot_plant(cells: int) -> PlantArchitecture:
+    """Per-cell hardware PLC and cell switch; no shared dependencies."""
+    chain = DependencyChain(
+        private=(HARDWARE_PLC_COMPONENT, INDUSTRIAL_SWITCH),
+    )
+    return PlantArchitecture(name="classic-ot", cells=cells, chain=chain)
+
+
+def consolidated_vplc_plant(cells: int) -> PlantArchitecture:
+    """Naive consolidation: every cell depends on one DC stack."""
+    chain = DependencyChain(
+        private=(INDUSTRIAL_SWITCH,),
+        shared=(
+            DC_SERVER,
+            VIRTUALIZATION_STACK,
+            DC_SWITCH,
+            DC_FIBER_LINK,
+        ),
+    )
+    return PlantArchitecture(name="consolidated-vplc", cells=cells, chain=chain)
+
+
+def redundant_vplc_plant(cells: int) -> PlantArchitecture:
+    """Consolidation hardened with redundancy everywhere it is shared.
+
+    Redundant servers/stacks model vPLC pairs (InstaPLC or classic
+    standby), redundant switches/links model a dual-homed fabric.
+    """
+    chain = DependencyChain(
+        private=(INDUSTRIAL_SWITCH,),
+        shared_redundant=(
+            (DC_SERVER, DC_SERVER),
+            (VIRTUALIZATION_STACK, VIRTUALIZATION_STACK),
+            (DC_SWITCH, DC_SWITCH),
+            (DC_FIBER_LINK, DC_FIBER_LINK),
+        ),
+    )
+    return PlantArchitecture(name="redundant-vplc", cells=cells, chain=chain)
+
+
+def compare_architectures(cells: int = 24) -> dict[str, dict[str, float]]:
+    """The Section 2.2 comparison for an N-cell plant."""
+    result = {}
+    for plant in (
+        classic_ot_plant(cells),
+        consolidated_vplc_plant(cells),
+        redundant_vplc_plant(cells),
+    ):
+        result[plant.name] = {
+            "cell_availability": plant.cell_availability(),
+            "cell_downtime_s_per_year": plant.cell_downtime_s_per_year(),
+            "blast_radius_cells": float(plant.shared_failure_blast_radius()),
+            "cell_outages_per_year": plant.simultaneous_cell_outages_per_year(),
+        }
+    return result

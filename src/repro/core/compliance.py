@@ -1,0 +1,137 @@
+"""Compliance evaluation: measurements against Section 2 requirements.
+
+Given the artifacts our measurement layer produces — jitter reports,
+latency series, outage logs — decide whether a deployment meets a timing or
+availability class, and say *why not* when it does not.  This is the
+reporting discipline the paper demands from vPLC evaluations (worst case,
+consecutive events, watchdog behaviour), packaged as an API.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..metrics.availability import OutageLog
+from ..metrics.jitter import (
+    jitter_report,
+    longest_consecutive_jitter,
+    watchdog_expirations,
+)
+from .requirements import AvailabilityRequirement, TimingRequirement
+
+
+@dataclass(frozen=True)
+class ComplianceResult:
+    """Outcome of one check."""
+
+    requirement: str
+    passed: bool
+    violations: tuple[str, ...] = ()
+    details: dict[str, float] = field(default_factory=dict)
+
+    def __bool__(self) -> bool:
+        return self.passed
+
+
+def check_timing(
+    requirement: TimingRequirement,
+    arrivals_ns: "np.ndarray | list[int]",
+    nominal_period_ns: int | None = None,
+    watchdog_factor: int = 3,
+    consecutive_jitter_threshold_ns: float | None = None,
+) -> ComplianceResult:
+    """Check a cyclic arrival series against a timing class.
+
+    Evaluates worst-case jitter, watchdog expirations, and consecutive
+    jitter events — the three under-reported metrics of Section 2.1.
+    """
+    period = nominal_period_ns or requirement.cycle_ns
+    report = jitter_report(arrivals_ns, period)
+    threshold = (
+        consecutive_jitter_threshold_ns
+        if consecutive_jitter_threshold_ns is not None
+        else requirement.max_jitter_ns
+    )
+    run_length = longest_consecutive_jitter(arrivals_ns, period, threshold)
+    expirations = watchdog_expirations(arrivals_ns, period, watchdog_factor)
+    violations = []
+    if not requirement.admits_jitter(report):
+        violations.append(
+            f"worst-case jitter {report.max_abs_jitter_ns:.0f} ns exceeds "
+            f"{requirement.max_jitter_ns} ns"
+        )
+    if expirations > 0:
+        violations.append(
+            f"{expirations} watchdog expiration(s) at factor {watchdog_factor}"
+        )
+    if run_length >= watchdog_factor:
+        violations.append(
+            f"consecutive jitter run of {run_length} cycles reaches the "
+            f"watchdog factor"
+        )
+    return ComplianceResult(
+        requirement=requirement.name,
+        passed=not violations,
+        violations=tuple(violations),
+        details={
+            "max_abs_jitter_ns": report.max_abs_jitter_ns,
+            "mean_abs_jitter_ns": report.mean_abs_jitter_ns,
+            "consecutive_jitter_run": float(run_length),
+            "watchdog_expirations": float(expirations),
+        },
+    )
+
+
+def check_latency(
+    requirement: TimingRequirement,
+    latencies_ns: "np.ndarray | list[int]",
+) -> ComplianceResult:
+    """Check an end-to-end latency series against a timing class."""
+    series = np.asarray(latencies_ns, dtype=float)
+    if series.size == 0:
+        raise ValueError("latency series is empty")
+    worst = float(series.max())
+    violations = []
+    if not requirement.admits_latency_ns(worst):
+        violations.append(
+            f"worst-case latency {worst:.0f} ns exceeds "
+            f"{requirement.max_latency_ns} ns"
+        )
+    return ComplianceResult(
+        requirement=requirement.name,
+        passed=not violations,
+        violations=tuple(violations),
+        details={
+            "worst_ns": worst,
+            "p999_ns": float(np.percentile(series, 99.9)),
+            "mean_ns": float(series.mean()),
+        },
+    )
+
+
+def check_availability(
+    requirement: AvailabilityRequirement,
+    outages: OutageLog,
+) -> ComplianceResult:
+    """Check an outage log against an availability class."""
+    observed = outages.availability
+    violations = []
+    if not requirement.admits(observed):
+        violations.append(
+            f"observed availability {observed:.7f} below "
+            f"{requirement.availability:.7f} "
+            f"(projected {outages.projected_yearly_downtime_s():.1f} s/year "
+            f"downtime vs budget "
+            f"{requirement.downtime_budget_s_per_year:.1f} s/year)"
+        )
+    return ComplianceResult(
+        requirement=requirement.name,
+        passed=not violations,
+        violations=tuple(violations),
+        details={
+            "observed_availability": observed,
+            "projected_yearly_downtime_s": outages.projected_yearly_downtime_s(),
+        },
+    )

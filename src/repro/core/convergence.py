@@ -1,0 +1,172 @@
+"""The converged IT/OT factory — the paper's Figure 2 as an API.
+
+A :class:`ConvergedFactory` assembles the future-factory picture: virtual
+PLCs consolidated in a small data-center fabric (leaf-spine) controlling
+I/O devices out in production cells, with cyclic fieldbus traffic crossing
+the converged network.  It is the integration point the examples and
+integration tests drive, and the object compliance checks run against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..fieldbus.device import IoDeviceApp
+from ..fieldbus.protocol import ConnectionParams
+from ..net.routing import install_shortest_path_routes
+from ..net.topology import Topology
+from ..plc.platform import PlatformModel, VPLC_PREEMPT_RT
+from ..plc.program import FunctionBlockProgram, passthrough_program
+from ..plc.runtime import PlcRuntime
+from ..simcore import Simulator
+from ..simcore.units import MS
+from .compliance import ComplianceResult, check_timing
+from .requirements import TimingRequirement
+
+
+@dataclass(frozen=True)
+class FactoryConfig:
+    """Shape of the converged factory."""
+
+    cells: int = 2
+    devices_per_cell: int = 2
+    cycle_ns: int = 2 * MS
+    watchdog_factor: int = 3
+    platform: PlatformModel = VPLC_PREEMPT_RT
+    dc_spines: int = 2
+    vplcs_per_leaf: int = 4
+    link_bandwidth_bps: float = 1e9
+    fabric_bandwidth_bps: float = 10e9
+    #: cell-to-datacenter backhaul distance (propagation), ~1 km default
+    backhaul_delay_ns: int = 5_000
+
+    def __post_init__(self) -> None:
+        if self.cells < 1 or self.devices_per_cell < 1:
+            raise ValueError("need at least one cell and one device per cell")
+
+
+@dataclass
+class Cell:
+    """One production cell: its switch, devices, and controlling vPLC."""
+
+    index: int
+    switch_name: str
+    devices: list[IoDeviceApp] = field(default_factory=list)
+    vplc: PlcRuntime | None = None
+
+
+class ConvergedFactory:
+    """Builds and operates a vPLC-in-the-data-center factory."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        config: FactoryConfig | None = None,
+        program_factory=None,
+    ) -> None:
+        self.sim = sim
+        self.config = config or FactoryConfig()
+        self._program_factory = program_factory or self._default_program
+        self.topo = Topology(sim, name="converged-factory")
+        self.cells: list[Cell] = []
+        self._build()
+
+    def _default_program(self, cell: Cell) -> FunctionBlockProgram:
+        mapping = {
+            f"{device.name}.echo": f"{device.name}.counter"
+            for device in cell.devices
+        }
+        return passthrough_program(mapping)
+
+    # -- construction --------------------------------------------------------
+
+    def _build(self) -> None:
+        config = self.config
+        leaf_count = max(
+            1, -(-config.cells // config.vplcs_per_leaf)  # ceil division
+        )
+        spines = [
+            self.topo.add_switch(f"spine{i}") for i in range(config.dc_spines)
+        ]
+        leaves = []
+        for leaf_index in range(leaf_count):
+            leaf = self.topo.add_switch(f"leaf{leaf_index}")
+            leaves.append(leaf)
+            for spine in spines:
+                self.topo.connect(leaf, spine, config.fabric_bandwidth_bps)
+        for cell_index in range(config.cells):
+            leaf = leaves[cell_index // config.vplcs_per_leaf]
+            cell_switch = self.topo.add_switch(f"cell{cell_index}")
+            # The cell's backhaul into the data center.
+            self.topo.connect(
+                cell_switch,
+                leaf,
+                config.link_bandwidth_bps,
+                propagation_delay_ns=config.backhaul_delay_ns,
+            )
+            cell = Cell(index=cell_index, switch_name=cell_switch.name)
+            for device_index in range(config.devices_per_cell):
+                device_host = self.topo.add_host(
+                    f"io{cell_index}_{device_index}"
+                )
+                self.topo.connect(
+                    cell_switch, device_host, config.link_bandwidth_bps
+                )
+                cell.devices.append(IoDeviceApp(self.sim, device_host))
+            vplc_host = self.topo.add_host(f"vplc{cell_index}")
+            self.topo.connect(leaf, vplc_host, config.link_bandwidth_bps)
+            vplc = PlcRuntime(
+                self.sim,
+                vplc_host,
+                program=self._program_factory(cell),
+                cycle_ns=config.cycle_ns,
+                platform=config.platform,
+                name=f"vplc{cell_index}",
+            )
+            params = ConnectionParams(
+                cycle_ns=config.cycle_ns,
+                watchdog_factor=config.watchdog_factor,
+            )
+            for device in cell.devices:
+                vplc.assign_device(device.name, params=params)
+            cell.vplc = vplc
+            self.cells.append(cell)
+        install_shortest_path_routes(self.topo)
+
+    # -- operation ------------------------------------------------------------
+
+    def start(self) -> None:
+        """Start every cell's vPLC."""
+        for cell in self.cells:
+            assert cell.vplc is not None
+            cell.vplc.start()
+
+    def all_running(self) -> bool:
+        """True when every vPLC reached RUNNING with all its devices."""
+        return all(
+            cell.vplc is not None and cell.vplc.all_running
+            for cell in self.cells
+        )
+
+    def devices(self) -> list[IoDeviceApp]:
+        """All I/O devices across cells."""
+        return [device for cell in self.cells for device in cell.devices]
+
+    # -- reporting --------------------------------------------------------------
+
+    def timing_compliance(
+        self, requirement: TimingRequirement
+    ) -> dict[str, ComplianceResult]:
+        """Per-device timing compliance of controller->device cyclic traffic."""
+        results = {}
+        for device in self.devices():
+            arrivals = device.stats.rx_times_ns
+            if len(arrivals) < 2:
+                continue
+            results[device.name] = check_timing(
+                requirement,
+                arrivals,
+                nominal_period_ns=self.config.cycle_ns,
+                watchdog_factor=self.config.watchdog_factor,
+            )
+        return results

@@ -1,0 +1,28 @@
+"""Figure 1: the terminology-gap analysis over proceedings text."""
+
+from .counter import CorpusDocument, TermCounter, load_directory, normalize
+from .report import GapReport, analyze_corpus
+from .synthetic import DEFAULT_VENUES, generate_corpus
+from .terms import (
+    PAPER_COUNTS,
+    PAPER_GROUPS,
+    TermGroup,
+    expand_permutations,
+    group_by_name,
+)
+
+__all__ = [
+    "CorpusDocument",
+    "DEFAULT_VENUES",
+    "GapReport",
+    "PAPER_COUNTS",
+    "PAPER_GROUPS",
+    "TermCounter",
+    "TermGroup",
+    "analyze_corpus",
+    "expand_permutations",
+    "generate_corpus",
+    "load_directory",
+    "group_by_name",
+    "normalize",
+]

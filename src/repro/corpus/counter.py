@@ -1,0 +1,100 @@
+"""Counting term-group occurrences in a text corpus.
+
+The engine normalizes text (lowercase, unified separators), expands each
+group's permutations, and counts non-overlapping, word-bounded matches.
+Longer permutations are matched first so "industrial internet of things"
+is not double-counted as an "internet" hit — occurrences consumed by one
+group are masked before other groups are counted.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from .terms import PAPER_GROUPS, TermGroup, expand_permutations
+
+
+def normalize(text: str) -> str:
+    """Lowercase and collapse whitespace so permutations match uniformly."""
+    lowered = text.lower()
+    return re.sub(r"\s+", " ", lowered)
+
+
+@dataclass(frozen=True)
+class CorpusDocument:
+    """One paper's text."""
+
+    venue: str
+    year: int
+    title: str
+    text: str
+
+
+def load_directory(
+    path, venue: str = "local", year: int = 0, suffix: str = ".txt"
+) -> list[CorpusDocument]:
+    """Load a real proceedings directory (one text file per paper).
+
+    This is the entry point for running the Figure 1 analysis on actual
+    proceedings text when it is available; the synthetic corpus exists
+    only because the ACM DL is not accessible offline.
+    """
+    from pathlib import Path
+
+    directory = Path(path)
+    if not directory.is_dir():
+        raise NotADirectoryError(f"{path!r} is not a directory")
+    documents = []
+    for file_path in sorted(directory.glob(f"*{suffix}")):
+        documents.append(
+            CorpusDocument(
+                venue=venue,
+                year=year,
+                title=file_path.stem,
+                text=file_path.read_text(encoding="utf-8", errors="replace"),
+            )
+        )
+    return documents
+
+
+class TermCounter:
+    """Counts each group's occurrences across documents.
+
+    All groups' variants are compiled into one longest-first alternation,
+    so a nested phrase is always attributed to the most specific variant:
+    "virtual plc" counts for the vPLC group, never as a bare "plc" hit;
+    "industrial internet of things" counts for IIoT, not "internet".
+    """
+
+    def __init__(self, groups: tuple[TermGroup, ...] = PAPER_GROUPS) -> None:
+        self.groups = groups
+        variant_to_group: dict[str, str] = {}
+        for group in groups:
+            for term in group.terms:
+                for variant in expand_permutations(term):
+                    # First group to claim a variant keeps it.
+                    variant_to_group.setdefault(variant, group.name)
+        self._variant_to_group = variant_to_group
+        ordered = sorted(variant_to_group, key=len, reverse=True)
+        alternatives = "|".join(re.escape(v) for v in ordered)
+        self._pattern = re.compile(
+            rf"(?<![\w./-])(?:{alternatives})(?![\w-])"
+        )
+
+    def count_text(self, text: str) -> dict[str, int]:
+        """Occurrences per group in one text."""
+        working = normalize(text)
+        counts = {group.name: 0 for group in self.groups}
+        for match in self._pattern.finditer(working):
+            group_name = self._variant_to_group[match.group(0)]
+            counts[group_name] += 1
+        return counts
+
+    def count_corpus(self, documents: list[CorpusDocument]) -> dict[str, int]:
+        """Occurrences per group summed over all documents."""
+        totals = {group.name: 0 for group in self.groups}
+        for document in documents:
+            for name, count in self.count_text(document.text).items():
+                totals[name] += count
+        return totals

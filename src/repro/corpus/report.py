@@ -1,0 +1,58 @@
+"""The research-gap report (Figure 1's message).
+
+Quantifies the imbalance Figure 1 visualizes: general networking terms
+outnumber industrial-networking terms by orders of magnitude in SIGCOMM and
+HotNets proceedings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .counter import CorpusDocument, TermCounter
+from .terms import PAPER_GROUPS, TermGroup
+
+
+@dataclass(frozen=True)
+class GapReport:
+    """Summary of the terminology gap."""
+
+    counts: dict[str, int]
+    industrial_total: int
+    general_total: int
+
+    @property
+    def gap_ratio(self) -> float:
+        """General-term occurrences per industrial-term occurrence."""
+        if self.industrial_total == 0:
+            return float("inf")
+        return self.general_total / self.industrial_total
+
+    def ranked(self) -> list[tuple[str, int]]:
+        """Groups sorted by occurrence count, descending."""
+        return sorted(self.counts.items(), key=lambda item: -item[1])
+
+    def bar_rows(self) -> list[str]:
+        """Figure 1-style text rendering, least frequent at the top."""
+        rows = []
+        for name, count in sorted(self.counts.items(), key=lambda i: i[1]):
+            rows.append(f"{name:>24s} | {count}")
+        return rows
+
+
+def analyze_corpus(
+    documents: list[CorpusDocument],
+    groups: tuple[TermGroup, ...] = PAPER_GROUPS,
+) -> GapReport:
+    """Count all groups over the corpus and compute the gap."""
+    counter = TermCounter(groups)
+    counts = counter.count_corpus(documents)
+    industrial = sum(
+        counts[group.name] for group in groups if group.is_industrial
+    )
+    general = sum(
+        counts[group.name] for group in groups if not group.is_industrial
+    )
+    return GapReport(
+        counts=counts, industrial_total=industrial, general_total=general
+    )

@@ -1,0 +1,93 @@
+"""Synthetic SIGCOMM/HotNets proceedings.
+
+The ACM Digital Library is not available offline, so the Figure 1 corpus is
+synthesized: filler prose (term-free networking boilerplate) with term
+occurrences injected at rates calibrated to the published counts.  The
+*counting method* is the reproducible artifact; the generator guarantees a
+ground truth to validate it against, and the injected totals match the
+paper's Figure 1 numbers.
+
+Injection picks random permutations and random casing of each group's
+terms, so the counter's permutation handling is genuinely exercised.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .counter import CorpusDocument
+from .terms import PAPER_COUNTS, PAPER_GROUPS, TermGroup, expand_permutations
+
+#: Venues and paper counts mimicking the analyzed proceedings.
+DEFAULT_VENUES = (
+    ("SIGCOMM", 2022, 55),
+    ("SIGCOMM", 2023, 60),
+    ("HotNets", 2022, 30),
+    ("HotNets", 2023, 32),
+)
+
+_FILLER_SENTENCES = (
+    "We evaluate the prototype on a commodity testbed with recent hardware.",
+    "Our measurements reveal substantial headroom over the state of the art.",
+    "The control loop converges quickly under realistic workload churn.",
+    "We discuss deployment considerations and operational lessons learned.",
+    "The design decomposes cleanly into a fast path and a policy layer.",
+    "Results hold across a wide range of configurations and load levels.",
+    "Related approaches trade generality for performance in this regime.",
+    "We leave an exploration of wider parameter spaces to future work.",
+    "The abstraction hides failure handling behind a simple interface.",
+    "Careful batching amortizes per-operation overheads at high rates.",
+)
+
+
+def _casings(variant: str, rng: np.random.Generator) -> str:
+    choice = rng.integers(0, 3)
+    if choice == 0:
+        return variant
+    if choice == 1:
+        return variant.upper()
+    return variant.title()
+
+
+def generate_corpus(
+    counts: dict[str, int] | None = None,
+    venues: tuple[tuple[str, int, int], ...] = DEFAULT_VENUES,
+    groups: tuple[TermGroup, ...] = PAPER_GROUPS,
+    seed: int = 0,
+    filler_sentences_per_paper: int = 40,
+) -> list[CorpusDocument]:
+    """Generate documents whose injected term totals equal ``counts``.
+
+    Every group's occurrences are spread randomly over all papers; each
+    injection uses a random permutation and random casing of one of the
+    group's terms, embedded in a carrier sentence.
+    """
+    target = dict(PAPER_COUNTS if counts is None else counts)
+    rng = np.random.default_rng(seed)
+    papers: list[list[str]] = []
+    metadata: list[tuple[str, int, str]] = []
+    for venue, year, paper_count in venues:
+        for index in range(paper_count):
+            sentences = [
+                _FILLER_SENTENCES[rng.integers(0, len(_FILLER_SENTENCES))]
+                for _ in range(filler_sentences_per_paper)
+            ]
+            papers.append(sentences)
+            metadata.append((venue, year, f"{venue} {year} paper {index}"))
+    by_name = {group.name: group for group in groups}
+    for name, total in target.items():
+        group = by_name[name]
+        variants = sorted(
+            {v for term in group.terms for v in expand_permutations(term)}
+        )
+        for _ in range(total):
+            paper_index = int(rng.integers(0, len(papers)))
+            variant = variants[int(rng.integers(0, len(variants)))]
+            rendered = _casings(variant, rng)
+            sentence = f"Prior work considered {rendered} in depth."
+            insert_at = int(rng.integers(0, len(papers[paper_index]) + 1))
+            papers[paper_index].insert(insert_at, sentence)
+    return [
+        CorpusDocument(venue=venue, year=year, title=title, text=" ".join(body))
+        for (venue, year, title), body in zip(metadata, papers)
+    ]

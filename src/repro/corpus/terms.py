@@ -1,0 +1,94 @@
+"""Term groups for the Figure 1 terminology analysis.
+
+Figure 1 counts occurrences *with permutations* of industrial-networking
+and general-networking terms across recent SIGCOMM and HotNets proceedings.
+A :class:`TermGroup` holds the base spellings; :func:`expand_permutations`
+derives the case/hyphen/plural variants the paper's "(with permutations)"
+qualifier implies.
+
+``PAPER_COUNTS`` records the published per-group counts, which the
+synthetic corpus generator is calibrated against and the benchmark
+validates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class TermGroup:
+    """A named group of equivalent terms (one Figure 1 bar)."""
+
+    name: str
+    terms: tuple[str, ...]
+    is_industrial: bool
+
+
+def expand_permutations(term: str) -> set[str]:
+    """Spelling variants of one term (all lowercase; matching is
+    case-insensitive downstream).
+
+    Generated variants: hyphen/space/joined separators and trailing plural.
+    """
+    base = term.lower().strip()
+    variants = {base}
+    if " " in base or "-" in base or "/" in base:
+        for separator in (" ", "-", ""):
+            variants.add(
+                base.replace("/", separator)
+                .replace("-", separator)
+                .replace(" ", separator)
+            )
+    expanded = set(variants)
+    for variant in variants:
+        if variant and not variant.endswith("s"):
+            expanded.add(variant + "s")
+    return {v for v in expanded if v}
+
+
+#: The thirteen groups of Figure 1, bottom (most frequent) to top.
+PAPER_GROUPS: tuple[TermGroup, ...] = (
+    TermGroup("TCP/UDP/IPv4/IPv6", ("tcp", "udp", "ipv4", "ipv6"), False),
+    TermGroup("Internet", ("internet",), False),
+    TermGroup("Datacenter", ("datacenter", "data center", "data-center"), False),
+    TermGroup("MQTT/OPC UA/VXLAN", ("mqtt", "opc ua", "vxlan"), True),
+    TermGroup(
+        "PROFINET/EtherCAT/TSN",
+        ("profinet", "ethercat", "time sensitive networking", "tsn"),
+        True,
+    ),
+    TermGroup("Industrial Network", ("industrial network",), True),
+    TermGroup("IT/OT", ("it/ot", "it-ot convergence", "ot network"), True),
+    TermGroup("Cyber Physical System", ("cyber physical system", "cyber-physical system"), True),
+    TermGroup("Industrial Informatic", ("industrial informatic",), True),
+    TermGroup("PLC", ("programmable logic controller", "plc"), True),
+    TermGroup("IIoT", ("iiot", "industrial internet of things"), True),
+    TermGroup("Industry 4.0/5.0", ("industry 4.0", "industry 5.0"), True),
+    TermGroup("vPLC", ("vplc", "virtual plc", "virtualized plc"), True),
+)
+
+#: Published Figure 1 occurrence counts (with permutations).
+PAPER_COUNTS: dict[str, int] = {
+    "TCP/UDP/IPv4/IPv6": 3005,
+    "Internet": 2289,
+    "Datacenter": 1943,
+    "MQTT/OPC UA/VXLAN": 21,
+    "PROFINET/EtherCAT/TSN": 17,
+    "Industrial Network": 14,
+    "IT/OT": 7,
+    "Cyber Physical System": 6,
+    "Industrial Informatic": 4,
+    "PLC": 2,
+    "IIoT": 1,
+    "Industry 4.0/5.0": 1,
+    "vPLC": 0,
+}
+
+
+def group_by_name(name: str) -> TermGroup:
+    """Look up one of the paper's groups."""
+    for group in PAPER_GROUPS:
+        if group.name == name:
+            return group
+    raise KeyError(f"no term group named {name!r}")

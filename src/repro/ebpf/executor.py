@@ -1,0 +1,49 @@
+"""Sampling execution environment for XDP programs.
+
+The same program costs different amounts on different packets: cache state,
+concurrent flows, and ring-buffer contention all move the number.  An
+:class:`ExecutionEnvironment` captures that context and draws per-packet
+execution times — the stochastic core behind the Figure 4 reproduction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .contention import CacheContentionModel
+from .program import XdpProgram
+
+
+@dataclass
+class ExecutionEnvironment:
+    """Execution context for one XDP hook (one NIC queue, one core)."""
+
+    rng: np.random.Generator
+    active_flows: int = 1
+    cache_model: CacheContentionModel = CacheContentionModel()
+    #: extra multiplicative widening of *contended* op variance per flow
+    contention_slope: float = 0.05
+
+    def contention_scale(self) -> float:
+        """Variance multiplier applied to memory-touching operations."""
+        extra = max(0, self.active_flows - 1)
+        return 1.0 + self.contention_slope * min(extra, 64)
+
+    def execute_ns(self, program: XdpProgram) -> float:
+        """Sample the execution latency of one program invocation."""
+        scale = self.contention_scale()
+        total = 0.0
+        for instruction in program.instructions:
+            total += instruction.cost(program.cost_table).sample_ns(
+                self.rng, contention_scale=scale
+            )
+        total += self.cache_model.sample_ns(self.active_flows, self.rng)
+        return total
+
+    def execute_many_ns(self, program: XdpProgram, count: int) -> np.ndarray:
+        """Sample ``count`` invocations (vector convenience for benches)."""
+        if count < 1:
+            raise ValueError("count must be positive")
+        return np.array([self.execute_ns(program) for _ in range(count)])

@@ -1,0 +1,54 @@
+"""PROFINET-style cyclic real-time fieldbus.
+
+Connection establishment, cyclic data exchange, provider status, watchdog
+supervision, fail-safe behaviour, and an alarm channel — the protocol
+substrate under both the PLC models and InstaPLC.
+"""
+
+from .controller import ControllerStats, CyclicConnection
+from .device import DeviceStats, IoDeviceApp
+from .protocol import (
+    ALARM,
+    ALARM_CLASS,
+    APPLICATION_READY,
+    ArState,
+    CONNECT_REJECT,
+    CONNECT_REQUEST,
+    CONNECT_RESPONSE,
+    CYCLIC_CLASS,
+    CYCLIC_DATA,
+    ConnectionParams,
+    DEFAULT_CYCLIC_PAYLOAD_BYTES,
+    DEFAULT_MGMT_PAYLOAD_BYTES,
+    DEFAULT_WATCHDOG_FACTOR,
+    MGMT_CLASS,
+    PARAM_END,
+    ProviderStatus,
+    RELEASE,
+)
+from .watchdog import Watchdog
+
+__all__ = [
+    "ALARM",
+    "ALARM_CLASS",
+    "APPLICATION_READY",
+    "ArState",
+    "CONNECT_REJECT",
+    "CONNECT_REQUEST",
+    "CONNECT_RESPONSE",
+    "CYCLIC_CLASS",
+    "CYCLIC_DATA",
+    "ConnectionParams",
+    "ControllerStats",
+    "CyclicConnection",
+    "DEFAULT_CYCLIC_PAYLOAD_BYTES",
+    "DEFAULT_MGMT_PAYLOAD_BYTES",
+    "DEFAULT_WATCHDOG_FACTOR",
+    "DeviceStats",
+    "IoDeviceApp",
+    "MGMT_CLASS",
+    "PARAM_END",
+    "ProviderStatus",
+    "RELEASE",
+    "Watchdog",
+]

@@ -1,0 +1,245 @@
+"""The controller endpoint of the cyclic protocol.
+
+:class:`CyclicConnection` is the IO-controller side of one application
+relation: it runs the connect / parameterize handshake, then publishes the
+controller's output data every cycle and supervises the device's input
+frames with a watchdog.  PLC runtimes (:mod:`repro.plc`) hold one
+``CyclicConnection`` per assigned I/O device.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from ..net.host import Host
+from ..net.packet import Packet
+from ..simcore import Process, Simulator
+from . import protocol
+from .protocol import ArState, ConnectionParams, ProviderStatus
+from .watchdog import Watchdog
+
+
+@dataclass
+class ControllerStats:
+    """Counters and timestamp logs kept by the controller endpoint."""
+
+    cyclic_sent: int = 0
+    cyclic_received: int = 0
+    watchdog_expirations: int = 0
+    connect_attempts: int = 0
+    connects_rejected: int = 0
+    rx_times_ns: list[int] = field(default_factory=list)
+    tx_times_ns: list[int] = field(default_factory=list)
+    connect_started_ns: int | None = None
+    running_since_ns: int | None = None
+
+
+class CyclicConnection:
+    """Controller-side application relation to one I/O device."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        host: Host,
+        device_name: str,
+        params: ConnectionParams,
+        on_inputs: Callable[[dict[str, Any]], None] | None = None,
+        release_jitter_fn: Callable[[], int] | None = None,
+        connect_timeout_ns: int | None = None,
+    ) -> None:
+        self.sim = sim
+        self.host = host
+        self.device_name = device_name
+        self.params = params
+        self.on_inputs = on_inputs
+        self.release_jitter_fn = release_jitter_fn
+        self.connect_timeout_ns = connect_timeout_ns or 100 * params.cycle_ns
+        self.state = ArState.IDLE
+        self.stats = ControllerStats()
+        self.inputs: dict[str, Any] = {}
+        self.outputs: dict[str, Any] = {}
+        self._cycle_counter = 0
+        self._send_process: Process | None = None
+        self._watchdog: Watchdog | None = None
+        self._connect_timer: Watchdog | None = None
+        self.on_running: list[Callable[[], None]] = []
+        self.on_abort: list[Callable[[str], None]] = []
+        self.on_reject: list[Callable[[str], None]] = []
+        self._flow_id = f"ar:{host.name}->{device_name}"
+        host.on_receive(self._on_packet)
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def open(self) -> None:
+        """Start the handshake toward the device."""
+        if self.state not in (ArState.IDLE, ArState.ABORTED):
+            raise RuntimeError(f"connection already {self.state.name}")
+        self.state = ArState.CONNECTING
+        self.stats.connect_attempts += 1
+        self.stats.connect_started_ns = self.sim.now
+        self._connect_timer = Watchdog(
+            self.sim,
+            timeout_ns=self.connect_timeout_ns,
+            on_expire=lambda: self._abort("connect timeout"),
+        )
+        self._connect_timer.start()
+        self.host.send(
+            dst=self.device_name,
+            payload_bytes=protocol.DEFAULT_MGMT_PAYLOAD_BYTES,
+            traffic_class=protocol.MGMT_CLASS,
+            flow_id=self._flow_id,
+            payload={
+                "type": protocol.CONNECT_REQUEST,
+                "cycle_ns": self.params.cycle_ns,
+                "watchdog_factor": self.params.watchdog_factor,
+            },
+        )
+
+    def release(self) -> None:
+        """Orderly teardown of the relation."""
+        if self.state in (ArState.IDLE, ArState.ABORTED):
+            return
+        self.host.send(
+            dst=self.device_name,
+            payload_bytes=protocol.DEFAULT_MGMT_PAYLOAD_BYTES,
+            traffic_class=protocol.MGMT_CLASS,
+            flow_id=self._flow_id,
+            payload={"type": protocol.RELEASE},
+        )
+        self._abort("released")
+
+    def fail_silently(self) -> None:
+        """Crash-stop the controller endpoint: no release, no more frames.
+
+        Models the vPLC failure InstaPLC must detect from the data plane.
+        """
+        self._teardown()
+        self.state = ArState.ABORTED
+
+    # -- packet handling -----------------------------------------------------
+
+    def _on_packet(self, packet: Packet) -> None:
+        kind = packet.payload.get("type")
+        if kind == protocol.CONNECT_RESPONSE:
+            self._handle_connect_response(packet)
+        elif kind == protocol.CONNECT_REJECT:
+            self._handle_reject(packet)
+        elif kind == protocol.APPLICATION_READY:
+            self._handle_application_ready(packet)
+        elif kind == protocol.CYCLIC_DATA:
+            self._handle_cyclic(packet)
+
+    def _handle_connect_response(self, packet: Packet) -> None:
+        if self.state is not ArState.CONNECTING:
+            return
+        if packet.payload.get("device") != self.device_name:
+            return
+        self.state = ArState.PARAMETERIZING
+        self.host.send(
+            dst=self.device_name,
+            payload_bytes=protocol.DEFAULT_MGMT_PAYLOAD_BYTES,
+            traffic_class=protocol.MGMT_CLASS,
+            flow_id=self._flow_id,
+            payload={"type": protocol.PARAM_END},
+        )
+
+    def _handle_reject(self, packet: Packet) -> None:
+        if self.state is not ArState.CONNECTING:
+            return
+        self.stats.connects_rejected += 1
+        reason = packet.payload.get("reason", "rejected")
+        self._abort(f"connect rejected: {reason}")
+        for callback in self.on_reject:
+            callback(reason)
+
+    def _handle_application_ready(self, packet: Packet) -> None:
+        if self.state is not ArState.PARAMETERIZING:
+            return
+        if self._connect_timer is not None:
+            self._connect_timer.stop()
+            self._connect_timer = None
+        self.state = ArState.RUNNING
+        self.stats.running_since_ns = self.sim.now
+        self._watchdog = Watchdog(
+            self.sim,
+            timeout_ns=self.params.watchdog_timeout_ns,
+            on_expire=lambda: self._abort("watchdog expired"),
+        )
+        self._watchdog.start()
+        self._send_process = self.sim.process(
+            self._cyclic_loop(), name=f"{self._flow_id}/cyclic"
+        )
+        for callback in self.on_running:
+            callback()
+
+    def _handle_cyclic(self, packet: Packet) -> None:
+        if self.state is not ArState.RUNNING:
+            return
+        if packet.payload.get("device") != self.device_name:
+            return
+        self.stats.cyclic_received += 1
+        self.stats.rx_times_ns.append(self.sim.now)
+        if self._watchdog is not None:
+            self._watchdog.feed()
+        self.inputs = dict(packet.payload.get("data", {}))
+        if self.on_inputs is not None:
+            self.on_inputs(self.inputs)
+
+    # -- cyclic sending ------------------------------------------------------
+
+    def _cyclic_loop(self):
+        cycle = self.params.cycle_ns
+        next_release = self.sim.now
+        while self.state is ArState.RUNNING:
+            jitter = self.release_jitter_fn() if self.release_jitter_fn else 0
+            if jitter > 0:
+                yield jitter
+            if self.state is not ArState.RUNNING:
+                return
+            self._publish_outputs()
+            next_release += cycle
+            yield max(0, next_release - self.sim.now)
+
+    def _publish_outputs(self) -> None:
+        self._cycle_counter += 1
+        self.stats.cyclic_sent += 1
+        self.stats.tx_times_ns.append(self.sim.now)
+        self.host.send(
+            dst=self.device_name,
+            payload_bytes=self.params.output_payload_bytes,
+            traffic_class=protocol.CYCLIC_CLASS,
+            flow_id=self._flow_id,
+            sequence=self._cycle_counter,
+            payload={
+                "type": protocol.CYCLIC_DATA,
+                "role": "controller",
+                "status": ProviderStatus.RUN.name,
+                "cycle": self._cycle_counter,
+                "data": dict(self.outputs),
+            },
+        )
+
+    # -- teardown ------------------------------------------------------------
+
+    def _teardown(self) -> None:
+        if self._send_process is not None:
+            self._send_process.stop()
+            self._send_process = None
+        if self._watchdog is not None:
+            self._watchdog.stop()
+            self._watchdog = None
+        if self._connect_timer is not None:
+            self._connect_timer.stop()
+            self._connect_timer = None
+
+    def _abort(self, reason: str) -> None:
+        if self.state is ArState.ABORTED:
+            return
+        if reason.startswith("watchdog"):
+            self.stats.watchdog_expirations += 1
+        self._teardown()
+        self.state = ArState.ABORTED
+        for callback in self.on_abort:
+            callback(reason)
+        self.sim.trace(f"{self._flow_id}: aborted ({reason})")

@@ -1,0 +1,253 @@
+"""The I/O device endpoint of the cyclic protocol.
+
+An :class:`IoDeviceApp` attaches to a :class:`repro.net.Host` and implements
+the device side of the application relation: it answers connection
+establishment, then cyclically publishes its input data (sensor readings)
+and applies received output data (actuator commands).  On watchdog
+expiration it enters a fail-safe state — outputs are cleared and cyclic
+transmission stops — which is the physical-consequence behaviour the paper's
+availability argument builds on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from ..net.host import Host
+from ..net.packet import Packet
+from ..simcore import Process, Simulator
+from . import protocol
+from .protocol import ArState, ConnectionParams, ProviderStatus
+from .watchdog import Watchdog
+
+
+@dataclass
+class DeviceStats:
+    """Counters and timestamp logs kept by the device."""
+
+    cyclic_sent: int = 0
+    cyclic_received: int = 0
+    watchdog_expirations: int = 0
+    connects_accepted: int = 0
+    connects_rejected: int = 0
+    safe_state_entries: int = 0
+    rx_times_ns: list[int] = field(default_factory=list)
+    tx_times_ns: list[int] = field(default_factory=list)
+
+
+class IoDeviceApp:
+    """Device-side protocol engine bound to one host.
+
+    Parameters
+    ----------
+    sample_inputs:
+        Called once per cycle to produce the input data published to the
+        controller (defaults to a counter).
+    apply_outputs:
+        Called with the controller's output data whenever a cyclic frame
+        arrives while RUNNING.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        host: Host,
+        sample_inputs: Callable[[], dict[str, Any]] | None = None,
+        apply_outputs: Callable[[dict[str, Any]], None] | None = None,
+    ) -> None:
+        self.sim = sim
+        self.host = host
+        self.sample_inputs = sample_inputs or self._default_sampler
+        self.apply_outputs = apply_outputs
+        self.state = ArState.IDLE
+        self.controller: str | None = None
+        self.params: ConnectionParams | None = None
+        self.stats = DeviceStats()
+        self.outputs: dict[str, Any] = {}
+        self.fail_safe = False
+        self._cycle_counter = 0
+        self._sample_counter = 0
+        self._send_process: Process | None = None
+        self._watchdog: Watchdog | None = None
+        #: called when the relation aborts (watchdog or release)
+        self.on_abort: list[Callable[[str], None]] = []
+        host.on_receive(self._on_packet)
+
+    def _default_sampler(self) -> dict[str, Any]:
+        self._sample_counter += 1
+        return {"counter": self._sample_counter}
+
+    @property
+    def name(self) -> str:
+        """Device name (the host's network name)."""
+        return self.host.name
+
+    # -- packet handling -----------------------------------------------------
+
+    def _on_packet(self, packet: Packet) -> None:
+        kind = packet.payload.get("type")
+        if kind == protocol.CONNECT_REQUEST:
+            self._handle_connect(packet)
+        elif kind == protocol.PARAM_END:
+            self._handle_param_end(packet)
+        elif kind == protocol.CYCLIC_DATA:
+            self._handle_cyclic(packet)
+        elif kind == protocol.RELEASE:
+            self._handle_release(packet)
+
+    def _handle_connect(self, packet: Packet) -> None:
+        if self.state not in (ArState.IDLE, ArState.ABORTED):
+            # A second controller talking to a busy device is rejected —
+            # exactly the situation InstaPLC's digital twin exists to avoid.
+            self.stats.connects_rejected += 1
+            self.host.send(
+                dst=packet.src,
+                payload_bytes=protocol.DEFAULT_MGMT_PAYLOAD_BYTES,
+                traffic_class=protocol.MGMT_CLASS,
+                flow_id=packet.flow_id,
+                payload={
+                    "type": protocol.CONNECT_REJECT,
+                    "reason": "device already controlled",
+                    "device": self.name,
+                },
+            )
+            return
+        params = ConnectionParams(
+            cycle_ns=packet.payload["cycle_ns"],
+            watchdog_factor=packet.payload.get(
+                "watchdog_factor", protocol.DEFAULT_WATCHDOG_FACTOR
+            ),
+        )
+        self.params = params
+        self.controller = packet.src
+        self.state = ArState.PARAMETERIZING
+        self.stats.connects_accepted += 1
+        self.host.send(
+            dst=packet.src,
+            payload_bytes=protocol.DEFAULT_MGMT_PAYLOAD_BYTES,
+            traffic_class=protocol.MGMT_CLASS,
+            flow_id=packet.flow_id,
+            payload={
+                "type": protocol.CONNECT_RESPONSE,
+                "device": self.name,
+                "cycle_ns": params.cycle_ns,
+                "watchdog_factor": params.watchdog_factor,
+            },
+        )
+
+    def _handle_param_end(self, packet: Packet) -> None:
+        if self.state is not ArState.PARAMETERIZING or packet.src != self.controller:
+            return
+        self.state = ArState.RUNNING
+        self.fail_safe = False
+        self.host.send(
+            dst=packet.src,
+            payload_bytes=protocol.DEFAULT_MGMT_PAYLOAD_BYTES,
+            traffic_class=protocol.MGMT_CLASS,
+            flow_id=packet.flow_id,
+            payload={
+                "type": protocol.APPLICATION_READY,
+                "device": self.name,
+            },
+        )
+        self._start_cyclic()
+
+    def _handle_cyclic(self, packet: Packet) -> None:
+        if self.state is not ArState.RUNNING:
+            return
+        self.stats.cyclic_received += 1
+        self.stats.rx_times_ns.append(self.sim.now)
+        if self._watchdog is not None:
+            self._watchdog.feed()
+        status = packet.payload.get("status")
+        if status == ProviderStatus.RUN.name:
+            self.outputs = dict(packet.payload.get("data", {}))
+            if self.apply_outputs is not None:
+                self.apply_outputs(self.outputs)
+
+    def _handle_release(self, packet: Packet) -> None:
+        if packet.src == self.controller:
+            self._abort("released by controller")
+
+    # -- cyclic operation ----------------------------------------------------
+
+    def _start_cyclic(self) -> None:
+        assert self.params is not None
+        self._watchdog = Watchdog(
+            self.sim,
+            timeout_ns=self.params.watchdog_timeout_ns,
+            on_expire=self._on_watchdog,
+        )
+        self._watchdog.start()
+        self._send_process = self.sim.process(
+            self._cyclic_loop(), name=f"{self.name}/cyclic"
+        )
+
+    def _cyclic_loop(self):
+        assert self.params is not None
+        cycle = self.params.cycle_ns
+        while self.state is ArState.RUNNING:
+            self._publish_inputs()
+            yield cycle
+
+    def _publish_inputs(self) -> None:
+        assert self.params is not None and self.controller is not None
+        self._cycle_counter += 1
+        self.stats.cyclic_sent += 1
+        self.stats.tx_times_ns.append(self.sim.now)
+        self.host.send(
+            dst=self.controller,
+            payload_bytes=self.params.input_payload_bytes,
+            traffic_class=protocol.CYCLIC_CLASS,
+            flow_id=f"io:{self.name}",
+            sequence=self._cycle_counter,
+            payload={
+                "type": protocol.CYCLIC_DATA,
+                "role": "device",
+                "device": self.name,
+                "status": ProviderStatus.RUN.name,
+                "cycle": self._cycle_counter,
+                "data": self.sample_inputs(),
+            },
+        )
+
+    def _on_watchdog(self) -> None:
+        self.stats.watchdog_expirations += 1
+        self._abort("watchdog expired")
+
+    def _abort(self, reason: str) -> None:
+        if self.state is ArState.ABORTED:
+            return
+        self.state = ArState.ABORTED
+        self.fail_safe = True
+        self.stats.safe_state_entries += 1
+        self.outputs = {}
+        if self._send_process is not None:
+            self._send_process.stop()
+            self._send_process = None
+        if self._watchdog is not None:
+            self._watchdog.stop()
+            self._watchdog = None
+        controller, self.controller = self.controller, None
+        self.params = None
+        for callback in self.on_abort:
+            callback(reason)
+        self.sim.trace(f"{self.name}: AR aborted ({reason}), was {controller}")
+
+    def send_alarm(self, alarm_type: str, detail: dict[str, Any] | None = None) -> None:
+        """Send a diagnosis alarm to the current controller (if any)."""
+        if self.controller is None:
+            return
+        self.host.send(
+            dst=self.controller,
+            payload_bytes=protocol.DEFAULT_MGMT_PAYLOAD_BYTES,
+            traffic_class=protocol.ALARM_CLASS,
+            flow_id=f"alarm:{self.name}",
+            payload={
+                "type": protocol.ALARM,
+                "alarm_type": alarm_type,
+                "device": self.name,
+                "detail": detail or {},
+            },
+        )

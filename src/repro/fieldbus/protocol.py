@@ -1,0 +1,82 @@
+"""Wire-level vocabulary of the cyclic real-time protocol.
+
+The protocol is modeled on PROFINET IO: an *application relation* is
+established through an explicit handshake, after which both ends exchange
+cyclic data frames carrying IO data, a provider status, and a cycle counter.
+Watchdog supervision aborts the relation when cyclic frames stop arriving —
+the exact mechanism the paper cites ("watchdog counter expiration in
+PROFINET") for why consecutive jitter events matter.
+
+Message types are carried in the structured payload of a
+:class:`repro.net.Packet` under the key ``"type"``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum, auto
+
+from ..net.packet import TrafficClass
+
+# Message type tags.
+CONNECT_REQUEST = "connect_request"
+CONNECT_RESPONSE = "connect_response"
+PARAM_END = "param_end"
+APPLICATION_READY = "application_ready"
+CYCLIC_DATA = "cyclic_data"
+RELEASE = "release"
+ALARM = "alarm"
+CONNECT_REJECT = "connect_reject"
+
+#: Traffic class used for connection management frames.
+MGMT_CLASS = TrafficClass.LATENCY_SENSITIVE
+#: Traffic class used for cyclic IO data frames.
+CYCLIC_CLASS = TrafficClass.CYCLIC_RT
+#: Traffic class used for alarms.
+ALARM_CLASS = TrafficClass.ALARM
+
+#: Typical cyclic frame payload (Section 2.3: 20-50 B for short cycles).
+DEFAULT_CYCLIC_PAYLOAD_BYTES = 40
+#: Connection management frames are larger (records, parameters).
+DEFAULT_MGMT_PAYLOAD_BYTES = 220
+
+#: PROFINET default: the watchdog expires after three missed cycles.
+DEFAULT_WATCHDOG_FACTOR = 3
+
+
+class ArState(Enum):
+    """Application-relation state, mirrored on both endpoints."""
+
+    IDLE = auto()
+    CONNECTING = auto()
+    PARAMETERIZING = auto()
+    RUNNING = auto()
+    ABORTED = auto()
+
+
+class ProviderStatus(Enum):
+    """Provider state flag carried in every cyclic frame."""
+
+    RUN = auto()
+    STOP = auto()
+
+
+@dataclass(frozen=True)
+class ConnectionParams:
+    """Negotiated parameters of an application relation."""
+
+    cycle_ns: int
+    watchdog_factor: int = DEFAULT_WATCHDOG_FACTOR
+    input_payload_bytes: int = DEFAULT_CYCLIC_PAYLOAD_BYTES
+    output_payload_bytes: int = DEFAULT_CYCLIC_PAYLOAD_BYTES
+
+    def __post_init__(self) -> None:
+        if self.cycle_ns <= 0:
+            raise ValueError("cycle time must be positive")
+        if self.watchdog_factor < 1:
+            raise ValueError("watchdog factor must be at least 1")
+
+    @property
+    def watchdog_timeout_ns(self) -> int:
+        """Time without cyclic frames after which the relation aborts."""
+        return self.watchdog_factor * self.cycle_ns

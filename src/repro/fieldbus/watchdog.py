@@ -1,0 +1,62 @@
+"""Watchdog supervision for cyclic connections."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..simcore import Event, Simulator
+
+
+class Watchdog:
+    """Expires when :meth:`feed` is not called within ``timeout_ns``.
+
+    Mirrors the PROFINET data-hold timer: every received cyclic frame feeds
+    it; expiration is the protocol's failure-detection event.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        timeout_ns: int,
+        on_expire: Callable[[], None],
+    ) -> None:
+        if timeout_ns <= 0:
+            raise ValueError("watchdog timeout must be positive")
+        self.sim = sim
+        self.timeout_ns = timeout_ns
+        self.on_expire = on_expire
+        self._pending: Event | None = None
+        self.running = False
+        self.expirations = 0
+        self.last_feed_ns: int | None = None
+
+    def start(self) -> None:
+        """Arm the watchdog (first deadline is ``now + timeout``)."""
+        self.running = True
+        self._rearm()
+
+    def stop(self) -> None:
+        """Disarm without expiring."""
+        self.running = False
+        if self._pending is not None:
+            self._pending.cancel()
+            self._pending = None
+
+    def feed(self) -> None:
+        """Reset the deadline; call on every received cyclic frame."""
+        self.last_feed_ns = self.sim.now
+        if self.running:
+            self._rearm()
+
+    def _rearm(self) -> None:
+        if self._pending is not None:
+            self._pending.cancel()
+        self._pending = self.sim.schedule(self.timeout_ns, self._expire)
+
+    def _expire(self) -> None:
+        if not self.running:
+            return
+        self.running = False
+        self._pending = None
+        self.expirations += 1
+        self.on_expire()

@@ -1,0 +1,159 @@
+"""Programmatic figure regeneration.
+
+Each ``fig*`` function reruns one of the paper's experiments with the same
+parameters the benchmark suite uses and returns plain rows (list of dicts)
+ready for CSV export or printing — the data behind the published plot.
+Used by the command-line interface (``python -m repro``).
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from typing import Any
+
+from .corpus import PAPER_COUNTS, analyze_corpus, generate_corpus
+from .ebpf import paper_variants
+from .instaplc import run_fig5
+from .mlnet import (
+    DEFECT_DETECTION,
+    OBJECT_IDENTIFICATION,
+    PAPER_CLIENT_COUNTS,
+    run_point,
+)
+from .reflection import run_flow_scaling, run_variant_sweep
+from .simcore.units import MS, SEC
+
+Rows = list[dict[str, Any]]
+
+
+def fig1(seed: int = 0) -> Rows:
+    """Figure 1: term occurrences with permutations."""
+    report = analyze_corpus(generate_corpus(seed=seed))
+    return [
+        {
+            "term_group": name,
+            "occurrences": count,
+            "paper": PAPER_COUNTS[name],
+        }
+        for name, count in sorted(report.counts.items(), key=lambda i: i[1])
+    ]
+
+
+def fig4_delay(cycles: int = 400, seed: int = 0) -> Rows:
+    """Figure 4 left: delay quantiles per eBPF variant (µs)."""
+    results = run_variant_sweep(paper_variants(), cycles=cycles, seed=seed)
+    rows = []
+    for name, result in results.items():
+        cdf = result.delay_cdf()
+        rows.append(
+            {
+                "variant": name,
+                "p50_us": round(cdf.quantile(0.5), 3),
+                "p90_us": round(cdf.quantile(0.9), 3),
+                "p99_us": round(cdf.quantile(0.99), 3),
+            }
+        )
+    return rows
+
+
+def fig4_jitter(
+    flow_counts: tuple[int, ...] = (1, 5, 25),
+    cycles: int = 400,
+    seed: int = 0,
+) -> Rows:
+    """Figure 4 right: jitter quantiles vs concurrent flows (ns)."""
+    results = run_flow_scaling(
+        paper_variants()[0], list(flow_counts), cycles=cycles, seed=seed
+    )
+    rows = []
+    for count, result in results.items():
+        cdf = result.jitter_cdf()
+        rows.append(
+            {
+                "flows": count,
+                "p50_ns": round(cdf.quantile(0.5)),
+                "p90_ns": round(cdf.quantile(0.9)),
+                "p99_ns": round(cdf.quantile(0.99)),
+            }
+        )
+    return rows
+
+
+def fig5(seed: int = 0) -> Rows:
+    """Figure 5: packets per 50 ms around the switchover."""
+    result = run_fig5(duration_ns=3 * SEC, crash_ns=round(1.5 * SEC), seed=seed)
+    vplc1 = result.binned("vplc1").counts
+    vplc2 = result.binned("vplc2").counts
+    to_io = result.binned("to_io").counts
+    return [
+        {
+            "t_ms": index * 50,
+            "from_vplc1": int(vplc1[index]),
+            "from_vplc2": int(vplc2[index]),
+            "to_io": int(to_io[index]),
+        }
+        for index in range(len(to_io))
+    ]
+
+
+def fig6(duration_ms: int = 400, seed: int = 0) -> Rows:
+    """Figure 6: mean inference latency per app/topology/client count."""
+    rows = []
+    for app in (OBJECT_IDENTIFICATION, DEFECT_DETECTION):
+        for topology in ("ring", "leaf-spine", "ml-aware"):
+            for clients in PAPER_CLIENT_COUNTS:
+                point = run_point(
+                    app, topology, clients,
+                    duration_ns=duration_ms * MS, seed=seed,
+                )
+                rows.append(
+                    {
+                        "app": app.name,
+                        "topology": topology,
+                        "clients": clients,
+                        "mean_latency_ms": round(point.mean_latency_ms, 3),
+                        "p99_latency_ms": round(point.p99_latency_ms, 3),
+                    }
+                )
+    return rows
+
+
+FIGURES = {
+    "fig1": fig1,
+    "fig4-delay": fig4_delay,
+    "fig4-jitter": fig4_jitter,
+    "fig5": fig5,
+    "fig6": fig6,
+}
+
+
+def rows_to_csv(rows: Rows) -> str:
+    """Render rows as CSV text."""
+    if not rows:
+        return ""
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=list(rows[0].keys()))
+    writer.writeheader()
+    writer.writerows(rows)
+    return buffer.getvalue()
+
+
+def rows_to_table(rows: Rows) -> str:
+    """Render rows as an aligned text table."""
+    if not rows:
+        return "(no data)"
+    headers = list(rows[0].keys())
+    widths = [
+        max(len(str(header)), *(len(str(row[header])) for row in rows))
+        for header in headers
+    ]
+    lines = [
+        "  ".join(str(h).ljust(w) for h, w in zip(headers, widths)),
+        "-" * (sum(widths) + 2 * (len(widths) - 1)),
+    ]
+    for row in rows:
+        lines.append(
+            "  ".join(str(row[h]).ljust(w) for h, w in zip(headers, widths))
+        )
+    return "\n".join(lines)

@@ -1,0 +1,29 @@
+"""Host network path models: PCIe, driver, kernel noise, XDP reflection.
+
+These models make the Section 2.1 contention sources explicit — PCIe fixed
+costs dominating small packets, kernel-induced latencies surviving
+PREEMPT_RT, and per-flow cache contention — and compose them into the
+reflect path that Traffic Reflection measures.
+"""
+
+from .kernel import (
+    CacheContentionModel,
+    KernelNoiseModel,
+    PREEMPT_RT_ISOLATED,
+    PREEMPT_RT_SHARED,
+    STOCK_KERNEL,
+)
+from .path import DriverModel, XdpHostModel, XdpReflectorHost
+from .pcie import PcieModel
+
+__all__ = [
+    "CacheContentionModel",
+    "DriverModel",
+    "KernelNoiseModel",
+    "PREEMPT_RT_ISOLATED",
+    "PREEMPT_RT_SHARED",
+    "PcieModel",
+    "STOCK_KERNEL",
+    "XdpHostModel",
+    "XdpReflectorHost",
+]

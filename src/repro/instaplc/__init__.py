@@ -1,0 +1,17 @@
+"""InstaPLC — in-network vPLC high availability (Section 4 / Figure 5)."""
+
+from .app import DeviceBinding, InstaPlcApp, MAX_DEVICES, SwitchoverEvent
+from .harness import DEFAULT_CYCLE_NS, Fig5Result, run_fig5
+from .twin import DigitalTwin, HarvestedParams
+
+__all__ = [
+    "DEFAULT_CYCLE_NS",
+    "DeviceBinding",
+    "DigitalTwin",
+    "Fig5Result",
+    "HarvestedParams",
+    "InstaPlcApp",
+    "MAX_DEVICES",
+    "SwitchoverEvent",
+    "run_fig5",
+]

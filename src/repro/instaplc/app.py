@@ -1,0 +1,442 @@
+"""InstaPLC: in-network vPLC high availability (Section 4).
+
+The application programs a :class:`repro.p4.P4Switch` so that:
+
+1. the first vPLC connecting to an I/O device becomes its **primary** and
+   talks to the device directly;
+2. a second vPLC becomes the **secondary**: its handshake is answered by a
+   :class:`DigitalTwin`, its cyclic output frames are absorbed in the data
+   plane, and every frame from the physical device is mirrored to it — so
+   it tracks the exact I/O state without touching the device;
+3. the data plane counts the primary's cyclic frames in a register; when
+   the count stalls for a configurable number of I/O cycles, InstaPLC
+   rewrites the forwarding tables so the secondary's frames reach the
+   device (with the primary's source identity, making the swap seamless)
+   — no dedicated synchronization links between the vPLCs required.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..fieldbus import protocol
+from ..net.packet import Packet
+from ..p4.pipeline import MatchKind, PacketContext, Register, Table
+from ..p4.switch import P4Switch
+from ..simcore import Simulator
+from .twin import DigitalTwin, HarvestedParams
+
+MAX_DEVICES = 64
+
+
+@dataclass
+class SwitchoverEvent:
+    """One recorded data-plane switchover."""
+
+    device: str
+    old_primary: str
+    new_primary: str
+    detected_ns: int
+
+
+@dataclass
+class DeviceBinding:
+    """InstaPLC's state for one protected I/O device."""
+
+    name: str
+    port: int
+    index: int
+    cycle_ns: int | None = None
+    watchdog_factor: int | None = None
+    primary: str | None = None
+    primary_port: int | None = None
+    #: source identity written on frames toward the device (survives
+    #: switchovers so the device sees one continuous controller)
+    primary_alias: str | None = None
+    secondary: str | None = None
+    secondary_port: int | None = None
+    twin: DigitalTwin | None = None
+    last_count: int = 0
+    last_change_ns: int = 0
+    switchovers: list[SwitchoverEvent] = field(default_factory=list)
+
+
+class InstaPlcApp:
+    """The InstaPLC control-plane application for one switch."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        switch: P4Switch,
+        detection_cycles: float = 1.5,
+        monitor_granularity_divisor: int = 4,
+    ) -> None:
+        if detection_cycles <= 0:
+            raise ValueError("detection threshold must be positive")
+        self.sim = sim
+        self.switch = switch
+        self.detection_cycles = detection_cycles
+        self.monitor_granularity_divisor = monitor_granularity_divisor
+        self.bindings: dict[str, DeviceBinding] = {}
+        self._next_index = 0
+        self._build_pipeline()
+        switch.on_digest(self._on_digest)
+
+    # -- pipeline construction -------------------------------------------------
+
+    def _build_pipeline(self) -> None:
+        pipeline = self.switch.pipeline
+        self.primary_frames = pipeline.add_register(
+            Register("primary_frames", MAX_DEVICES)
+        )
+        self.secondary_absorbed = pipeline.add_register(
+            Register("secondary_absorbed", MAX_DEVICES)
+        )
+
+        pipeline.register_action("punt", self._action_punt)
+        pipeline.register_action("observe", self._action_observe)
+        pipeline.register_action("fwd", self._action_forward)
+        pipeline.register_action("fwd_count", self._action_forward_count)
+        pipeline.register_action("fwd_rewrite_src", self._action_forward_rewrite_src)
+        pipeline.register_action(
+            "fwd_rewrite_src_count", self._action_forward_rewrite_src_count
+        )
+        pipeline.register_action("fwd_rewrite_dst", self._action_forward_rewrite_dst)
+        pipeline.register_action("mirror", self._action_mirror)
+        pipeline.register_action("absorb", self._action_absorb)
+        pipeline.register_action("quiet_drop", self._action_quiet_drop)
+
+        self.mgmt_table = pipeline.add_table(
+            Table("mgmt", key_fields=["msg_type"], match_kind=MatchKind.TERNARY)
+        )
+        self.mgmt_table.insert([protocol.CONNECT_REQUEST], "punt")
+        for observed in (
+            protocol.CONNECT_RESPONSE,
+            protocol.PARAM_END,
+            protocol.APPLICATION_READY,
+            protocol.RELEASE,
+        ):
+            self.mgmt_table.insert([observed], "observe", {"kind": observed})
+
+        self.fwd_table = pipeline.add_table(
+            Table(
+                "fwd",
+                key_fields=["src", "dst", "msg_type"],
+                match_kind=MatchKind.TERNARY,
+            )
+        )
+        # Fallback L2 forwarding for traffic InstaPLC does not manage.
+        self.l2_table = pipeline.add_table(
+            Table("l2", key_fields=["dst"]),
+            guard=lambda ctx: not ctx.egress_ports and not ctx.clones,
+        )
+
+    # -- actions (data plane) ----------------------------------------------------
+
+    def _action_punt(self, ctx: PacketContext) -> None:
+        ctx.digest(kind="punt")
+        ctx.drop()
+
+    def _action_observe(self, ctx: PacketContext, kind: str) -> None:
+        ctx.digest(kind=kind)
+
+    def _action_forward(self, ctx: PacketContext, port: int) -> None:
+        ctx.forward(port)
+
+    def _action_forward_count(self, ctx: PacketContext, port: int, index: int) -> None:
+        self.primary_frames.write(index, self.primary_frames.read(index) + 1)
+        ctx.forward(port)
+
+    def _action_forward_rewrite_src(
+        self, ctx: PacketContext, port: int, src: str
+    ) -> None:
+        ctx.set_field("src", src)
+        ctx.forward(port)
+
+    def _action_forward_rewrite_src_count(
+        self, ctx: PacketContext, port: int, src: str, index: int
+    ) -> None:
+        self.primary_frames.write(index, self.primary_frames.read(index) + 1)
+        ctx.set_field("src", src)
+        ctx.forward(port)
+
+    def _action_forward_rewrite_dst(
+        self, ctx: PacketContext, port: int, dst: str
+    ) -> None:
+        ctx.set_field("dst", dst)
+        ctx.forward(port)
+
+    def _action_mirror(
+        self,
+        ctx: PacketContext,
+        port: int,
+        dst: str,
+        clone_port: int,
+        clone_dst: str,
+    ) -> None:
+        ctx.set_field("dst", dst)
+        ctx.forward(port)
+        ctx.clone(clone_port, dst=clone_dst)
+
+    def _action_absorb(self, ctx: PacketContext, index: int) -> None:
+        self.secondary_absorbed.write(
+            index, self.secondary_absorbed.read(index) + 1
+        )
+        ctx.drop()
+
+    def _action_quiet_drop(self, ctx: PacketContext) -> None:
+        ctx.drop()
+
+    # -- configuration ------------------------------------------------------------
+
+    def attach_device(self, device_name: str, port: int) -> DeviceBinding:
+        """Declare the switch port a protected I/O device hangs off."""
+        if device_name in self.bindings:
+            raise ValueError(f"device {device_name!r} already attached")
+        if self._next_index >= MAX_DEVICES:
+            raise RuntimeError("register capacity exhausted")
+        binding = DeviceBinding(
+            name=device_name, port=port, index=self._next_index
+        )
+        self._next_index += 1
+        self.bindings[device_name] = binding
+        return binding
+
+    # -- digest handling (control plane) -------------------------------------------
+
+    def _on_digest(self, data: dict[str, Any], ctx: PacketContext) -> None:
+        kind = data.get("kind")
+        if kind == "punt":
+            self._handle_connect_request(ctx)
+        elif kind == protocol.PARAM_END:
+            self._handle_param_end(ctx)
+
+    def _handle_connect_request(self, ctx: PacketContext) -> None:
+        device_name = ctx.packet.dst
+        binding = self.bindings.get(device_name)
+        if binding is None:
+            # Not a protected device: fall back to plain forwarding.
+            entry = self.l2_table
+            action, params, hit = entry.lookup(ctx)
+            if hit:
+                self.switch.inject(ctx.packet, params["port"])
+            return
+        src = ctx.packet.src
+        if binding.primary is None or src == binding.primary:
+            self._designate_primary(binding, ctx)
+        elif binding.secondary is None:
+            self._designate_secondary(binding, ctx)
+        else:
+            # Third controller: InstaPLC supports one secondary per device.
+            self.sim.trace(
+                f"instaplc: rejecting third controller {src} for {device_name}"
+            )
+
+    def _designate_primary(self, binding: DeviceBinding, ctx: PacketContext) -> None:
+        src = ctx.packet.src
+        fresh = binding.primary is None
+        binding.primary = src
+        binding.primary_alias = binding.primary_alias or src
+        binding.primary_port = ctx.ingress_port
+        binding.cycle_ns = ctx.packet.payload.get("cycle_ns")
+        binding.watchdog_factor = ctx.packet.payload.get("watchdog_factor")
+        device, port = binding.name, binding.port
+        # Primary -> device: cyclic frames are counted for the data-plane
+        # watchdog; everything else just forwards.
+        self.fwd_table.insert(
+            [src, device, protocol.CYCLIC_DATA],
+            "fwd_count",
+            {"port": port, "index": binding.index},
+            priority=10,
+        )
+        self.fwd_table.insert(
+            [src, device, "*"], "fwd", {"port": port}, priority=5
+        )
+        # Device -> primary.
+        self.fwd_table.insert(
+            [device, src, "*"],
+            "fwd",
+            {"port": ctx.ingress_port},
+            priority=5,
+        )
+        self.switch.inject(ctx.packet, port)
+        binding.last_change_ns = self.sim.now
+        if fresh and binding.cycle_ns:
+            self._start_monitor(binding)
+        self.sim.trace(
+            f"instaplc: {src} designated primary for {binding.name}"
+        )
+
+    def _designate_secondary(self, binding: DeviceBinding, ctx: PacketContext) -> None:
+        assert binding.primary is not None and binding.primary_port is not None
+        src = ctx.packet.src
+        binding.secondary = src
+        binding.secondary_port = ctx.ingress_port
+        params = HarvestedParams(
+            cycle_ns=binding.cycle_ns or ctx.packet.payload.get("cycle_ns", 0),
+            watchdog_factor=binding.watchdog_factor
+            or ctx.packet.payload.get("watchdog_factor", 3),
+        )
+        binding.twin = DigitalTwin(
+            switch=self.switch,
+            device_name=binding.name,
+            secondary_name=src,
+            secondary_port=ctx.ingress_port,
+            params=params,
+        )
+        device = binding.name
+        # Secondary -> device: cyclic absorbed (rule 2: "forwarded to the
+        # digital twin only"); management dropped in the data plane — the
+        # twin answers from the control plane.
+        self.fwd_table.insert(
+            [src, device, protocol.CYCLIC_DATA],
+            "absorb",
+            {"index": binding.index},
+            priority=10,
+        )
+        self.fwd_table.insert([src, device, "*"], "quiet_drop", priority=5)
+        # Device -> controller cyclic: mirror a copy to the secondary
+        # (rule 3) so both vPLCs track the exact I/O state.  The device
+        # addresses its controller by the original alias, and the primary
+        # copy is rewritten to whoever is primary now.
+        alias = binding.primary_alias or binding.primary
+        self.fwd_table.insert(
+            [device, alias, protocol.CYCLIC_DATA],
+            "mirror",
+            {
+                "port": binding.primary_port,
+                "dst": binding.primary,
+                "clone_port": ctx.ingress_port,
+                "clone_dst": src,
+            },
+            priority=10,
+        )
+        binding.twin.on_connect_request(ctx.packet)
+        self.sim.trace(
+            f"instaplc: {src} designated secondary for {binding.name}"
+        )
+
+    def _handle_param_end(self, ctx: PacketContext) -> None:
+        binding = self.bindings.get(ctx.packet.dst)
+        if (
+            binding is not None
+            and binding.twin is not None
+            and ctx.packet.src == binding.secondary
+        ):
+            binding.twin.on_param_end(ctx.packet)
+
+    # -- planned migration -----------------------------------------------------------
+
+    def migrate(self, device_name: str) -> SwitchoverEvent:
+        """Interruption-free planned migration of a device's controller.
+
+        Hands control from the current primary to the standby *now*, with
+        no failure involved — the vPLC-migration use case the paper cites
+        (maintenance, load balancing, host upgrades).  The data-plane
+        tables flip atomically; the old primary keeps emitting cyclic
+        frames that are from then on absorbed, so it can be drained and
+        shut down at leisure.
+
+        Requires a connected secondary; returns the recorded event.
+        """
+        binding = self.bindings[device_name]
+        if binding.secondary is None or binding.twin is None:
+            raise RuntimeError(
+                f"no standby controller for {device_name!r}; migration "
+                f"needs a connected secondary"
+            )
+        if not binding.twin.handshake_complete:
+            raise RuntimeError(
+                f"standby for {device_name!r} has not finished its twin "
+                f"handshake yet"
+            )
+        self._switchover(binding)
+        return binding.switchovers[-1]
+
+    # -- the data-plane watchdog -----------------------------------------------------
+
+    def _start_monitor(self, binding: DeviceBinding) -> None:
+        self.sim.process(
+            self._monitor_loop(binding), name=f"instaplc:monitor:{binding.name}"
+        )
+
+    def _monitor_loop(self, binding: DeviceBinding):
+        assert binding.cycle_ns is not None
+        granularity = max(1, binding.cycle_ns // self.monitor_granularity_divisor)
+        threshold_ns = round(self.detection_cycles * binding.cycle_ns)
+        while True:
+            yield granularity
+            count = self.primary_frames.read(binding.index)
+            if count != binding.last_count:
+                binding.last_count = count
+                binding.last_change_ns = self.sim.now
+                continue
+            stalled_for = self.sim.now - binding.last_change_ns
+            if (
+                count > 0
+                and binding.secondary is not None
+                and stalled_for >= threshold_ns
+            ):
+                self._switchover(binding)
+
+    def _switchover(self, binding: DeviceBinding) -> None:
+        assert binding.secondary is not None
+        assert binding.secondary_port is not None
+        assert binding.primary is not None
+        old_primary = binding.primary
+        new_primary = binding.secondary
+        alias = binding.primary_alias or old_primary
+        device, port = binding.name, binding.port
+        event = SwitchoverEvent(
+            device=device,
+            old_primary=old_primary,
+            new_primary=new_primary,
+            detected_ns=self.sim.now,
+        )
+        binding.switchovers.append(event)
+
+        # Secondary becomes the sender toward the device, keeping the
+        # original controller identity on the wire.
+        self.fwd_table.delete([new_primary, device, protocol.CYCLIC_DATA])
+        self.fwd_table.delete([new_primary, device, "*"])
+        self.fwd_table.insert(
+            [new_primary, device, protocol.CYCLIC_DATA],
+            "fwd_rewrite_src_count",
+            {"port": port, "src": alias, "index": binding.index},
+            priority=10,
+        )
+        self.fwd_table.insert(
+            [new_primary, device, "*"],
+            "fwd_rewrite_src",
+            {"port": port, "src": alias},
+            priority=5,
+        )
+        # Device frames now go to the new primary under its own name.
+        # (The device addresses the alias, so alias-keyed entries — the
+        # mirror and the original forward — are the ones to replace.)
+        self.fwd_table.delete([device, alias, protocol.CYCLIC_DATA])
+        self.fwd_table.delete([device, alias, "*"])
+        self.fwd_table.insert(
+            [device, alias, "*"],
+            "fwd_rewrite_dst",
+            {"port": binding.secondary_port, "dst": new_primary},
+            priority=5,
+        )
+        # A resurrected old primary must not reach the device.
+        self.fwd_table.delete([old_primary, device, protocol.CYCLIC_DATA])
+        self.fwd_table.delete([old_primary, device, "*"])
+        self.fwd_table.insert(
+            [old_primary, device, "*"], "quiet_drop", priority=8
+        )
+
+        binding.primary = new_primary
+        binding.primary_port = binding.secondary_port
+        binding.primary_alias = alias
+        binding.secondary = None
+        binding.secondary_port = None
+        binding.twin = None
+        binding.last_change_ns = self.sim.now
+        self.sim.trace(
+            f"instaplc: switchover on {device}: {old_primary} -> {new_primary}"
+        )

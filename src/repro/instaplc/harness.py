@@ -1,0 +1,156 @@
+"""The Figure 5 experiment harness.
+
+Scenario (paper, Section 4 / Figure 5): two vPLCs and one I/O device behind
+an InstaPLC switch.  vPLC1 connects first (primary), vPLC2 second
+(secondary, served by the digital twin).  At a configurable instant vPLC1
+crashes; InstaPLC's data-plane watchdog notices the stalled frame counter
+and hands control to vPLC2.  The figure plots packets per 50 ms (a) from
+each vPLC and (b) toward the I/O device: the to-I/O rate must continue
+essentially uninterrupted while vPLC1's rate falls to zero.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..fieldbus import protocol
+from ..fieldbus.device import IoDeviceApp
+from ..metrics.binning import BinnedSeries, bin_counts
+from ..net.host import Host
+from ..net.link import Link
+from ..net.packet import Packet
+from ..p4.switch import P4Switch
+from ..plc.platform import PlatformModel, VPLC_PREEMPT_RT
+from ..plc.program import passthrough_program
+from ..plc.runtime import PlcRuntime
+from ..simcore import Simulator
+from ..simcore.units import MS, SEC
+from .app import InstaPlcApp, SwitchoverEvent
+
+#: Cycle time matching Figure 5's ~40 packets per 50 ms band.
+DEFAULT_CYCLE_NS = 1_250_000
+
+
+@dataclass
+class Fig5Result:
+    """Everything the Figure 5 plots and assertions need."""
+
+    cycle_ns: int
+    bin_width_ns: int
+    duration_ns: int
+    crash_ns: int
+    vplc1_tx_ns: list[int] = field(default_factory=list)
+    vplc2_tx_ns: list[int] = field(default_factory=list)
+    to_io_ns: list[int] = field(default_factory=list)
+    switchovers: list[SwitchoverEvent] = field(default_factory=list)
+    device_watchdog_expirations: int = 0
+    device_fail_safe: bool = False
+    device_outputs: dict = field(default_factory=dict)
+
+    def binned(self, which: str) -> BinnedSeries:
+        """Packets-per-bin series: ``vplc1`` | ``vplc2`` | ``to_io``."""
+        series = {
+            "vplc1": self.vplc1_tx_ns,
+            "vplc2": self.vplc2_tx_ns,
+            "to_io": self.to_io_ns,
+        }[which]
+        return bin_counts(
+            series, self.bin_width_ns, start_ns=0, end_ns=self.duration_ns
+        )
+
+    @property
+    def switchover_latency_ns(self) -> int | None:
+        """Crash-to-table-rewrite delay of the first switchover."""
+        if not self.switchovers:
+            return None
+        return self.switchovers[0].detected_ns - self.crash_ns
+
+    def max_io_gap_after_ns(self, after_ns: int) -> int:
+        """Largest inter-arrival gap toward the I/O device after ``after_ns``.
+
+        The availability headline: with InstaPLC this stays within a few
+        cycles even across the crash.
+        """
+        stamps = np.asarray(
+            [t for t in self.to_io_ns if t >= after_ns], dtype=np.int64
+        )
+        if stamps.size < 2:
+            return 0
+        return int(np.max(np.diff(stamps)))
+
+
+def run_fig5(
+    cycle_ns: int = DEFAULT_CYCLE_NS,
+    duration_ns: int = 3 * SEC,
+    crash_ns: int = round(1.5 * SEC),
+    secondary_start_ns: int = 200 * MS,
+    bin_width_ns: int = 50 * MS,
+    watchdog_factor: int = 3,
+    detection_cycles: float = 1.5,
+    platform: PlatformModel = VPLC_PREEMPT_RT,
+    seed: int = 0,
+) -> Fig5Result:
+    """Run the InstaPLC switchover scenario and collect Figure 5's series."""
+    sim = Simulator(seed=seed)
+    switch = P4Switch(sim, "instaplc-switch")
+    vplc1_host = Host(sim, "vplc1")
+    vplc2_host = Host(sim, "vplc2")
+    io_host = Host(sim, "io")
+
+    # Wire: port 0 = vplc1, port 1 = vplc2, port 2 = io.
+    for host in (vplc1_host, vplc2_host, io_host):
+        Link(sim, host.add_port(), switch.add_port(), 1e9, 500)
+
+    app = InstaPlcApp(sim, switch, detection_cycles=detection_cycles)
+    app.attach_device("io", port=2)
+
+    device = IoDeviceApp(sim, io_host)
+    result = Fig5Result(
+        cycle_ns=cycle_ns,
+        bin_width_ns=bin_width_ns,
+        duration_ns=duration_ns,
+        crash_ns=crash_ns,
+    )
+
+    def ingress_tap(packet: Packet, port_index: int) -> None:
+        if packet.payload.get("type") != protocol.CYCLIC_DATA:
+            return
+        if port_index == 0:
+            result.vplc1_tx_ns.append(sim.now)
+        elif port_index == 1:
+            result.vplc2_tx_ns.append(sim.now)
+
+    def egress_tap(packet: Packet, port_index: int) -> None:
+        if port_index == 2 and packet.payload.get("type") == protocol.CYCLIC_DATA:
+            result.to_io_ns.append(sim.now)
+
+    switch.ingress_taps.append(ingress_tap)
+    switch.egress_taps.append(egress_tap)
+
+    params = protocol.ConnectionParams(
+        cycle_ns=cycle_ns, watchdog_factor=watchdog_factor
+    )
+    vplc1 = PlcRuntime(
+        sim, vplc1_host, passthrough_program({"io.echo": "io.counter"}),
+        cycle_ns=cycle_ns, platform=platform, name="vplc1",
+    )
+    vplc1.assign_device("io", params=params)
+    vplc2 = PlcRuntime(
+        sim, vplc2_host, passthrough_program({"io.echo": "io.counter"}),
+        cycle_ns=cycle_ns, platform=platform, name="vplc2",
+    )
+    vplc2.assign_device("io", params=params)
+
+    vplc1.start()
+    sim.schedule(secondary_start_ns, vplc2.start)
+    sim.schedule(crash_ns, vplc1.crash)
+    sim.run(until=duration_ns)
+
+    binding = app.bindings["io"]
+    result.switchovers = list(binding.switchovers)
+    result.device_watchdog_expirations = device.stats.watchdog_expirations
+    result.device_fail_safe = device.fail_safe
+    result.device_outputs = dict(device.outputs)
+    return result

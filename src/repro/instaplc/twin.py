@@ -1,0 +1,83 @@
+"""The digital-twin I/O device.
+
+When a second vPLC tries to connect to an already-controlled device,
+InstaPLC builds a digital twin "from the exchanged packets" of the primary's
+handshake and lets the secondary complete an ordinary connection against it.
+From the secondary's perspective, "communicating with the digital twin is
+identical to communicating with the actual I/O device" (Section 4).
+
+The twin lives in InstaPLC's control plane: it answers the secondary's
+connection-management frames by injecting crafted responses through the
+switch.  It never generates cyclic data — the secondary's input watchdog is
+fed by the real device's frames, which the data plane mirrors to it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..fieldbus import protocol
+from ..net.packet import Packet
+from ..p4.switch import P4Switch
+
+
+@dataclass
+class HarvestedParams:
+    """Connection parameters extracted from the primary's handshake."""
+
+    cycle_ns: int
+    watchdog_factor: int
+
+
+class DigitalTwin:
+    """Handshake responder impersonating one I/O device."""
+
+    def __init__(
+        self,
+        switch: P4Switch,
+        device_name: str,
+        secondary_name: str,
+        secondary_port: int,
+        params: HarvestedParams,
+    ) -> None:
+        self.switch = switch
+        self.device_name = device_name
+        self.secondary_name = secondary_name
+        self.secondary_port = secondary_port
+        self.params = params
+        self.handshake_complete = False
+
+    def on_connect_request(self, packet: Packet) -> None:
+        """Answer the secondary's connect request as the device would."""
+        self._inject(
+            {
+                "type": protocol.CONNECT_RESPONSE,
+                "device": self.device_name,
+                "cycle_ns": self.params.cycle_ns,
+                "watchdog_factor": self.params.watchdog_factor,
+            },
+            flow_id=packet.flow_id,
+        )
+
+    def on_param_end(self, packet: Packet) -> None:
+        """Complete the handshake with an application-ready frame."""
+        self._inject(
+            {
+                "type": protocol.APPLICATION_READY,
+                "device": self.device_name,
+            },
+            flow_id=packet.flow_id,
+        )
+        self.handshake_complete = True
+
+    def _inject(self, payload: dict, flow_id: str) -> None:
+        frame = Packet(
+            src=self.device_name,
+            dst=self.secondary_name,
+            payload_bytes=protocol.DEFAULT_MGMT_PAYLOAD_BYTES,
+            traffic_class=protocol.MGMT_CLASS,
+            flow_id=flow_id,
+            payload=payload,
+            created_ns=self.switch.sim.now,
+        )
+        self.switch.inject(frame, self.secondary_port)

@@ -1,0 +1,103 @@
+"""Availability algebra: nines, MTBF/MTTR, and downtime budgets.
+
+Section 2.2 frames the availability gap numerically: motion control demands
+at least 99.9999 % availability — under 31.5 s of downtime per year — while
+data centers "typically aim for monthly downtime of a few minutes".  This
+module makes those statements computable and lets the InstaPLC benchmarks
+translate observed outage durations into availability figures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+SECONDS_PER_YEAR = 365.0 * 24 * 3600
+
+
+def nines_to_availability(nines: float) -> float:
+    """Convert a 'number of nines' to an availability fraction.
+
+    >>> round(nines_to_availability(6), 8)
+    0.999999
+    """
+    if nines <= 0:
+        raise ValueError("nines must be positive")
+    return 1.0 - 10.0 ** (-nines)
+
+
+def availability_to_nines(availability: float) -> float:
+    """Inverse of :func:`nines_to_availability`."""
+    if not 0.0 < availability < 1.0:
+        raise ValueError("availability must be in (0, 1)")
+    import math
+
+    return -math.log10(1.0 - availability)
+
+
+def downtime_per_year_s(availability: float) -> float:
+    """Allowed downtime (seconds/year) at a given availability fraction."""
+    if not 0.0 < availability <= 1.0:
+        raise ValueError("availability must be in (0, 1]")
+    return (1.0 - availability) * SECONDS_PER_YEAR
+
+
+def availability_from_downtime(downtime_s_per_year: float) -> float:
+    """Availability fraction implied by a yearly downtime budget."""
+    if downtime_s_per_year < 0:
+        raise ValueError("downtime cannot be negative")
+    return 1.0 - downtime_s_per_year / SECONDS_PER_YEAR
+
+
+def availability_from_mtbf_mttr(mtbf_s: float, mttr_s: float) -> float:
+    """Steady-state availability of a repairable component.
+
+    ``A = MTBF / (MTBF + MTTR)`` — the standard renewal-process result used
+    for fiber links and network devices alike.
+    """
+    if mtbf_s <= 0 or mttr_s < 0:
+        raise ValueError("MTBF must be positive and MTTR non-negative")
+    return mtbf_s / (mtbf_s + mttr_s)
+
+
+def series_availability(availabilities: list[float]) -> float:
+    """Availability of components that must *all* be up (series system)."""
+    result = 1.0
+    for availability in availabilities:
+        result *= availability
+    return result
+
+
+def parallel_availability(availabilities: list[float]) -> float:
+    """Availability of redundant components where *any one* suffices."""
+    unavailable = 1.0
+    for availability in availabilities:
+        unavailable *= 1.0 - availability
+    return 1.0 - unavailable
+
+
+@dataclass(frozen=True)
+class OutageLog:
+    """A set of observed outages over an observation window."""
+
+    observation_s: float
+    outage_durations_s: tuple[float, ...]
+
+    @property
+    def total_downtime_s(self) -> float:
+        """Sum of all outage durations."""
+        return sum(self.outage_durations_s)
+
+    @property
+    def availability(self) -> float:
+        """Observed availability over the window."""
+        if self.observation_s <= 0:
+            raise ValueError("observation window must be positive")
+        return 1.0 - self.total_downtime_s / self.observation_s
+
+    def projected_yearly_downtime_s(self) -> float:
+        """Extrapolate the observed downtime rate to one year."""
+        return self.total_downtime_s / self.observation_s * SECONDS_PER_YEAR
+
+    def meets(self, required_availability: float) -> bool:
+        """True when observed availability meets the requirement."""
+        return self.availability >= required_availability

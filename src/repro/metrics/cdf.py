@@ -1,0 +1,79 @@
+"""Empirical cumulative distribution functions.
+
+The paper presents all Traffic Reflection results as CDFs (Figure 4).  This
+module builds empirical CDFs from samples and provides the comparisons the
+figure's claims rest on: median shift and (approximate) stochastic dominance
+("the 25-flow jitter CDF lies right of the 1-flow CDF").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Cdf:
+    """An empirical CDF over a fixed sample set."""
+
+    xs: np.ndarray  # sorted sample values
+    ps: np.ndarray  # cumulative probabilities, same length as xs
+
+    @classmethod
+    def from_samples(cls, samples: "np.ndarray | list[float]") -> "Cdf":
+        """Build the standard empirical CDF (step function at each sample)."""
+        data = np.sort(np.asarray(samples, dtype=float))
+        if data.size == 0:
+            raise ValueError("cannot build a CDF from zero samples")
+        probabilities = np.arange(1, data.size + 1, dtype=float) / data.size
+        return cls(xs=data, ps=probabilities)
+
+    def evaluate(self, x: float) -> float:
+        """P(X <= x)."""
+        return float(np.searchsorted(self.xs, x, side="right")) / self.xs.size
+
+    def quantile(self, p: float) -> float:
+        """Smallest x with P(X <= x) >= p, for p in (0, 1]."""
+        if not 0.0 < p <= 1.0:
+            raise ValueError(f"p must be in (0, 1], got {p}")
+        index = int(np.searchsorted(self.ps, p, side="left"))
+        index = min(index, self.xs.size - 1)
+        return float(self.xs[index])
+
+    @property
+    def median(self) -> float:
+        """The 50th percentile."""
+        return self.quantile(0.5)
+
+    def as_points(self) -> list[tuple[float, float]]:
+        """(x, P(X<=x)) pairs, e.g. for plotting or serialization."""
+        return list(zip(self.xs.tolist(), self.ps.tolist()))
+
+
+def median_shift(left: Cdf, right: Cdf) -> float:
+    """``right.median - left.median`` — positive when *right* is slower."""
+    return right.median - left.median
+
+
+def dominates(slower: Cdf, faster: Cdf, quantiles: int = 99) -> bool:
+    """Approximate first-order stochastic dominance check.
+
+    Returns ``True`` when, at every probed quantile, ``slower`` has a value
+    greater than or equal to ``faster`` — i.e. the ``slower`` CDF lies to the
+    right.  Used by the Figure 4 benchmarks to assert "more flows => more
+    jitter" as a distribution-level statement.
+    """
+    probes = np.linspace(0.01, 0.99, quantiles)
+    return all(slower.quantile(p) >= faster.quantile(p) for p in probes)
+
+
+def dominance_fraction(slower: Cdf, faster: Cdf, quantiles: int = 99) -> float:
+    """Fraction of probed quantiles at which ``slower`` >= ``faster``.
+
+    A softer version of :func:`dominates` for noisy comparisons: 1.0 means
+    full dominance, 0.5 means the distributions interleave.
+    """
+    probes = np.linspace(0.01, 0.99, quantiles)
+    hits = sum(1 for p in probes if slower.quantile(p) >= faster.quantile(p))
+    return hits / len(probes)

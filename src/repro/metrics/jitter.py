@@ -1,0 +1,122 @@
+"""Jitter analysis for cyclic real-time traffic.
+
+The paper stresses two under-reported phenomena (Section 2.1):
+
+- **worst-case jitter**, not just averages; and
+- **consecutive jitter events** — "periods where jitter repeatedly occurs
+  cycle after cycle", which matter because industrial devices halt when no
+  valid packet arrives for several consecutive cycles (PROFINET watchdog
+  counter expiration).
+
+Given the arrival timestamps of a cyclic flow, this module computes
+cycle-to-cycle jitter, jitter relative to the nominal period, consecutive
+jitter-event runs, and watchdog expirations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class JitterReport:
+    """Jitter statistics of one cyclic flow (all values in nanoseconds)."""
+
+    nominal_period_ns: int
+    sample_count: int
+    mean_abs_jitter_ns: float
+    max_abs_jitter_ns: float
+    peak_to_peak_ns: float
+    std_ns: float
+
+    def meets_bound(self, bound_ns: float) -> bool:
+        """True when the worst-case absolute jitter is within ``bound_ns``."""
+        return self.max_abs_jitter_ns <= bound_ns
+
+
+@dataclass(frozen=True)
+class ConsecutiveJitterRun:
+    """A maximal run of consecutive cycles whose jitter exceeds a threshold."""
+
+    start_index: int
+    length: int
+
+
+def interarrival_times(arrivals_ns: "np.ndarray | list[int]") -> np.ndarray:
+    """Differences between consecutive arrival timestamps."""
+    stamps = np.asarray(arrivals_ns, dtype=np.int64)
+    if stamps.size < 2:
+        raise ValueError("need at least two arrivals to compute interarrivals")
+    return np.diff(stamps)
+
+
+def period_jitter(
+    arrivals_ns: "np.ndarray | list[int]", nominal_period_ns: int
+) -> np.ndarray:
+    """Signed deviation of each interarrival from the nominal period."""
+    return interarrival_times(arrivals_ns) - np.int64(nominal_period_ns)
+
+
+def jitter_report(
+    arrivals_ns: "np.ndarray | list[int]", nominal_period_ns: int
+) -> JitterReport:
+    """Compute the :class:`JitterReport` for a cyclic arrival series."""
+    deviations = period_jitter(arrivals_ns, nominal_period_ns).astype(float)
+    return JitterReport(
+        nominal_period_ns=nominal_period_ns,
+        sample_count=deviations.size,
+        mean_abs_jitter_ns=float(np.mean(np.abs(deviations))),
+        max_abs_jitter_ns=float(np.max(np.abs(deviations))),
+        peak_to_peak_ns=float(np.max(deviations) - np.min(deviations)),
+        std_ns=float(np.std(deviations)),
+    )
+
+
+def consecutive_jitter_runs(
+    arrivals_ns: "np.ndarray | list[int]",
+    nominal_period_ns: int,
+    threshold_ns: float,
+) -> list[ConsecutiveJitterRun]:
+    """Find maximal runs of cycles whose |jitter| exceeds ``threshold_ns``."""
+    deviations = period_jitter(arrivals_ns, nominal_period_ns)
+    exceeds = np.abs(deviations) > threshold_ns
+    runs: list[ConsecutiveJitterRun] = []
+    start: int | None = None
+    for index, flag in enumerate(exceeds):
+        if flag and start is None:
+            start = index
+        elif not flag and start is not None:
+            runs.append(ConsecutiveJitterRun(start, index - start))
+            start = None
+    if start is not None:
+        runs.append(ConsecutiveJitterRun(start, len(exceeds) - start))
+    return runs
+
+
+def longest_consecutive_jitter(
+    arrivals_ns: "np.ndarray | list[int]",
+    nominal_period_ns: int,
+    threshold_ns: float,
+) -> int:
+    """Length of the longest consecutive jitter run (0 when none)."""
+    runs = consecutive_jitter_runs(arrivals_ns, nominal_period_ns, threshold_ns)
+    return max((run.length for run in runs), default=0)
+
+
+def watchdog_expirations(
+    arrivals_ns: "np.ndarray | list[int]",
+    nominal_period_ns: int,
+    watchdog_factor: int = 3,
+) -> int:
+    """Count watchdog expirations in an arrival series.
+
+    A PROFINET-style watchdog expires when no packet arrives within
+    ``watchdog_factor`` nominal cycles of the previous one.
+    """
+    if watchdog_factor < 1:
+        raise ValueError("watchdog_factor must be >= 1")
+    gaps = interarrival_times(arrivals_ns)
+    limit = watchdog_factor * nominal_period_ns
+    return int(np.count_nonzero(gaps > limit))

@@ -1,0 +1,96 @@
+"""Sample series and summary statistics.
+
+Section 2.1 of the paper criticizes existing vPLC evaluations for failing to
+report "critical performance metrics such as jitter and worst-case
+latency/jitter".  :class:`SampleSeries` therefore always exposes worst-case
+values and high percentiles alongside the usual mean/median.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class SeriesSummary:
+    """Summary statistics of a sample series (units follow the input)."""
+
+    count: int
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+    p50: float
+    p90: float
+    p99: float
+    p999: float
+
+    def as_dict(self) -> dict[str, float]:
+        """Return the summary as a plain dictionary (for reports)."""
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "std": self.std,
+            "min": self.minimum,
+            "max": self.maximum,
+            "p50": self.p50,
+            "p90": self.p90,
+            "p99": self.p99,
+            "p99.9": self.p999,
+        }
+
+
+class SampleSeries:
+    """An append-only series of numeric samples with cached statistics."""
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self._samples: list[float] = []
+        self._sorted_cache: np.ndarray | None = None
+
+    def add(self, value: float) -> None:
+        """Append one sample."""
+        self._samples.append(float(value))
+        self._sorted_cache = None
+
+    def extend(self, values: "np.ndarray | list[float]") -> None:
+        """Append many samples."""
+        self._samples.extend(float(v) for v in values)
+        self._sorted_cache = None
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+    def values(self) -> np.ndarray:
+        """Samples in insertion order."""
+        return np.asarray(self._samples, dtype=float)
+
+    def _sorted(self) -> np.ndarray:
+        if self._sorted_cache is None:
+            self._sorted_cache = np.sort(np.asarray(self._samples, dtype=float))
+        return self._sorted_cache
+
+    def percentile(self, q: float) -> float:
+        """The q-th percentile (q in [0, 100])."""
+        if not self._samples:
+            raise ValueError(f"series {self.name!r} is empty")
+        return float(np.percentile(self._sorted(), q))
+
+    def summary(self) -> SeriesSummary:
+        """Compute the full summary.  Raises on an empty series."""
+        if not self._samples:
+            raise ValueError(f"series {self.name!r} is empty")
+        data = self._sorted()
+        return SeriesSummary(
+            count=len(data),
+            mean=float(np.mean(data)),
+            std=float(np.std(data)),
+            minimum=float(data[0]),
+            maximum=float(data[-1]),
+            p50=float(np.percentile(data, 50)),
+            p90=float(np.percentile(data, 90)),
+            p99=float(np.percentile(data, 99)),
+            p999=float(np.percentile(data, 99.9)),
+        )

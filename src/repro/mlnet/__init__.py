@@ -1,0 +1,60 @@
+"""ML-aware industrial networks (Section 5 / Figure 6).
+
+Degradation-aware ML application profiles, inference clients/servers, the
+three candidate topologies, the traffic-aware design optimizer, and the
+Figure 6 experiment harness.
+"""
+
+from .degradation import NetworkDegradation
+from .experiment import (
+    Fig6Point,
+    PAPER_CLIENT_COUNTS,
+    TOPOLOGY_BUILDERS,
+    as_series,
+    run_deployment,
+    run_fig6,
+    run_point,
+)
+from .models import (
+    AGV_NAVIGATION,
+    ALL_APPS,
+    DEFECT_DETECTION,
+    MlAppProfile,
+    OBJECT_IDENTIFICATION,
+    PAPER_APPS,
+)
+from .optimizer import MlAwareDesign, MlAwareOptimizer, mmc_wait_s
+from .serving import InferenceServer, MlClient, MTU_PAYLOAD_BYTES
+from .topologies import (
+    MlDeployment,
+    build_leaf_spine_deployment,
+    build_ml_aware_deployment,
+    build_ring_deployment,
+)
+
+__all__ = [
+    "AGV_NAVIGATION",
+    "ALL_APPS",
+    "DEFECT_DETECTION",
+    "Fig6Point",
+    "InferenceServer",
+    "MTU_PAYLOAD_BYTES",
+    "MlAppProfile",
+    "MlAwareDesign",
+    "MlAwareOptimizer",
+    "MlClient",
+    "MlDeployment",
+    "NetworkDegradation",
+    "OBJECT_IDENTIFICATION",
+    "PAPER_APPS",
+    "PAPER_CLIENT_COUNTS",
+    "TOPOLOGY_BUILDERS",
+    "as_series",
+    "build_leaf_spine_deployment",
+    "build_ml_aware_deployment",
+    "build_ring_deployment",
+    "mmc_wait_s",
+    "run_deployment",
+    "run_fig6",
+    "run_point",
+]

@@ -1,0 +1,64 @@
+"""Network-induced input degradation for ML inference.
+
+Section 5: "ML inference in industrial settings can significantly suffer
+when exposed to network-induced data degradation, such as compression
+artifacts, frame loss, or jitter".  :class:`NetworkDegradation` bundles the
+three factors; the accuracy impact lives in
+:mod:`repro.mlnet.models` response surfaces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class NetworkDegradation:
+    """Degradation experienced by a video/inference stream.
+
+    Attributes
+    ----------
+    compression_ratio:
+        Achieved compression relative to the reference encoding (1.0 =
+        reference quality; 4.0 = four times smaller and visibly degraded).
+    loss_rate:
+        Fraction of frames lost or unusably late.
+    jitter_ms:
+        Delivery jitter; matters for control loops consuming the inference
+        result, and degrades temporal models.
+    """
+
+    compression_ratio: float = 1.0
+    loss_rate: float = 0.0
+    jitter_ms: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.compression_ratio < 1.0:
+            raise ValueError("compression ratio is relative to reference (>= 1)")
+        if not 0.0 <= self.loss_rate < 1.0:
+            raise ValueError("loss rate must be in [0, 1)")
+        if self.jitter_ms < 0.0:
+            raise ValueError("jitter cannot be negative")
+
+    def frame_bytes(self, reference_bytes: int) -> int:
+        """Frame size after compression."""
+        return max(1, round(reference_bytes / self.compression_ratio))
+
+    @classmethod
+    def from_frame_bytes(
+        cls,
+        frame_bytes: int,
+        reference_bytes: int,
+        loss_rate: float = 0.0,
+        jitter_ms: float = 0.0,
+    ) -> "NetworkDegradation":
+        """Inverse of :meth:`frame_bytes` (used by the traffic optimizer)."""
+        if frame_bytes <= 0 or frame_bytes > reference_bytes:
+            raise ValueError(
+                "frame bytes must be positive and at most the reference size"
+            )
+        return cls(
+            compression_ratio=reference_bytes / frame_bytes,
+            loss_rate=loss_rate,
+            jitter_ms=jitter_ms,
+        )

@@ -1,0 +1,125 @@
+"""ML application profiles and their degradation response surfaces.
+
+The paper's two Figure 6 applications — *object identification* (e.g. for
+robot pick-and-place) and *defect detection* (automated optical inspection
+on the casting dataset it cites) — are modeled as accuracy response
+surfaces over input degradation.  The surface shape follows the published
+robustness-benchmark literature the paper cites (accuracy decays smoothly
+and convexly with corruption severity; loss acts roughly linearly):
+
+``accuracy = base - fidelity_coeff * (compression_ratio - 1)^fidelity_exp
+           - loss_coeff * loss_rate``
+
+Inverting the surface gives the *minimum frame size* that still meets a
+target accuracy — the data-quantity/prediction-quality trade the paper's
+traffic-aware design exploits.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from .degradation import NetworkDegradation
+
+
+@dataclass(frozen=True)
+class MlAppProfile:
+    """One inference application, as the network sees it."""
+
+    name: str
+    base_accuracy: float
+    fidelity_coeff: float
+    fidelity_exp: float
+    loss_coeff: float
+    reference_frame_bytes: int
+    target_accuracy: float
+    fps: float
+    inference_time_ns: int
+    result_bytes: int = 1_000
+
+    def accuracy(self, degradation: NetworkDegradation) -> float:
+        """Predicted accuracy under the given degradation."""
+        severity = degradation.compression_ratio - 1.0
+        value = (
+            self.base_accuracy
+            - self.fidelity_coeff * severity ** self.fidelity_exp
+            - self.loss_coeff * degradation.loss_rate
+        )
+        return max(0.0, min(1.0, value))
+
+    def max_compression_for(
+        self, target_accuracy: float, loss_rate: float = 0.0
+    ) -> float:
+        """Largest compression ratio still meeting ``target_accuracy``."""
+        budget = self.base_accuracy - target_accuracy - self.loss_coeff * loss_rate
+        if budget <= 0:
+            return 1.0
+        severity = (budget / self.fidelity_coeff) ** (1.0 / self.fidelity_exp)
+        return 1.0 + severity
+
+    def min_frame_bytes(
+        self, target_accuracy: float | None = None, loss_rate: float = 0.0
+    ) -> int:
+        """Smallest frame that still meets the accuracy target."""
+        target = self.target_accuracy if target_accuracy is None else target_accuracy
+        ratio = self.max_compression_for(target, loss_rate)
+        return max(1, math.ceil(self.reference_frame_bytes / ratio))
+
+    def demand_bps(self, frame_bytes: int) -> float:
+        """Offered load of one client at a given frame size."""
+        return frame_bytes * 8 * self.fps
+
+
+#: Object identification: moderately robust to compression (shape/color
+#: cues survive), higher frame rate to track moving parts.
+OBJECT_IDENTIFICATION = MlAppProfile(
+    name="object-identification",
+    base_accuracy=0.96,
+    fidelity_coeff=0.035,
+    fidelity_exp=1.4,
+    loss_coeff=0.30,
+    reference_frame_bytes=60_000,
+    target_accuracy=0.92,
+    fps=15.0,
+    inference_time_ns=1_100_000,
+    result_bytes=800,
+)
+
+#: Defect detection: fine textural features die under compression, so the
+#: surface is steeper; inspection runs at a lower frame rate but needs
+#: larger frames.
+DEFECT_DETECTION = MlAppProfile(
+    name="defect-detection",
+    base_accuracy=0.94,
+    fidelity_coeff=0.060,
+    fidelity_exp=1.2,
+    loss_coeff=0.45,
+    reference_frame_bytes=120_000,
+    target_accuracy=0.90,
+    fps=4.0,
+    inference_time_ns=1_700_000,
+    result_bytes=600,
+)
+
+#: AGV navigation (Section 5 names it among the ML workloads): lower-
+#: resolution perception at high frame rate with tight latency needs —
+#: navigation tolerates compression well but not stale results.
+AGV_NAVIGATION = MlAppProfile(
+    name="agv-navigation",
+    base_accuracy=0.97,
+    fidelity_coeff=0.020,
+    fidelity_exp=1.5,
+    loss_coeff=0.60,
+    reference_frame_bytes=30_000,
+    target_accuracy=0.93,
+    fps=20.0,
+    inference_time_ns=600_000,
+    result_bytes=400,
+)
+
+#: Both Figure 6 applications.
+PAPER_APPS = (OBJECT_IDENTIFICATION, DEFECT_DETECTION)
+
+#: All modeled applications, including the AGV extension.
+ALL_APPS = (OBJECT_IDENTIFICATION, DEFECT_DETECTION, AGV_NAVIGATION)

@@ -1,0 +1,132 @@
+"""The traffic-aware design optimizer behind the ML-aware topology.
+
+Section 5: the ML-aware design "takes volatile input and constrained edge
+and fog computing environments into account" and "aligns inference accuracy
+with infrastructure cost and network dimensioning".  Concretely, the
+optimizer makes two decisions per deployment:
+
+1. **Frame size** — the smallest frame that still meets the application's
+   accuracy target (inverting the degradation response surface).  Less data
+   per frame means less network load for the *same* delivered accuracy.
+2. **Edge compute sizing** — the fewest per-cell inference servers keeping
+   the compute utilization under a target, using the M/M/c estimate as a
+   screening model, so cost grows only as fast as demand requires.
+
+Both decisions come with an analytic latency estimate used by the
+``design_sweep`` ablation; the Figure 6 experiment validates the chosen
+design in full packet simulation.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from .models import MlAppProfile
+
+
+@dataclass(frozen=True)
+class MlAwareDesign:
+    """One candidate design for a deployment."""
+
+    profile_name: str
+    cell_size: int
+    servers_per_cell: int
+    frame_bytes: int
+    predicted_accuracy: float
+    estimated_latency_ms: float
+    cost_units: float
+
+
+def mmc_wait_s(arrival_rate: float, service_rate: float, servers: int) -> float:
+    """Mean M/M/c waiting time (Erlang-C).  Returns ``inf`` when unstable."""
+    if servers < 1:
+        raise ValueError("need at least one server")
+    rho = arrival_rate / (servers * service_rate)
+    if rho >= 1.0:
+        return math.inf
+    offered = arrival_rate / service_rate
+    # Erlang-C probability of waiting.
+    summation = sum(offered ** k / math.factorial(k) for k in range(servers))
+    top = offered ** servers / (math.factorial(servers) * (1 - rho))
+    p_wait = top / (summation + top)
+    return p_wait / (servers * service_rate - arrival_rate)
+
+
+class MlAwareOptimizer:
+    """Chooses frame size and per-cell server count for one application."""
+
+    def __init__(
+        self,
+        profile: MlAppProfile,
+        utilization_target: float = 0.5,
+        server_cost: float = 4.0,
+        switch_cost: float = 2.0,
+        access_bandwidth_bps: float = 1e9,
+        hops_to_edge: int = 1,
+    ) -> None:
+        if not 0 < utilization_target < 1:
+            raise ValueError("utilization target must be in (0, 1)")
+        self.profile = profile
+        self.utilization_target = utilization_target
+        self.server_cost = server_cost
+        self.switch_cost = switch_cost
+        self.access_bandwidth_bps = access_bandwidth_bps
+        self.hops_to_edge = hops_to_edge
+
+    def frame_bytes(self) -> int:
+        """The accuracy-preserving minimum frame size."""
+        return self.profile.min_frame_bytes()
+
+    def servers_for_cell(self, cell_clients: int) -> int:
+        """Fewest servers keeping compute utilization under target."""
+        arrival = cell_clients * self.profile.fps
+        service_rate = 1e9 / self.profile.inference_time_ns
+        servers = max(1, math.ceil(arrival / (service_rate * self.utilization_target)))
+        return servers
+
+    def estimate_latency_ms(
+        self, cell_clients: int, servers: int, frame_bytes: int
+    ) -> float:
+        """Analytic end-to-end latency estimate for one cell."""
+        wire_s = (
+            (frame_bytes * 8 / self.access_bandwidth_bps)
+            * (self.hops_to_edge + 1)
+        )
+        arrival = cell_clients * self.profile.fps
+        service_rate = 1e9 / self.profile.inference_time_ns
+        wait_s = mmc_wait_s(arrival, service_rate, servers)
+        inference_s = self.profile.inference_time_ns / 1e9
+        if math.isinf(wait_s):
+            return math.inf
+        return (wire_s + wait_s + inference_s) * 1e3
+
+    def design(self, client_count: int, cell_size: int = 32) -> MlAwareDesign:
+        """Produce the design used by :func:`build_ml_aware_deployment`."""
+        frame = self.frame_bytes()
+        cells = max(1, math.ceil(client_count / cell_size))
+        per_cell = min(cell_size, client_count)
+        servers = self.servers_for_cell(per_cell)
+        from .degradation import NetworkDegradation
+
+        degradation = NetworkDegradation.from_frame_bytes(
+            frame, self.profile.reference_frame_bytes
+        )
+        return MlAwareDesign(
+            profile_name=self.profile.name,
+            cell_size=cell_size,
+            servers_per_cell=servers,
+            frame_bytes=frame,
+            predicted_accuracy=self.profile.accuracy(degradation),
+            estimated_latency_ms=self.estimate_latency_ms(
+                per_cell, servers, frame
+            ),
+            cost_units=cells * (self.switch_cost + servers * self.server_cost),
+        )
+
+    def design_sweep(
+        self, client_count: int, cell_sizes: list[int] | None = None
+    ) -> list[MlAwareDesign]:
+        """Evaluate several cell sizes — the cost/latency ablation."""
+        sizes = cell_sizes or [8, 16, 32, 64]
+        return [self.design(client_count, size) for size in sizes]

@@ -1,0 +1,206 @@
+"""The three Figure 6 topology candidates.
+
+- **Ring** — the classic industrial layout: switches in a ring, clients
+  spread around it, all inference served by a central compute rack on one
+  ring switch (OT plants centralize compute at the cell/line server).
+- **Leaf-spine** — the IT derivative: clients under leaves, a 10 Gbit/s
+  fabric, and the same central compute rack under a dedicated service leaf.
+- **ML-aware** — the paper's traffic-aware design: clients are grouped
+  into cells with *local*, demand-sized edge servers, and frame sizes are
+  chosen from the application's accuracy/data-quantity trade-off (see
+  :mod:`repro.mlnet.optimizer`).
+
+Every builder returns an :class:`MlDeployment` with the topology, the
+client hosts, their server assignment, and the server engines.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from ..net.host import Host
+from ..net.routing import install_shortest_path_routes
+from ..net.topology import Topology
+from ..simcore import Simulator
+from .models import MlAppProfile
+from .serving import InferenceServer
+
+GBPS = 1e9
+TEN_GBPS = 10e9
+
+
+@dataclass
+class MlDeployment:
+    """A built topology plus the inference service layout on it."""
+
+    name: str
+    topo: Topology
+    client_hosts: list[Host]
+    #: client host name -> server host name
+    assignment: dict[str, str] = field(default_factory=dict)
+    servers: list[InferenceServer] = field(default_factory=list)
+    #: per-client frame size chosen for this design
+    frame_bytes: int = 0
+
+    def server_for(self, client_name: str) -> str:
+        """Assigned server of a client."""
+        return self.assignment[client_name]
+
+
+def _make_servers(
+    sim: Simulator,
+    topo: Topology,
+    attach_to,
+    count: int,
+    profile: MlAppProfile,
+    prefix: str,
+    bandwidth_bps: float = GBPS,
+) -> list[InferenceServer]:
+    servers = []
+    for index in range(count):
+        host = topo.add_host(f"{prefix}{index}")
+        topo.connect(attach_to, host, bandwidth_bps)
+        servers.append(
+            InferenceServer(
+                sim,
+                host,
+                units=1,
+                service_time_ns=profile.inference_time_ns,
+            )
+        )
+    return servers
+
+
+def _assign_round_robin(
+    clients: list[Host], servers: list[InferenceServer]
+) -> dict[str, str]:
+    return {
+        client.name: servers[index % len(servers)].host.name
+        for index, client in enumerate(clients)
+    }
+
+
+def build_ring_deployment(
+    sim: Simulator,
+    client_count: int,
+    profile: MlAppProfile,
+    clients_per_switch: int = 16,
+    central_servers: int = 6,
+) -> MlDeployment:
+    """Industrial ring with a central compute rack on switch 0."""
+    switch_count = max(4, math.ceil(client_count / clients_per_switch))
+    topo = Topology(sim, name=f"ml-ring-{client_count}")
+    switches = [topo.add_switch(f"sw{i}") for i in range(switch_count)]
+    for i, switch in enumerate(switches):
+        topo.connect(switch, switches[(i + 1) % switch_count], GBPS)
+    clients = []
+    for index in range(client_count):
+        host = topo.add_host(f"c{index}")
+        topo.connect(switches[index % switch_count], host, GBPS)
+        clients.append(host)
+    servers = _make_servers(
+        sim, topo, switches[0], central_servers, profile, prefix="srv"
+    )
+    install_shortest_path_routes(topo)
+    return MlDeployment(
+        name="ring",
+        topo=topo,
+        client_hosts=clients,
+        assignment=_assign_round_robin(clients, servers),
+        servers=servers,
+        frame_bytes=profile.reference_frame_bytes,
+    )
+
+
+def build_leaf_spine_deployment(
+    sim: Simulator,
+    client_count: int,
+    profile: MlAppProfile,
+    clients_per_leaf: int = 32,
+    spine_count: int = 2,
+    central_servers: int = 6,
+) -> MlDeployment:
+    """Leaf-spine fabric with the compute rack under a service leaf."""
+    leaf_count = max(1, math.ceil(client_count / clients_per_leaf))
+    topo = Topology(sim, name=f"ml-leafspine-{client_count}")
+    spines = [topo.add_switch(f"spine{i}") for i in range(spine_count)]
+    leaves = [topo.add_switch(f"leaf{i}") for i in range(leaf_count)]
+    service_leaf = topo.add_switch("leaf_svc")
+    for leaf in leaves + [service_leaf]:
+        for spine in spines:
+            topo.connect(leaf, spine, TEN_GBPS)
+    clients = []
+    for index in range(client_count):
+        host = topo.add_host(f"c{index}")
+        topo.connect(leaves[index // clients_per_leaf], host, GBPS)
+        clients.append(host)
+    servers = _make_servers(
+        sim, topo, service_leaf, central_servers, profile, prefix="srv"
+    )
+    install_shortest_path_routes(topo)
+    return MlDeployment(
+        name="leaf-spine",
+        topo=topo,
+        client_hosts=clients,
+        assignment=_assign_round_robin(clients, servers),
+        servers=servers,
+        frame_bytes=profile.reference_frame_bytes,
+    )
+
+
+def build_ml_aware_deployment(
+    sim: Simulator,
+    client_count: int,
+    profile: MlAppProfile,
+    cell_size: int = 32,
+    servers_per_cell: int | None = None,
+    frame_bytes: int | None = None,
+) -> MlDeployment:
+    """The traffic-aware design: per-cell edge servers, tuned frame size.
+
+    ``servers_per_cell`` and ``frame_bytes`` default to the optimizer's
+    choices (:mod:`repro.mlnet.optimizer`); they are parameters so the
+    ablation benchmarks can explore the design space.
+    """
+    from .optimizer import MlAwareOptimizer  # local import: optimizer uses us
+
+    if servers_per_cell is None or frame_bytes is None:
+        design = MlAwareOptimizer(profile).design(client_count, cell_size)
+        servers_per_cell = servers_per_cell or design.servers_per_cell
+        frame_bytes = frame_bytes or design.frame_bytes
+    cell_count = max(1, math.ceil(client_count / cell_size))
+    topo = Topology(sim, name=f"ml-aware-{client_count}")
+    spine = topo.add_switch("agg")
+    clients: list[Host] = []
+    servers: list[InferenceServer] = []
+    assignment: dict[str, str] = {}
+    for cell_index in range(cell_count):
+        cell_switch = topo.add_switch(f"cell{cell_index}")
+        topo.connect(cell_switch, spine, TEN_GBPS)
+        cell_servers = _make_servers(
+            sim,
+            topo,
+            cell_switch,
+            servers_per_cell,
+            profile,
+            prefix=f"srv{cell_index}_",
+        )
+        servers.extend(cell_servers)
+        low = cell_index * cell_size
+        high = min(client_count, low + cell_size)
+        for index in range(low, high):
+            host = topo.add_host(f"c{index}")
+            topo.connect(cell_switch, host, GBPS)
+            clients.append(host)
+            local = cell_servers[(index - low) % len(cell_servers)]
+            assignment[host.name] = local.host.name
+    install_shortest_path_routes(topo)
+    return MlDeployment(
+        name="ml-aware",
+        topo=topo,
+        client_hosts=clients,
+        assignment=assignment,
+        servers=servers,
+        frame_bytes=frame_bytes,
+    )

@@ -1,0 +1,141 @@
+"""End hosts.
+
+A :class:`Host` owns one or more ports and dispatches received frames to
+registered handlers.  Applications (PLC runtimes, I/O device firmware, ML
+clients, traffic generators) attach via :meth:`on_receive` or by subscribing
+to a flow id.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..simcore import Simulator
+from .device import Device
+from .link import Port
+from .packet import Packet
+from .packet import TrafficClass
+
+ReceiveHandler = Callable[[Packet], None]
+
+
+class Host(Device):
+    """An end station with handler-based packet delivery."""
+
+    def __init__(self, sim: Simulator, name: str) -> None:
+        super().__init__(sim, name)
+        self._handlers: list[ReceiveHandler] = []
+        self._flow_handlers: dict[str, list[ReceiveHandler]] = {}
+        self.received: list[Packet] = []
+        self.record_received = False
+        self.rx_count = 0
+        self.tx_count = 0
+
+    def on_receive(self, handler: ReceiveHandler) -> None:
+        """Register a handler for every frame addressed to this host."""
+        self._handlers.append(handler)
+
+    def on_flow(self, flow_id: str, handler: ReceiveHandler) -> None:
+        """Register a handler only for frames of one flow."""
+        self._flow_handlers.setdefault(flow_id, []).append(handler)
+
+    def receive(self, packet: Packet, in_port: Port) -> None:
+        if packet.dst != self.name and packet.dst != "*":
+            # Frame flooded to us but not ours: drop silently like a NIC
+            # without promiscuous mode.
+            return
+        self.rx_count += 1
+        if self.record_received:
+            self.received.append(packet)
+        for handler in self._handlers:
+            handler(packet)
+        for handler in self._flow_handlers.get(packet.flow_id, ()):
+            handler(packet)
+
+    def send(
+        self,
+        dst: str,
+        payload_bytes: int,
+        traffic_class: TrafficClass = TrafficClass.BEST_EFFORT,
+        flow_id: str = "",
+        payload: dict | None = None,
+        sequence: int = 0,
+        port_index: int | None = None,
+    ) -> Packet:
+        """Create a packet and hand it to the given port for egress."""
+        if not self.ports:
+            raise RuntimeError(f"host {self.name} has no ports")
+        packet = Packet(
+            src=self.name,
+            dst=dst,
+            payload_bytes=payload_bytes,
+            traffic_class=traffic_class,
+            flow_id=flow_id,
+            payload=payload or {},
+            created_ns=self.sim.now,
+            sequence=sequence,
+        )
+        self.tx_count += 1
+        self.ports[self._egress_port_for(dst, port_index)].send(packet)
+        return packet
+
+    def _egress_port_for(self, dst: str, port_index: int | None) -> int:
+        """Pick the egress port (single-homed hosts just use port 0)."""
+        if port_index is not None:
+            return port_index
+        return 0
+
+
+class ServerNode(Host):
+    """A multi-homed host that also forwards — BCube's server-centric role.
+
+    Carries its own forwarding table (destination name -> port index), so
+    routing can run *through* servers.  Forwarding costs
+    ``forwarding_delay_ns`` per transited frame (software NIC-to-NIC
+    forwarding on the server's CPU).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        forwarding_delay_ns: int = 5_000,
+    ) -> None:
+        super().__init__(sim, name)
+        self.forwarding_delay_ns = forwarding_delay_ns
+        self.forwarding_table: dict[str, int] = {}
+        self.forwarded_frames = 0
+
+    #: ServerNodes may be transited by routed paths.
+    can_transit = True
+
+    def install_route(self, destination: str, port_index: int) -> None:
+        """Pin a route for frames this server relays."""
+        if not 0 <= port_index < len(self.ports):
+            raise ValueError(
+                f"{self.name}: port {port_index} does not exist"
+            )
+        self.forwarding_table[destination] = port_index
+
+    def receive(self, packet: Packet, in_port: Port) -> None:
+        if packet.dst == self.name or packet.dst == "*":
+            super().receive(packet, in_port)
+            return
+        out_index = self.forwarding_table.get(packet.dst)
+        if out_index is None or out_index == in_port.index:
+            return  # not ours and no relay route: drop
+        self.sim.schedule(
+            self.forwarding_delay_ns,
+            lambda: self._relay(packet, out_index),
+        )
+
+    def _relay(self, packet: Packet, out_index: int) -> None:
+        packet.hops.append(self.name)
+        self.forwarded_frames += 1
+        self.ports[out_index].send(packet)
+
+    def _egress_port_for(self, dst: str, port_index: int | None) -> int:
+        if port_index is not None:
+            return port_index
+        # Multi-homed: originate along the installed route when known.
+        return self.forwarding_table.get(dst, 0)

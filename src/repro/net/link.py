@@ -1,0 +1,176 @@
+"""Ports and links.
+
+A :class:`Port` belongs to a device and owns an egress queue; a
+:class:`Link` joins exactly two ports.  Transmission is modeled in two
+stages, as on real Ethernet:
+
+1. **Serialization** — the frame occupies the transmitting port for
+   ``wire_size / bandwidth``; the port is busy and further frames queue.
+2. **Propagation** — after serialization the frame travels for the link's
+   propagation delay and is handed to the peer device.
+
+Links can be administratively downed (failure injection) and can drop frames
+through a pluggable loss model — both are needed for the availability
+experiments of Section 4.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Optional
+
+from ..simcore import Simulator
+from .packet import Packet
+from .queues import QueueDiscipline, StrictPriorityQueue
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .device import Device
+
+
+class Port:
+    """One device-side endpoint of a link, with an egress queue."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        device: "Device",
+        index: int,
+        queue: QueueDiscipline | None = None,
+    ) -> None:
+        self.sim = sim
+        self.device = device
+        self.index = index
+        # Explicit None check: an empty queue has len() == 0 and is falsy.
+        self.queue: QueueDiscipline = (
+            queue if queue is not None else StrictPriorityQueue()
+        )
+        self.link: Optional[Link] = None
+        self.shaper = None  # set by repro.tsn when the port is TSN-scheduled
+        self._transmitting = False
+        self.tx_frames = 0
+        self.rx_frames = 0
+        self.tx_bytes = 0
+        self.rx_bytes = 0
+        self.egress_drops = 0
+
+    @property
+    def name(self) -> str:
+        """Human-readable port name, e.g. ``switch1[2]``."""
+        return f"{self.device.name}[{self.index}]"
+
+    @property
+    def peer(self) -> Optional["Port"]:
+        """The port at the other end of the link, if connected."""
+        if self.link is None:
+            return None
+        return self.link.other_end(self)
+
+    def send(self, packet: Packet) -> None:
+        """Queue a frame for egress and start transmitting if idle."""
+        if not self.queue.enqueue(packet):
+            self.egress_drops += 1
+            return
+        self.try_transmit()
+
+    def kick(self) -> None:
+        """Re-evaluate transmission (called by shapers on gate changes)."""
+        self.try_transmit()
+
+    def try_transmit(self) -> None:
+        """Begin transmitting the next eligible frame if the port is idle."""
+        if self._transmitting or self.link is None or not self.link.up:
+            return
+        if self.shaper is not None:
+            packet, retry_ns = self.shaper.select(
+                self.sim.now, self.queue, self.link.bandwidth_bps
+            )
+            if packet is None:
+                if retry_ns is not None and retry_ns > 0:
+                    self.sim.schedule(retry_ns, self.try_transmit)
+                return
+        else:
+            packet = self.queue.dequeue()
+            if packet is None:
+                return
+        self._transmitting = True
+        tx_ns = packet.serialization_time_ns(self.link.bandwidth_bps)
+        self.sim.schedule(tx_ns, lambda: self._finish_transmit(packet))
+
+    def _finish_transmit(self, packet: Packet) -> None:
+        self._transmitting = False
+        self.tx_frames += 1
+        self.tx_bytes += packet.wire_size_bytes
+        if self.link is not None:
+            self.link.propagate(packet, self)
+        self.try_transmit()
+
+    def deliver(self, packet: Packet) -> None:
+        """Called by the link when a frame arrives at this port."""
+        self.rx_frames += 1
+        self.rx_bytes += packet.wire_size_bytes
+        self.device.receive(packet, self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Port({self.name})"
+
+
+class Link:
+    """A full-duplex point-to-point link between two ports."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        port_a: Port,
+        port_b: Port,
+        bandwidth_bps: float = 1e9,
+        propagation_delay_ns: int = 500,
+        loss_model: Callable[[Packet], bool] | None = None,
+    ) -> None:
+        if bandwidth_bps <= 0:
+            raise ValueError("bandwidth must be positive")
+        if propagation_delay_ns < 0:
+            raise ValueError("propagation delay cannot be negative")
+        self.sim = sim
+        self.port_a = port_a
+        self.port_b = port_b
+        self.bandwidth_bps = bandwidth_bps
+        self.propagation_delay_ns = propagation_delay_ns
+        self.loss_model = loss_model
+        self.up = True
+        self.lost_frames = 0
+        port_a.link = self
+        port_b.link = self
+
+    def other_end(self, port: Port) -> Port:
+        """The port opposite ``port`` on this link."""
+        if port is self.port_a:
+            return self.port_b
+        if port is self.port_b:
+            return self.port_a
+        raise ValueError(f"{port!r} is not attached to this link")
+
+    def propagate(self, packet: Packet, from_port: Port) -> None:
+        """Carry a serialized frame to the far end (may drop it)."""
+        if not self.up:
+            self.lost_frames += 1
+            return
+        if self.loss_model is not None and self.loss_model(packet):
+            self.lost_frames += 1
+            return
+        destination = self.other_end(from_port)
+        self.sim.schedule(
+            self.propagation_delay_ns, lambda: destination.deliver(packet)
+        )
+
+    def set_up(self) -> None:
+        """Restore the link and restart any stalled transmissions."""
+        self.up = True
+        self.port_a.try_transmit()
+        self.port_b.try_transmit()
+
+    def set_down(self) -> None:
+        """Fail the link: in-queue frames stall, in-flight frames are lost."""
+        self.up = False
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "up" if self.up else "DOWN"
+        return f"Link({self.port_a.name}<->{self.port_b.name}, {state})"

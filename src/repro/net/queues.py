@@ -1,0 +1,124 @@
+"""Egress queue disciplines.
+
+Each output port owns a queue discipline deciding which frame transmits
+next.  Three disciplines cover the paper's scenarios:
+
+- :class:`FifoQueue` — plain store-and-forward (legacy industrial switches);
+- :class:`StrictPriorityQueue` — 802.1Q strict priority by PCP, the default
+  for converged IT/OT switches here;
+- the TSN time-aware shaper lives in :mod:`repro.tsn.shaper` and wraps one
+  of these per gate.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterable, Protocol
+
+from .packet import Packet
+
+
+class QueueDiscipline(Protocol):
+    """Interface every egress queue implements."""
+
+    def enqueue(self, packet: Packet) -> bool:
+        """Accept a frame.  Returns ``False`` when the frame was dropped."""
+        ...
+
+    def dequeue(self) -> Packet | None:
+        """Pop the next frame to transmit, or ``None`` when empty."""
+        ...
+
+    def __len__(self) -> int:
+        ...
+
+
+class FifoQueue:
+    """Single FIFO with a finite capacity (drop-tail)."""
+
+    def __init__(self, capacity: int = 1000) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be at least 1")
+        self.capacity = capacity
+        self._queue: deque[Packet] = deque()
+        self.drops = 0
+
+    def enqueue(self, packet: Packet) -> bool:
+        if len(self._queue) >= self.capacity:
+            self.drops += 1
+            return False
+        self._queue.append(packet)
+        return True
+
+    def dequeue(self) -> Packet | None:
+        if not self._queue:
+            return None
+        return self._queue.popleft()
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+
+class StrictPriorityQueue:
+    """Eight PCP-indexed FIFOs served in strict priority order.
+
+    Higher PCP always wins; within a PCP, FIFO order.  This is the 802.1Q
+    default transmission-selection algorithm.
+    """
+
+    PCP_LEVELS = 8
+
+    def __init__(self, capacity_per_class: int = 500) -> None:
+        if capacity_per_class < 1:
+            raise ValueError("capacity must be at least 1")
+        self.capacity_per_class = capacity_per_class
+        self._queues: list[deque[Packet]] = [
+            deque() for _ in range(self.PCP_LEVELS)
+        ]
+        self.drops = 0
+
+    def enqueue(self, packet: Packet) -> bool:
+        pcp = packet.traffic_class.pcp
+        queue = self._queues[pcp]
+        if len(queue) >= self.capacity_per_class:
+            self.drops += 1
+            return False
+        queue.append(packet)
+        return True
+
+    def dequeue(self) -> Packet | None:
+        for queue in reversed(self._queues):
+            if queue:
+                return queue.popleft()
+        return None
+
+    def dequeue_from(self, allowed_pcps: Iterable[int]) -> Packet | None:
+        """Pop the highest-priority frame among the allowed PCPs only.
+
+        Used by the TSN time-aware shaper: only queues whose gate is open
+        may transmit.
+        """
+        allowed = set(allowed_pcps)
+        for pcp in range(self.PCP_LEVELS - 1, -1, -1):
+            if pcp in allowed and self._queues[pcp]:
+                return self._queues[pcp].popleft()
+        return None
+
+    def peek_from(self, allowed_pcps: Iterable[int]) -> Packet | None:
+        """Like :meth:`dequeue_from` but without removing the frame."""
+        allowed = set(allowed_pcps)
+        for pcp in range(self.PCP_LEVELS - 1, -1, -1):
+            if pcp in allowed and self._queues[pcp]:
+                return self._queues[pcp][0]
+        return None
+
+    def occupancy_by_pcp(self) -> dict[int, int]:
+        """Queue depth per PCP (only non-empty classes)."""
+        return {
+            pcp: len(queue)
+            for pcp, queue in enumerate(self._queues)
+            if queue
+        }
+
+    def __len__(self) -> int:
+        return sum(len(queue) for queue in self._queues)

@@ -1,0 +1,96 @@
+"""Store-and-forward Ethernet switch.
+
+The switch forwards by destination name using either a static forwarding
+table (installed by :mod:`repro.net.routing`) or MAC-style learning with
+flooding.  A configurable processing latency models the store-and-forward
+pipeline (lookup + switching fabric), which for industrial switches is a
+documented per-hop cost.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..simcore import Simulator
+from .device import Device
+from .link import Port
+from .packet import Packet
+from .queues import QueueDiscipline, StrictPriorityQueue
+
+
+class Switch(Device):
+    """A learning switch with per-port strict-priority egress queues."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        processing_delay_ns: int = 1_000,
+        queue_factory: Callable[[], QueueDiscipline] | None = None,
+    ) -> None:
+        super().__init__(sim, name)
+        if processing_delay_ns < 0:
+            raise ValueError("processing delay cannot be negative")
+        self.processing_delay_ns = processing_delay_ns
+        self._queue_factory = queue_factory or StrictPriorityQueue
+        #: destination name -> egress port index (static routes win over
+        #: learned entries)
+        self.forwarding_table: dict[str, int] = {}
+        self._learned: dict[str, int] = {}
+        self.learning_enabled = True
+        self.forwarded_frames = 0
+        self.flooded_frames = 0
+        self.filtered_frames = 0
+        #: observers called on every received frame (monitoring hooks)
+        self.taps: list[Callable[[Packet, Port], None]] = []
+
+    def add_port(self, queue: QueueDiscipline | None = None) -> Port:
+        """Attach a port, defaulting to this switch's queue factory."""
+        if queue is None:
+            queue = self._queue_factory()
+        return super().add_port(queue=queue)
+
+    def install_route(self, destination: str, port_index: int) -> None:
+        """Pin a static route for ``destination`` to a local port."""
+        if not 0 <= port_index < len(self.ports):
+            raise ValueError(
+                f"{self.name}: port {port_index} does not exist "
+                f"(have {len(self.ports)})"
+            )
+        self.forwarding_table[destination] = port_index
+
+    def receive(self, packet: Packet, in_port: Port) -> None:
+        """Learn, look up, and forward after the processing delay."""
+        for tap in self.taps:
+            tap(packet, in_port)
+        if self.learning_enabled and packet.src:
+            self._learned[packet.src] = in_port.index
+        self.sim.schedule(
+            self.processing_delay_ns, lambda: self._forward(packet, in_port)
+        )
+
+    def _forward(self, packet: Packet, in_port: Port) -> None:
+        packet.hops.append(self.name)
+        out_index = self.forwarding_table.get(packet.dst)
+        if out_index is None:
+            out_index = self._learned.get(packet.dst)
+        if out_index is None:
+            self._flood(packet, in_port)
+            return
+        if out_index == in_port.index:
+            # Destination is back where the frame came from: filter it, as a
+            # real bridge would.
+            self.filtered_frames += 1
+            return
+        self.forwarded_frames += 1
+        self.ports[out_index].send(packet)
+
+    def _flood(self, packet: Packet, in_port: Port) -> None:
+        self.flooded_frames += 1
+        for port in self.ports:
+            if port.index != in_port.index and port.link is not None:
+                port.send(packet.copy_for_replication())
+
+    def clear_learned(self) -> None:
+        """Forget all dynamically learned addresses."""
+        self._learned.clear()

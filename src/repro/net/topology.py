@@ -1,0 +1,355 @@
+"""Topology container and builders.
+
+Section 2.3 contrasts industrial topologies — "line, ring, star, or tree,
+carefully engineered ... largely static after commissioning" — with
+data-center designs (Clos, fat-tree, leaf-spine).  This module builds all of
+them over the same :class:`Device`/:class:`Link` substrate so the Figure 6
+experiments can compare them directly.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable
+
+from ..simcore import Simulator
+from .device import Device
+from .host import Host, ServerNode
+from .link import Link
+from .packet import Packet
+from .queues import QueueDiscipline
+from .switch import Switch
+
+#: Industrial copper/fiber run at cell scale: ~100 m => ~500 ns.
+DEFAULT_PROP_DELAY_NS = 500
+#: Gigabit Ethernet, the common industrial/TSN rate.
+DEFAULT_BANDWIDTH_BPS = 1e9
+
+
+class Topology:
+    """A named collection of devices and the links joining them."""
+
+    def __init__(self, sim: Simulator, name: str = "topology") -> None:
+        self.sim = sim
+        self.name = name
+        self.devices: dict[str, Device] = {}
+        self.links: list[Link] = []
+
+    # -- construction -------------------------------------------------------
+
+    def add_switch(self, name: str, **kwargs) -> Switch:
+        """Create a switch and register it."""
+        return self._register(Switch(self.sim, name, **kwargs))
+
+    def add_host(self, name: str) -> Host:
+        """Create a host and register it."""
+        return self._register(Host(self.sim, name))
+
+    def add_server(self, name: str, forwarding_delay_ns: int = 5_000) -> ServerNode:
+        """Create a forwarding server (for server-centric topologies)."""
+        return self._register(ServerNode(self.sim, name, forwarding_delay_ns))
+
+    def add_device(self, device: Device) -> Device:
+        """Register an externally constructed device (e.g. a P4 switch)."""
+        return self._register(device)
+
+    def _register(self, device: Device) -> Device:
+        if device.name in self.devices:
+            raise ValueError(f"duplicate device name {device.name!r}")
+        self.devices[device.name] = device
+        return device
+
+    def connect(
+        self,
+        a: "Device | str",
+        b: "Device | str",
+        bandwidth_bps: float = DEFAULT_BANDWIDTH_BPS,
+        propagation_delay_ns: int = DEFAULT_PROP_DELAY_NS,
+        loss_model: Callable[[Packet], bool] | None = None,
+        queue_a: QueueDiscipline | None = None,
+        queue_b: QueueDiscipline | None = None,
+    ) -> Link:
+        """Create a full-duplex link between two devices."""
+        device_a = self._resolve(a)
+        device_b = self._resolve(b)
+        port_a = device_a.add_port(queue=queue_a)
+        port_b = device_b.add_port(queue=queue_b)
+        link = Link(
+            self.sim,
+            port_a,
+            port_b,
+            bandwidth_bps=bandwidth_bps,
+            propagation_delay_ns=propagation_delay_ns,
+            loss_model=loss_model,
+        )
+        self.links.append(link)
+        return link
+
+    def _resolve(self, device: "Device | str") -> Device:
+        if isinstance(device, Device):
+            return device
+        try:
+            return self.devices[device]
+        except KeyError:
+            raise KeyError(f"no device named {device!r} in {self.name}") from None
+
+    # -- queries ------------------------------------------------------------
+
+    def hosts(self) -> list[Host]:
+        """All registered hosts, in insertion order."""
+        return [d for d in self.devices.values() if isinstance(d, Host)]
+
+    def switches(self) -> list[Switch]:
+        """All registered switches, in insertion order."""
+        return [d for d in self.devices.values() if isinstance(d, Switch)]
+
+    def adjacency(self, only_up: bool = False) -> dict[str, list[tuple[str, int]]]:
+        """Adjacency map: device name -> [(neighbor name, local port index)].
+
+        With ``only_up`` set, administratively/physically down links are
+        excluded — the view a reconverging control plane works from.
+        """
+        result: dict[str, list[tuple[str, int]]] = {
+            name: [] for name in self.devices
+        }
+        for link in self.links:
+            if only_up and not link.up:
+                continue
+            a, b = link.port_a, link.port_b
+            result[a.device.name].append((b.device.name, a.index))
+            result[b.device.name].append((a.device.name, b.index))
+        return result
+
+    def link_between(self, a: str, b: str) -> Link | None:
+        """The first link joining devices ``a`` and ``b``, if any."""
+        for link in self.links:
+            ends = {link.port_a.device.name, link.port_b.device.name}
+            if ends == {a, b}:
+                return link
+        return None
+
+    def is_connected(self) -> bool:
+        """True when every device is reachable from every other."""
+        if not self.devices:
+            return True
+        adjacency = self.adjacency()
+        start = next(iter(self.devices))
+        seen = {start}
+        frontier = [start]
+        while frontier:
+            current = frontier.pop()
+            for neighbor, _ in adjacency[current]:
+                if neighbor not in seen:
+                    seen.add(neighbor)
+                    frontier.append(neighbor)
+        return len(seen) == len(self.devices)
+
+
+# -- builders ----------------------------------------------------------------
+
+
+def build_line(
+    sim: Simulator,
+    host_count: int,
+    bandwidth_bps: float = DEFAULT_BANDWIDTH_BPS,
+    propagation_delay_ns: int = DEFAULT_PROP_DELAY_NS,
+) -> Topology:
+    """A line of switches, one host per switch — classic fieldbus daisy chain."""
+    if host_count < 1:
+        raise ValueError("need at least one host")
+    topo = Topology(sim, name=f"line{host_count}")
+    previous: Switch | None = None
+    for i in range(host_count):
+        switch = topo.add_switch(f"sw{i}")
+        host = topo.add_host(f"h{i}")
+        topo.connect(switch, host, bandwidth_bps, propagation_delay_ns)
+        if previous is not None:
+            topo.connect(previous, switch, bandwidth_bps, propagation_delay_ns)
+        previous = switch
+    return topo
+
+
+def build_ring(
+    sim: Simulator,
+    switch_count: int,
+    hosts_per_switch: int = 1,
+    bandwidth_bps: float = DEFAULT_BANDWIDTH_BPS,
+    propagation_delay_ns: int = DEFAULT_PROP_DELAY_NS,
+) -> Topology:
+    """An industrial ring (e.g. MRP): switches in a cycle, hosts hanging off.
+
+    Note: ring routing must break the loop; :mod:`repro.net.routing` computes
+    loop-free shortest paths, playing the role of the ring protocol's blocked
+    port.
+    """
+    if switch_count < 3:
+        raise ValueError("a ring needs at least three switches")
+    topo = Topology(sim, name=f"ring{switch_count}")
+    switches = [topo.add_switch(f"sw{i}") for i in range(switch_count)]
+    for i, switch in enumerate(switches):
+        topo.connect(
+            switch,
+            switches[(i + 1) % switch_count],
+            bandwidth_bps,
+            propagation_delay_ns,
+        )
+        for j in range(hosts_per_switch):
+            host = topo.add_host(f"h{i}_{j}")
+            topo.connect(switch, host, bandwidth_bps, propagation_delay_ns)
+    return topo
+
+
+def build_star(
+    sim: Simulator,
+    host_count: int,
+    bandwidth_bps: float = DEFAULT_BANDWIDTH_BPS,
+    propagation_delay_ns: int = DEFAULT_PROP_DELAY_NS,
+) -> Topology:
+    """One central switch with all hosts attached."""
+    if host_count < 1:
+        raise ValueError("need at least one host")
+    topo = Topology(sim, name=f"star{host_count}")
+    center = topo.add_switch("sw0")
+    for i in range(host_count):
+        host = topo.add_host(f"h{i}")
+        topo.connect(center, host, bandwidth_bps, propagation_delay_ns)
+    return topo
+
+
+def build_tree(
+    sim: Simulator,
+    depth: int,
+    fanout: int,
+    hosts_per_leaf: int = 1,
+    bandwidth_bps: float = DEFAULT_BANDWIDTH_BPS,
+    propagation_delay_ns: int = DEFAULT_PROP_DELAY_NS,
+) -> Topology:
+    """A balanced switch tree with hosts under the leaf switches."""
+    if depth < 1 or fanout < 1:
+        raise ValueError("depth and fanout must be at least 1")
+    topo = Topology(sim, name=f"tree_d{depth}_f{fanout}")
+    root = topo.add_switch("sw_root")
+    level = [root]
+    counter = 0
+    for current_depth in range(1, depth + 1):
+        next_level = []
+        for parent in level:
+            for _ in range(fanout):
+                child = topo.add_switch(f"sw{counter}")
+                counter += 1
+                topo.connect(parent, child, bandwidth_bps, propagation_delay_ns)
+                next_level.append(child)
+        level = next_level
+    for leaf_index, leaf in enumerate(level):
+        for j in range(hosts_per_leaf):
+            host = topo.add_host(f"h{leaf_index}_{j}")
+            topo.connect(leaf, host, bandwidth_bps, propagation_delay_ns)
+    return topo
+
+
+def build_leaf_spine(
+    sim: Simulator,
+    leaf_count: int,
+    spine_count: int,
+    hosts_per_leaf: int,
+    bandwidth_bps: float = DEFAULT_BANDWIDTH_BPS,
+    uplink_bandwidth_bps: float | None = None,
+    propagation_delay_ns: int = DEFAULT_PROP_DELAY_NS,
+) -> Topology:
+    """A two-tier leaf-spine fabric (every leaf connects to every spine)."""
+    if leaf_count < 1 or spine_count < 1:
+        raise ValueError("need at least one leaf and one spine")
+    uplink = uplink_bandwidth_bps or bandwidth_bps
+    topo = Topology(sim, name=f"leafspine_{leaf_count}x{spine_count}")
+    spines = [topo.add_switch(f"spine{i}") for i in range(spine_count)]
+    for leaf_index in range(leaf_count):
+        leaf = topo.add_switch(f"leaf{leaf_index}")
+        for spine in spines:
+            topo.connect(leaf, spine, uplink, propagation_delay_ns)
+        for j in range(hosts_per_leaf):
+            host = topo.add_host(f"h{leaf_index}_{j}")
+            topo.connect(leaf, host, bandwidth_bps, propagation_delay_ns)
+    return topo
+
+
+def build_fat_tree(
+    sim: Simulator,
+    k: int,
+    bandwidth_bps: float = DEFAULT_BANDWIDTH_BPS,
+    propagation_delay_ns: int = DEFAULT_PROP_DELAY_NS,
+) -> Topology:
+    """A k-ary fat tree (k even): k pods, k^2/4 cores, k^3/4 hosts."""
+    if k < 2 or k % 2 != 0:
+        raise ValueError("fat tree requires an even k >= 2")
+    topo = Topology(sim, name=f"fattree_k{k}")
+    half = k // 2
+    cores = [topo.add_switch(f"core{i}") for i in range(half * half)]
+    for pod in range(k):
+        aggs = [topo.add_switch(f"agg{pod}_{i}") for i in range(half)]
+        edges = [topo.add_switch(f"edge{pod}_{i}") for i in range(half)]
+        for agg_index, agg in enumerate(aggs):
+            for edge in edges:
+                topo.connect(agg, edge, bandwidth_bps, propagation_delay_ns)
+            for c in range(half):
+                core = cores[agg_index * half + c]
+                topo.connect(core, agg, bandwidth_bps, propagation_delay_ns)
+        for edge_index, edge in enumerate(edges):
+            for h in range(half):
+                host = topo.add_host(f"h{pod}_{edge_index}_{h}")
+                topo.connect(edge, host, bandwidth_bps, propagation_delay_ns)
+    return topo
+
+
+def build_bcube(
+    sim: Simulator,
+    n: int,
+    k: int = 1,
+    bandwidth_bps: float = DEFAULT_BANDWIDTH_BPS,
+    propagation_delay_ns: int = DEFAULT_PROP_DELAY_NS,
+) -> Topology:
+    """A BCube(n, k): server-centric recursive topology (Guo et al.).
+
+    ``n^(k+1)`` hosts; level-l has ``n^k`` switches, each connecting the
+    ``n`` hosts whose index differs only in digit ``l`` of their base-n
+    representation.  Hosts are :class:`ServerNode` instances, multi-homed
+    with ``k+1`` ports and able to relay — the server-centric property
+    that distinguishes BCube from switch-centric fabrics.
+    """
+    if n < 2 or k < 0:
+        raise ValueError("BCube requires n >= 2 and k >= 0")
+    topo = Topology(sim, name=f"bcube_n{n}_k{k}")
+    host_count = n ** (k + 1)
+    hosts = [topo.add_server(f"h{i}") for i in range(host_count)]
+    for level in range(k + 1):
+        stride = n**level
+        switch_count = host_count // n
+        for switch_index in range(switch_count):
+            switch = topo.add_switch(f"sw{level}_{switch_index}")
+            # Hosts connected to this level-l switch share all base-n
+            # digits except digit l.
+            base = (switch_index % stride) + (switch_index // stride) * (
+                stride * n
+            )
+            for j in range(n):
+                host = hosts[base + j * stride]
+                topo.connect(switch, host, bandwidth_bps, propagation_delay_ns)
+    return topo
+
+
+def path_hop_count(topo: Topology, src: str, dst: str) -> int:
+    """Number of links on the shortest path between two devices (BFS)."""
+    if src == dst:
+        return 0
+    adjacency = topo.adjacency()
+    seen = {src}
+    frontier: list[tuple[str, int]] = [(src, 0)]
+    while frontier:
+        next_frontier: list[tuple[str, int]] = []
+        for current, distance in frontier:
+            for neighbor, _ in adjacency[current]:
+                if neighbor == dst:
+                    return distance + 1
+                if neighbor not in seen:
+                    seen.add(neighbor)
+                    next_frontier.append((neighbor, distance + 1))
+        frontier = next_frontier
+    raise ValueError(f"no path from {src!r} to {dst!r}")

@@ -1,0 +1,31 @@
+"""P4-style programmable data plane.
+
+- :mod:`repro.p4.pipeline` — parser, match-action tables, actions,
+  registers, digests;
+- :mod:`repro.p4.switch` — the software switch device with a Python
+  control-plane API (the paper's DPDK SWX + P4 stand-in).
+"""
+
+from .pipeline import (
+    MatchKind,
+    P4Pipeline,
+    PacketContext,
+    PipelineStage,
+    Register,
+    Table,
+    TableEntry,
+)
+from .switch import P4Switch, REWRITABLE_FIELDS, default_parser
+
+__all__ = [
+    "MatchKind",
+    "P4Pipeline",
+    "P4Switch",
+    "PacketContext",
+    "PipelineStage",
+    "REWRITABLE_FIELDS",
+    "Register",
+    "Table",
+    "TableEntry",
+    "default_parser",
+]

@@ -1,0 +1,112 @@
+"""Execution-platform timing models: hardware PLC vs virtual PLC.
+
+Section 2.1's core claim is that virtualization stacks do not meet OT timing
+requirements: hardware PLCs use ASICs/FPGAs with sub-microsecond jitter,
+while vPLCs inherit the host network and kernel's noise — even with
+PREEMPT_RT, "unpredictable kernel-induced latencies" remain, and stock
+kernels are far worse.
+
+Each platform yields a *release jitter* sampler (extra nanoseconds added to
+every cyclic activation) built from:
+
+- a Gaussian base component (scheduler wake-up precision);
+- a lognormal tail (cache/SMI/softirq interference);
+- rare long spikes (kernel housekeeping, memory reclaim) with configurable
+  probability — the events behind consecutive-jitter bursts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from ..simcore.units import MS, US
+
+
+@dataclass(frozen=True)
+class PlatformModel:
+    """Timing-noise parameters of one execution platform."""
+
+    name: str
+    base_mean_ns: float
+    base_std_ns: float
+    tail_scale_ns: float
+    tail_sigma: float
+    spike_probability: float
+    spike_min_ns: float
+    spike_max_ns: float
+    scan_overhead_ns: int
+
+    def jitter_sampler(self, rng: np.random.Generator) -> Callable[[], int]:
+        """Build a per-activation release-jitter sampler (ns, >= 0)."""
+
+        def sample() -> int:
+            value = rng.normal(self.base_mean_ns, self.base_std_ns)
+            value += rng.lognormal(mean=0.0, sigma=self.tail_sigma) * self.tail_scale_ns
+            if self.spike_probability > 0 and rng.random() < self.spike_probability:
+                value += rng.uniform(self.spike_min_ns, self.spike_max_ns)
+            return max(0, int(value))
+
+        return sample
+
+    def scan_time_sampler(
+        self, rng: np.random.Generator, program_exec_ns: int
+    ) -> Callable[[], int]:
+        """Scan-time sampler: program execution plus platform overhead/noise."""
+        jitter = self.jitter_sampler(rng)
+
+        def sample() -> int:
+            return program_exec_ns + self.scan_overhead_ns + jitter()
+
+        return sample
+
+
+#: Hardware PLC with an ASIC/FPGA cycle engine (Section 2.1's baseline):
+#: sub-microsecond activation precision, no long tails.
+HARDWARE_PLC = PlatformModel(
+    name="hardware-plc",
+    base_mean_ns=150.0,
+    base_std_ns=40.0,
+    tail_scale_ns=20.0,
+    tail_sigma=0.5,
+    spike_probability=0.0,
+    spike_min_ns=0.0,
+    spike_max_ns=0.0,
+    scan_overhead_ns=2_000,
+)
+
+#: vPLC on Linux + PREEMPT_RT: microsecond-scale wake-up noise with
+#: occasional tens-of-microseconds kernel-induced latencies.
+VPLC_PREEMPT_RT = PlatformModel(
+    name="vplc-preempt-rt",
+    base_mean_ns=3_000.0,
+    base_std_ns=1_200.0,
+    tail_scale_ns=800.0,
+    tail_sigma=1.0,
+    spike_probability=2e-4,
+    spike_min_ns=20.0 * US,
+    spike_max_ns=150.0 * US,
+    scan_overhead_ns=8_000,
+)
+
+#: vPLC on a stock kernel: larger baseline noise and millisecond spikes —
+#: the configuration that visibly violates cycle budgets.
+VPLC_STOCK_KERNEL = PlatformModel(
+    name="vplc-stock-kernel",
+    base_mean_ns=8_000.0,
+    base_std_ns=4_000.0,
+    tail_scale_ns=3_000.0,
+    tail_sigma=1.3,
+    spike_probability=2e-3,
+    spike_min_ns=200.0 * US,
+    spike_max_ns=5.0 * MS,
+    scan_overhead_ns=15_000,
+)
+
+#: All built-in platforms by name.
+PLATFORMS: dict[str, PlatformModel] = {
+    model.name: model
+    for model in (HARDWARE_PLC, VPLC_PREEMPT_RT, VPLC_STOCK_KERNEL)
+}

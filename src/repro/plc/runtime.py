@@ -1,0 +1,176 @@
+"""The PLC runtime: scan cycles over assigned I/O devices.
+
+A :class:`PlcRuntime` executes the classic PLC loop — read the process
+image, execute the control program, write outputs — once per cycle, and
+owns one fieldbus :class:`CyclicConnection` per assigned I/O device.  The
+process image namespaces IO by device: input ``"dev1.counter"`` is key
+``counter`` from device ``dev1``; output ``"dev1.valve"`` is sent to it.
+
+The runtime's timing behaviour comes from its :class:`PlatformModel`
+(hardware vs vPLC), which is what the Section 2.1 experiments vary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+import numpy as np
+
+from ..fieldbus.controller import CyclicConnection
+from ..fieldbus.protocol import ArState, ConnectionParams
+from ..net.host import Host
+from ..simcore import Process, Simulator
+from .platform import PlatformModel, HARDWARE_PLC
+from .program import FunctionBlockProgram
+
+
+@dataclass
+class ScanStats:
+    """Scan-cycle statistics."""
+
+    scans: int = 0
+    overruns: int = 0
+    scan_times_ns: list[int] = field(default_factory=list)
+    scan_start_times_ns: list[int] = field(default_factory=list)
+
+
+class PlcRuntime:
+    """One (virtual or hardware) PLC instance."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        host: Host,
+        program: FunctionBlockProgram,
+        cycle_ns: int,
+        platform: PlatformModel = HARDWARE_PLC,
+        rng: np.random.Generator | None = None,
+        program_exec_ns: int = 20_000,
+        name: str | None = None,
+    ) -> None:
+        if cycle_ns <= 0:
+            raise ValueError("cycle time must be positive")
+        self.sim = sim
+        self.host = host
+        self.program = program
+        self.cycle_ns = cycle_ns
+        self.platform = platform
+        self.name = name or host.name
+        self.rng = rng if rng is not None else sim.streams.stream(f"plc/{self.name}")
+        self._scan_time_fn = platform.scan_time_sampler(self.rng, program_exec_ns)
+        self._release_jitter_fn = platform.jitter_sampler(self.rng)
+        self.connections: dict[str, CyclicConnection] = {}
+        self.stats = ScanStats()
+        self.running = False
+        self.crashed = False
+        self._scan_process: Process | None = None
+        self.on_crash: list[Callable[[], None]] = []
+
+    # -- configuration -------------------------------------------------------
+
+    def assign_device(
+        self, device_name: str, params: ConnectionParams | None = None
+    ) -> CyclicConnection:
+        """Declare an I/O device this PLC controls."""
+        if device_name in self.connections:
+            raise ValueError(f"device {device_name!r} already assigned")
+        connection = CyclicConnection(
+            sim=self.sim,
+            host=self.host,
+            device_name=device_name,
+            params=params or ConnectionParams(cycle_ns=self.cycle_ns),
+            release_jitter_fn=self._release_jitter_fn,
+        )
+        self.connections[device_name] = connection
+        return connection
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> None:
+        """Open all device connections and begin scanning."""
+        if self.running:
+            return
+        if self.crashed:
+            self.crashed = False  # restarted instance
+        self.running = True
+        for connection in self.connections.values():
+            if connection.state in (ArState.IDLE, ArState.ABORTED):
+                connection.open()
+        self._scan_process = self.sim.process(
+            self._scan_loop(), name=f"plc:{self.name}/scan"
+        )
+
+    def stop(self) -> None:
+        """Orderly shutdown: release connections, stop scanning."""
+        self.running = False
+        if self._scan_process is not None:
+            self._scan_process.stop()
+            self._scan_process = None
+        for connection in self.connections.values():
+            connection.release()
+
+    def crash(self) -> None:
+        """Crash-stop: the PLC vanishes without releasing anything.
+
+        This is the failure InstaPLC and the redundancy baselines detect.
+        """
+        if self.crashed:
+            return
+        self.running = False
+        self.crashed = True
+        if self._scan_process is not None:
+            self._scan_process.stop()
+            self._scan_process = None
+        for connection in self.connections.values():
+            connection.fail_silently()
+        for callback in self.on_crash:
+            callback()
+        self.sim.trace(f"plc:{self.name} crashed")
+
+    # -- the scan loop -------------------------------------------------------
+
+    def _scan_loop(self):
+        next_release = self.sim.now
+        dt_s = self.cycle_ns / 1e9
+        while self.running:
+            start = self.sim.now
+            self.stats.scan_start_times_ns.append(start)
+            image = self._read_process_image()
+            outputs = self.program.execute(image, dt_s)
+            self._write_process_image(outputs)
+            scan_ns = self._scan_time_fn()
+            self.stats.scans += 1
+            self.stats.scan_times_ns.append(scan_ns)
+            if scan_ns > self.cycle_ns:
+                self.stats.overruns += 1
+            yield scan_ns
+            next_release += self.cycle_ns
+            yield max(0, next_release - self.sim.now)
+
+    def _read_process_image(self) -> dict[str, Any]:
+        image: dict[str, Any] = {}
+        for device_name, connection in self.connections.items():
+            for key, value in connection.inputs.items():
+                image[f"{device_name}.{key}"] = value
+        return image
+
+    def _write_process_image(self, outputs: dict[str, Any]) -> None:
+        for image_key, value in outputs.items():
+            device_name, _, key = image_key.partition(".")
+            connection = self.connections.get(device_name)
+            if connection is not None and key:
+                connection.outputs[key] = value
+
+    # -- queries -------------------------------------------------------------
+
+    @property
+    def all_running(self) -> bool:
+        """True when every device connection reached RUNNING."""
+        return bool(self.connections) and all(
+            c.state is ArState.RUNNING for c in self.connections.values()
+        )
+
+    def inputs_of(self, device_name: str) -> dict[str, Any]:
+        """Latest inputs received from one device."""
+        return dict(self.connections[device_name].inputs)

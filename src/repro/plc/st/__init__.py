@@ -1,0 +1,34 @@
+"""IEC 61131-3 Structured Text for vPLCs.
+
+A lexer, parser, and scan-cycle interpreter for the ST subset industrial
+control programs actually use: typed variable blocks, IF/CASE/WHILE/
+REPEAT/FOR, expressions, TIME literals, and the standard timer/counter/
+edge function blocks (TON, TOF, CTU, CTD, R_TRIG, F_TRIG).
+
+>>> from repro.plc.st import compile_st
+>>> program = compile_st('''
+...     VAR_INPUT level : REAL; END_VAR
+...     VAR_OUTPUT pump : BOOL; END_VAR
+...     pump := level > 80.0;
+... ''')
+>>> program.execute({"level": 91.0}, dt_s=0.002)
+{'pump': True}
+"""
+
+from .ast import Program
+from .interpreter import StProgram, StRuntimeError, compile_st
+from .lexer import StSyntaxError, Token, TokenKind, tokenize
+from .parser import parse, parse_time_literal
+
+__all__ = [
+    "Program",
+    "StProgram",
+    "StRuntimeError",
+    "StSyntaxError",
+    "Token",
+    "TokenKind",
+    "compile_st",
+    "parse",
+    "parse_time_literal",
+    "tokenize",
+]

@@ -1,0 +1,161 @@
+"""Abstract syntax tree for the Structured Text subset."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Union
+
+# -- expressions ---------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class NumberLit:
+    """Integer, real, or TIME literal (TIME is stored in seconds)."""
+
+    value: float
+    is_integer: bool = False
+
+
+@dataclass(frozen=True)
+class BoolLit:
+    value: bool
+
+
+@dataclass(frozen=True)
+class VarRef:
+    name: str
+
+
+@dataclass(frozen=True)
+class FieldRef:
+    """Access to a function-block instance output, e.g. ``timer.Q``."""
+
+    instance: str
+    fieldname: str
+
+
+@dataclass(frozen=True)
+class UnaryOp:
+    op: str  # 'not' | '-'
+    operand: "Expr"
+
+
+@dataclass(frozen=True)
+class BinaryOp:
+    op: str  # + - * / mod = <> < <= > >= and or xor
+    left: "Expr"
+    right: "Expr"
+
+
+Expr = Union[NumberLit, BoolLit, VarRef, FieldRef, UnaryOp, BinaryOp]
+
+
+# -- statements -----------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Assign:
+    target: str
+    expr: Expr
+
+
+@dataclass(frozen=True)
+class FbCall:
+    """Invocation of a declared function-block instance."""
+
+    instance: str
+    args: tuple[tuple[str, Expr], ...]
+
+
+@dataclass(frozen=True)
+class IfStmt:
+    #: (condition, body) per IF/ELSIF branch, in order
+    branches: tuple[tuple[Expr, tuple["Stmt", ...]], ...]
+    else_body: tuple["Stmt", ...] = ()
+
+
+@dataclass(frozen=True)
+class CaseEntry:
+    """One CASE alternative: explicit values and/or inclusive ranges."""
+
+    values: tuple[float, ...]
+    ranges: tuple[tuple[float, float], ...]
+    body: tuple["Stmt", ...]
+
+
+@dataclass(frozen=True)
+class CaseStmt:
+    selector: Expr
+    entries: tuple[CaseEntry, ...]
+    else_body: tuple["Stmt", ...] = ()
+
+
+@dataclass(frozen=True)
+class WhileStmt:
+    condition: Expr
+    body: tuple["Stmt", ...]
+
+
+@dataclass(frozen=True)
+class RepeatStmt:
+    body: tuple["Stmt", ...]
+    until: Expr
+
+
+@dataclass(frozen=True)
+class ForStmt:
+    variable: str
+    start: Expr
+    stop: Expr
+    step: Expr
+    body: tuple["Stmt", ...]
+
+
+@dataclass(frozen=True)
+class ExitStmt:
+    pass
+
+
+@dataclass(frozen=True)
+class ReturnStmt:
+    pass
+
+
+Stmt = Union[
+    Assign, FbCall, IfStmt, CaseStmt, WhileStmt, RepeatStmt, ForStmt,
+    ExitStmt, ReturnStmt,
+]
+
+
+# -- declarations / program --------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class VarDecl:
+    """One declared variable or function-block instance."""
+
+    name: str
+    type_name: str  # bool/int/dint/real/lreal/time or ton/tof/ctu/ctd/r_trig/f_trig
+    direction: str  # 'var' | 'var_input' | 'var_output'
+    initializer: Expr | None = None
+
+    @property
+    def is_fb_instance(self) -> bool:
+        """True for timer/counter/edge block instances."""
+        return self.type_name in ("ton", "tof", "ctu", "ctd", "r_trig", "f_trig")
+
+
+@dataclass(frozen=True)
+class Program:
+    """A parsed ST program: declarations plus the cyclic statement body."""
+
+    declarations: tuple[VarDecl, ...]
+    body: tuple[Stmt, ...]
+
+    def inputs(self) -> tuple[VarDecl, ...]:
+        """Declared VAR_INPUT variables."""
+        return tuple(d for d in self.declarations if d.direction == "var_input")
+
+    def outputs(self) -> tuple[VarDecl, ...]:
+        """Declared VAR_OUTPUT variables."""
+        return tuple(d for d in self.declarations if d.direction == "var_output")

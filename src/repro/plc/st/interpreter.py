@@ -1,0 +1,416 @@
+"""Interpreter executing a parsed ST program once per PLC scan.
+
+:class:`StProgram` satisfies the same contract as
+:class:`repro.plc.program.FunctionBlockProgram` — ``execute(image, dt_s)``
+— so a :class:`repro.plc.runtime.PlcRuntime` can run Structured Text
+directly.  ``VAR`` variables retain their values across scans (standard
+PLC semantics); ``VAR_INPUT`` variables are refreshed from the process
+image each scan; ``VAR_OUTPUT`` variables are written back to it.
+
+Loops are bounded (``max_loop_iterations``) because a PLC scan must
+terminate: exceeding the bound raises :class:`StRuntimeError`, modeling
+the watchdog a real runtime would trip.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from . import ast
+from .parser import parse
+
+
+class StRuntimeError(RuntimeError):
+    """Raised for runtime faults: unknown names, unbounded loops."""
+
+
+class _ExitLoop(Exception):
+    pass
+
+
+class _ReturnScan(Exception):
+    pass
+
+
+# -- standard function blocks ---------------------------------------------------
+
+
+class _FbInstance:
+    """Base: stateful standard FB evaluated via named parameters."""
+
+    outputs: dict[str, Any]
+
+    def __init__(self) -> None:
+        self.outputs = {"q": False}
+
+    def call(self, args: dict[str, Any], dt_s: float) -> None:
+        raise NotImplementedError
+
+
+class _Ton(_FbInstance):
+    def __init__(self) -> None:
+        super().__init__()
+        self._elapsed = 0.0
+        self.outputs = {"q": False, "et": 0.0}
+
+    def call(self, args: dict[str, Any], dt_s: float) -> None:
+        preset = float(args.get("pt", 0.0))
+        if bool(args.get("in", False)):
+            self._elapsed = min(preset, self._elapsed + dt_s)
+        else:
+            self._elapsed = 0.0
+        self.outputs = {"q": self._elapsed >= preset, "et": self._elapsed}
+
+
+class _Tof(_FbInstance):
+    def __init__(self) -> None:
+        super().__init__()
+        self._off_for = 0.0
+        self.outputs = {"q": False, "et": 0.0}
+
+    def call(self, args: dict[str, Any], dt_s: float) -> None:
+        preset = float(args.get("pt", 0.0))
+        if bool(args.get("in", False)):
+            self._off_for = 0.0
+            self.outputs = {"q": True, "et": 0.0}
+        else:
+            self._off_for += dt_s
+            self.outputs = {
+                "q": self._off_for < preset,
+                "et": min(preset, self._off_for),
+            }
+
+
+class _Ctu(_FbInstance):
+    def __init__(self) -> None:
+        super().__init__()
+        self._count = 0
+        self._last = False
+        self.outputs = {"q": False, "cv": 0}
+
+    def call(self, args: dict[str, Any], dt_s: float) -> None:
+        preset = int(args.get("pv", 0))
+        clock = bool(args.get("cu", False))
+        if bool(args.get("r", False)) or bool(args.get("reset", False)):
+            self._count = 0
+        elif clock and not self._last:
+            self._count += 1
+        self._last = clock
+        self.outputs = {"q": self._count >= preset, "cv": self._count}
+
+
+class _Ctd(_FbInstance):
+    def __init__(self) -> None:
+        super().__init__()
+        self._count = 0
+        self._last = False
+        self.outputs = {"q": False, "cv": 0}
+
+    def call(self, args: dict[str, Any], dt_s: float) -> None:
+        preset = int(args.get("pv", 0))
+        clock = bool(args.get("cd", False))
+        if bool(args.get("ld", False)):
+            self._count = preset
+        elif clock and not self._last and self._count > 0:
+            self._count -= 1
+        self._last = clock
+        self.outputs = {"q": self._count <= 0, "cv": self._count}
+
+
+class _RTrig(_FbInstance):
+    def __init__(self) -> None:
+        super().__init__()
+        self._last = False
+
+    def call(self, args: dict[str, Any], dt_s: float) -> None:
+        clock = bool(args.get("clk", False))
+        self.outputs = {"q": clock and not self._last}
+        self._last = clock
+
+
+class _FTrig(_FbInstance):
+    def __init__(self) -> None:
+        super().__init__()
+        self._last = False
+
+    def call(self, args: dict[str, Any], dt_s: float) -> None:
+        clock = bool(args.get("clk", False))
+        self.outputs = {"q": self._last and not clock}
+        self._last = clock
+
+
+_FB_TYPES = {
+    "ton": _Ton, "tof": _Tof, "ctu": _Ctu, "ctd": _Ctd,
+    "r_trig": _RTrig, "f_trig": _FTrig,
+}
+
+_TYPE_DEFAULTS: dict[str, Any] = {
+    "bool": False, "int": 0, "dint": 0, "real": 0.0, "lreal": 0.0,
+    "time": 0.0,
+}
+
+
+@dataclass
+class StProgram:
+    """A compiled ST program, executable once per scan.
+
+    ``input_map``/``output_map`` translate between process-image keys and
+    program variable names (``{"dev.counter": "parts"}``); identity when
+    omitted for variables whose names match image keys.
+    """
+
+    program: ast.Program
+    input_map: dict[str, str] = field(default_factory=dict)
+    output_map: dict[str, str] = field(default_factory=dict)
+    max_loop_iterations: int = 100_000
+
+    def __post_init__(self) -> None:
+        self._variables: dict[str, Any] = {}
+        self._fbs: dict[str, _FbInstance] = {}
+        self._case_insensitive: dict[str, str] = {}
+        for decl in self.program.declarations:
+            key = decl.name.lower()
+            self._case_insensitive[key] = decl.name
+            if decl.is_fb_instance:
+                self._fbs[key] = _FB_TYPES[decl.type_name]()
+            else:
+                if decl.type_name not in _TYPE_DEFAULTS:
+                    raise StRuntimeError(
+                        f"unknown type {decl.type_name!r} for {decl.name}"
+                    )
+                value = _TYPE_DEFAULTS[decl.type_name]
+                if decl.initializer is not None:
+                    value = self._eval_const(decl.initializer)
+                self._variables[key] = value
+
+    # -- public API -------------------------------------------------------------
+
+    def execute(self, image_inputs: dict[str, Any], dt_s: float) -> dict[str, Any]:
+        """Run one scan; returns the VAR_OUTPUT image updates."""
+        self._dt_s = dt_s
+        for decl in self.program.inputs():
+            image_key = self._image_key_for(decl.name, self.input_map)
+            if image_key in image_inputs:
+                self._variables[decl.name.lower()] = image_inputs[image_key]
+        try:
+            self._exec_block(self.program.body)
+        except _ReturnScan:
+            pass
+        outputs: dict[str, Any] = {}
+        for decl in self.program.outputs():
+            image_key = self._image_key_for(decl.name, self.output_map)
+            outputs[image_key] = self._variables[decl.name.lower()]
+        return outputs
+
+    def reset(self) -> None:
+        """Reinitialize all variables and function-block state."""
+        self.__post_init__()
+
+    def variable(self, name: str) -> Any:
+        """Read a program variable (tests/diagnostics)."""
+        return self._variables[name.lower()]
+
+    @staticmethod
+    def _image_key_for(var_name: str, mapping: dict[str, str]) -> str:
+        for image_key, mapped in mapping.items():
+            if mapped.lower() == var_name.lower():
+                return image_key
+        return var_name
+
+    # -- execution -------------------------------------------------------------------
+
+    def _exec_block(self, statements: tuple[ast.Stmt, ...]) -> None:
+        for statement in statements:
+            self._exec_stmt(statement)
+
+    def _exec_stmt(self, statement: ast.Stmt) -> None:
+        if isinstance(statement, ast.Assign):
+            self._assign(statement.target, self._eval(statement.expr))
+        elif isinstance(statement, ast.FbCall):
+            self._call_fb(statement)
+        elif isinstance(statement, ast.IfStmt):
+            for condition, body in statement.branches:
+                if self._truthy(self._eval(condition)):
+                    self._exec_block(body)
+                    return
+            self._exec_block(statement.else_body)
+        elif isinstance(statement, ast.CaseStmt):
+            self._exec_case(statement)
+        elif isinstance(statement, ast.WhileStmt):
+            self._exec_while(statement)
+        elif isinstance(statement, ast.RepeatStmt):
+            self._exec_repeat(statement)
+        elif isinstance(statement, ast.ForStmt):
+            self._exec_for(statement)
+        elif isinstance(statement, ast.ExitStmt):
+            raise _ExitLoop()
+        elif isinstance(statement, ast.ReturnStmt):
+            raise _ReturnScan()
+        else:  # pragma: no cover - parser produces only the above
+            raise StRuntimeError(f"unknown statement {statement!r}")
+
+    def _exec_case(self, statement: ast.CaseStmt) -> None:
+        selector = float(self._eval(statement.selector))
+        for entry in statement.entries:
+            if selector in entry.values or any(
+                low <= selector <= high for low, high in entry.ranges
+            ):
+                self._exec_block(entry.body)
+                return
+        self._exec_block(statement.else_body)
+
+    def _exec_while(self, statement: ast.WhileStmt) -> None:
+        iterations = 0
+        try:
+            while self._truthy(self._eval(statement.condition)):
+                iterations += 1
+                if iterations > self.max_loop_iterations:
+                    raise StRuntimeError("WHILE exceeded the scan loop bound")
+                self._exec_block(statement.body)
+        except _ExitLoop:
+            pass
+
+    def _exec_repeat(self, statement: ast.RepeatStmt) -> None:
+        iterations = 0
+        try:
+            while True:
+                iterations += 1
+                if iterations > self.max_loop_iterations:
+                    raise StRuntimeError("REPEAT exceeded the scan loop bound")
+                self._exec_block(statement.body)
+                if self._truthy(self._eval(statement.until)):
+                    return
+        except _ExitLoop:
+            pass
+
+    def _exec_for(self, statement: ast.ForStmt) -> None:
+        start = self._eval(statement.start)
+        stop = self._eval(statement.stop)
+        step = self._eval(statement.step)
+        if step == 0:
+            raise StRuntimeError("FOR step must be non-zero")
+        value = start
+        iterations = 0
+        try:
+            while (step > 0 and value <= stop) or (step < 0 and value >= stop):
+                iterations += 1
+                if iterations > self.max_loop_iterations:
+                    raise StRuntimeError("FOR exceeded the scan loop bound")
+                self._assign(statement.variable, value)
+                self._exec_block(statement.body)
+                value = self._variables[statement.variable.lower()] + step
+        except _ExitLoop:
+            pass
+
+    def _call_fb(self, statement: ast.FbCall) -> None:
+        instance = self._fbs.get(statement.instance.lower())
+        if instance is None:
+            raise StRuntimeError(
+                f"{statement.instance!r} is not a declared function block"
+            )
+        args = {name: self._eval(expr) for name, expr in statement.args}
+        instance.call(args, self._dt_s)
+
+    # -- values ----------------------------------------------------------------------
+
+    def _assign(self, name: str, value: Any) -> None:
+        key = name.lower()
+        if key not in self._variables:
+            raise StRuntimeError(f"assignment to undeclared variable {name!r}")
+        self._variables[key] = value
+
+    def _eval_const(self, expr: ast.Expr) -> Any:
+        # Initializers may not reference variables or FB outputs.
+        if isinstance(expr, (ast.VarRef, ast.FieldRef)):
+            raise StRuntimeError("initializers must be constant")
+        return self._eval(expr)
+
+    def _eval(self, expr: ast.Expr) -> Any:
+        if isinstance(expr, ast.NumberLit):
+            return int(expr.value) if expr.is_integer else expr.value
+        if isinstance(expr, ast.BoolLit):
+            return expr.value
+        if isinstance(expr, ast.VarRef):
+            key = expr.name.lower()
+            if key in self._variables:
+                return self._variables[key]
+            raise StRuntimeError(f"unknown variable {expr.name!r}")
+        if isinstance(expr, ast.FieldRef):
+            instance = self._fbs.get(expr.instance.lower())
+            if instance is None:
+                raise StRuntimeError(
+                    f"{expr.instance!r} is not a function-block instance"
+                )
+            if expr.fieldname not in instance.outputs:
+                raise StRuntimeError(
+                    f"{expr.instance}.{expr.fieldname} is not an output"
+                )
+            return instance.outputs[expr.fieldname]
+        if isinstance(expr, ast.UnaryOp):
+            value = self._eval(expr.operand)
+            if expr.op == "not":
+                return not self._truthy(value)
+            return -value
+        if isinstance(expr, ast.BinaryOp):
+            return self._eval_binary(expr)
+        raise StRuntimeError(f"unknown expression {expr!r}")  # pragma: no cover
+
+    def _eval_binary(self, expr: ast.BinaryOp) -> Any:
+        op = expr.op
+        if op in ("and", "or"):
+            left = self._truthy(self._eval(expr.left))
+            if op == "and":
+                return left and self._truthy(self._eval(expr.right))
+            return left or self._truthy(self._eval(expr.right))
+        left = self._eval(expr.left)
+        right = self._eval(expr.right)
+        if op == "xor":
+            return self._truthy(left) != self._truthy(right)
+        if op == "+":
+            return left + right
+        if op == "-":
+            return left - right
+        if op == "*":
+            return left * right
+        if op == "/":
+            if right == 0:
+                raise StRuntimeError("division by zero")
+            result = left / right
+            if isinstance(left, int) and isinstance(right, int):
+                return int(result) if result == int(result) else result
+            return result
+        if op == "mod":
+            if right == 0:
+                raise StRuntimeError("MOD by zero")
+            return left % right
+        if op == "=":
+            return left == right
+        if op == "<>":
+            return left != right
+        if op == "<":
+            return left < right
+        if op == "<=":
+            return left <= right
+        if op == ">":
+            return left > right
+        if op == ">=":
+            return left >= right
+        raise StRuntimeError(f"unknown operator {op!r}")  # pragma: no cover
+
+    @staticmethod
+    def _truthy(value: Any) -> bool:
+        return bool(value)
+
+
+def compile_st(
+    source: str,
+    input_map: dict[str, str] | None = None,
+    output_map: dict[str, str] | None = None,
+) -> StProgram:
+    """Parse and prepare an ST program for scan-cycle execution."""
+    return StProgram(
+        program=parse(source),
+        input_map=input_map or {},
+        output_map=output_map or {},
+    )

@@ -1,0 +1,194 @@
+"""Lexer for the IEC 61131-3 Structured Text (ST) subset.
+
+Structured Text is the dominant textual PLC language; supporting it makes
+the vPLC model programmable the way real controllers are.  The subset
+covers what factory control programs use: variable declarations with
+initializers, assignments, arithmetic/comparison/boolean expressions,
+``IF/ELSIF/ELSE``, ``CASE``, ``WHILE``, ``FOR``, and calls to timer /
+counter / edge function blocks.
+
+Tokens are case-insensitive for keywords, as the standard requires.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum, auto
+
+
+class TokenKind(Enum):
+    """Token categories."""
+
+    KEYWORD = auto()
+    IDENT = auto()
+    NUMBER = auto()
+    STRING = auto()
+    ASSIGN = auto()      # :=
+    ARROW = auto()       # =>
+    OP = auto()          # + - * / = <> < <= > >= MOD
+    LPAREN = auto()
+    RPAREN = auto()
+    SEMI = auto()
+    COLON = auto()
+    COMMA = auto()
+    DOT = auto()
+    DOTDOT = auto()      # .. (CASE/FOR ranges)
+    EOF = auto()
+
+
+KEYWORDS = {
+    "var", "var_input", "var_output", "end_var",
+    "if", "then", "elsif", "else", "end_if",
+    "case", "of", "end_case",
+    "while", "do", "end_while",
+    "for", "to", "by", "end_for",
+    "repeat", "until", "end_repeat",
+    "and", "or", "xor", "not", "mod",
+    "true", "false",
+    "bool", "int", "dint", "real", "lreal", "time",
+    "ton", "tof", "ctu", "ctd", "r_trig", "f_trig",
+    "exit", "return",
+}
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token with its source position."""
+
+    kind: TokenKind
+    value: str
+    line: int
+    column: int
+
+    def is_keyword(self, word: str) -> bool:
+        """Case-insensitive keyword check."""
+        return self.kind is TokenKind.KEYWORD and self.value == word
+
+
+class StSyntaxError(ValueError):
+    """Raised on lexical or syntactic errors, with position info."""
+
+    def __init__(self, message: str, line: int, column: int) -> None:
+        super().__init__(f"line {line}, column {column}: {message}")
+        self.line = line
+        self.column = column
+
+
+def tokenize(source: str) -> list[Token]:
+    """Convert ST source text into a token list (ending with EOF)."""
+    tokens: list[Token] = []
+    line, column = 1, 1
+    index = 0
+    length = len(source)
+
+    def error(message: str) -> StSyntaxError:
+        return StSyntaxError(message, line, column)
+
+    while index < length:
+        char = source[index]
+        # -- whitespace ----------------------------------------------------
+        if char == "\n":
+            line += 1
+            column = 1
+            index += 1
+            continue
+        if char in " \t\r":
+            index += 1
+            column += 1
+            continue
+        # -- comments --------------------------------------------------------
+        if source.startswith("(*", index):
+            end = source.find("*)", index + 2)
+            if end < 0:
+                raise error("unterminated (* comment")
+            skipped = source[index : end + 2]
+            line += skipped.count("\n")
+            if "\n" in skipped:
+                column = len(skipped) - skipped.rfind("\n")
+            else:
+                column += len(skipped)
+            index = end + 2
+            continue
+        if source.startswith("//", index):
+            end = source.find("\n", index)
+            index = length if end < 0 else end
+            continue
+        # -- numbers -----------------------------------------------------------
+        if char.isdigit() or (
+            char == "." and index + 1 < length and source[index + 1].isdigit()
+            and not source.startswith("..", index)
+        ):
+            start = index
+            seen_dot = False
+            while index < length and (
+                source[index].isdigit()
+                or (source[index] == "." and not seen_dot
+                    and not source.startswith("..", index))
+                or source[index] in "eE"
+                or (source[index] in "+-" and source[index - 1] in "eE")
+            ):
+                if source[index] == ".":
+                    seen_dot = True
+                index += 1
+            text = source[start:index]
+            tokens.append(Token(TokenKind.NUMBER, text, line, column))
+            column += len(text)
+            continue
+        # -- identifiers / keywords -----------------------------------------------
+        if char.isalpha() or char == "_":
+            start = index
+            while index < length and (source[index].isalnum() or source[index] == "_"):
+                index += 1
+            # TIME literals: T#500ms, TIME#1s200ms, T#2.5s
+            if (
+                index < length
+                and source[index] == "#"
+                and source[start:index].lower() in ("t", "time")
+            ):
+                index += 1
+                while index < length and (
+                    source[index].isalnum() or source[index] in "._"
+                ):
+                    index += 1
+                text = source[start:index]
+                tokens.append(Token(TokenKind.NUMBER, text.lower(), line, column))
+                column += len(text)
+                continue
+            text = source[start:index]
+            lowered = text.lower()
+            kind = TokenKind.KEYWORD if lowered in KEYWORDS else TokenKind.IDENT
+            value = lowered if kind is TokenKind.KEYWORD else text
+            tokens.append(Token(kind, value, line, column))
+            column += len(text)
+            continue
+        # -- multi-character operators ------------------------------------------------
+        for text, kind in (
+            (":=", TokenKind.ASSIGN),
+            ("=>", TokenKind.ARROW),
+            ("<>", TokenKind.OP),
+            ("<=", TokenKind.OP),
+            (">=", TokenKind.OP),
+            ("..", TokenKind.DOTDOT),
+        ):
+            if source.startswith(text, index):
+                tokens.append(Token(kind, text, line, column))
+                index += len(text)
+                column += len(text)
+                break
+        else:
+            single = {
+                "+": TokenKind.OP, "-": TokenKind.OP, "*": TokenKind.OP,
+                "/": TokenKind.OP, "=": TokenKind.OP, "<": TokenKind.OP,
+                ">": TokenKind.OP, "(": TokenKind.LPAREN,
+                ")": TokenKind.RPAREN, ";": TokenKind.SEMI,
+                ":": TokenKind.COLON, ",": TokenKind.COMMA,
+                ".": TokenKind.DOT,
+            }
+            kind = single.get(char)
+            if kind is None:
+                raise error(f"unexpected character {char!r}")
+            tokens.append(Token(kind, char, line, column))
+            index += 1
+            column += 1
+    tokens.append(Token(TokenKind.EOF, "", line, column))
+    return tokens

@@ -1,0 +1,400 @@
+"""Recursive-descent parser for the Structured Text subset.
+
+Grammar (informal)::
+
+    program    := { var_block } { statement }
+    var_block  := ('VAR'|'VAR_INPUT'|'VAR_OUTPUT') { decl } 'END_VAR'
+    decl       := IDENT ':' type [ ':=' expr ] ';'
+    statement  := assign | fb_call | if | case | while | repeat | for
+                | 'EXIT' ';' | 'RETURN' ';'
+    assign     := IDENT ':=' expr ';'
+    fb_call    := IDENT '(' [ IDENT ':=' expr { ',' IDENT ':=' expr } ] ')' ';'
+    if         := 'IF' expr 'THEN' body {'ELSIF' expr 'THEN' body}
+                  ['ELSE' body] 'END_IF' ';'
+    case       := 'CASE' expr 'OF' { case_entry } ['ELSE' body] 'END_CASE' ';'
+    case_entry := values ':' body        (values: n | n..m, comma separated)
+    while      := 'WHILE' expr 'DO' body 'END_WHILE' ';'
+    repeat     := 'REPEAT' body 'UNTIL' expr 'END_REPEAT' ';'
+    for        := 'FOR' IDENT ':=' expr 'TO' expr ['BY' expr] 'DO' body
+                  'END_FOR' ';'
+
+Expression precedence (loosest to tightest): OR/XOR, AND, comparison,
+additive, multiplicative, unary (NOT, -), primary.
+"""
+
+from __future__ import annotations
+
+import re
+
+from . import ast
+from .lexer import StSyntaxError, Token, TokenKind, tokenize
+
+_TIME_PART = re.compile(r"(\d+(?:\.\d+)?)(ms|us|ns|s|m|h|d)")
+_TIME_UNITS_S = {
+    "d": 86_400.0, "h": 3_600.0, "m": 60.0, "s": 1.0,
+    "ms": 1e-3, "us": 1e-6, "ns": 1e-9,
+}
+
+
+def parse_time_literal(text: str) -> float:
+    """``t#1s500ms`` -> seconds.  Raises ValueError on malformed input."""
+    body = text.split("#", 1)[1].replace("_", "")
+    if not body:
+        raise ValueError(f"empty TIME literal {text!r}")
+    total = 0.0
+    consumed = 0
+    for match in _TIME_PART.finditer(body):
+        if match.start() != consumed:
+            raise ValueError(f"malformed TIME literal {text!r}")
+        total += float(match.group(1)) * _TIME_UNITS_S[match.group(2)]
+        consumed = match.end()
+    if consumed != len(body):
+        raise ValueError(f"malformed TIME literal {text!r}")
+    return total
+
+
+class Parser:
+    """Token-stream cursor with the grammar methods."""
+
+    def __init__(self, tokens: list[Token]) -> None:
+        self._tokens = tokens
+        self._pos = 0
+
+    # -- cursor helpers -------------------------------------------------------
+
+    @property
+    def current(self) -> Token:
+        return self._tokens[self._pos]
+
+    def _advance(self) -> Token:
+        token = self.current
+        self._pos += 1
+        return token
+
+    def _error(self, message: str) -> StSyntaxError:
+        token = self.current
+        return StSyntaxError(
+            f"{message} (got {token.value!r})", token.line, token.column
+        )
+
+    def _expect(self, kind: TokenKind, value: str | None = None) -> Token:
+        token = self.current
+        if token.kind is not kind or (value is not None and token.value != value):
+            want = value or kind.name
+            raise self._error(f"expected {want}")
+        return self._advance()
+
+    def _accept_keyword(self, word: str) -> bool:
+        if self.current.is_keyword(word):
+            self._advance()
+            return True
+        return False
+
+    def _expect_keyword(self, word: str) -> None:
+        if not self._accept_keyword(word):
+            raise self._error(f"expected {word.upper()}")
+
+    # -- program ----------------------------------------------------------------
+
+    def parse_program(self) -> ast.Program:
+        declarations: list[ast.VarDecl] = []
+        while self.current.kind is TokenKind.KEYWORD and self.current.value in (
+            "var", "var_input", "var_output",
+        ):
+            declarations.extend(self._parse_var_block())
+        body = self._parse_statements(terminators=())
+        self._expect(TokenKind.EOF)
+        return ast.Program(declarations=tuple(declarations), body=tuple(body))
+
+    def _parse_var_block(self) -> list[ast.VarDecl]:
+        direction = self._advance().value
+        declarations = []
+        while not self._accept_keyword("end_var"):
+            name = self._expect(TokenKind.IDENT).value
+            self._expect(TokenKind.COLON)
+            type_token = self._advance()
+            if type_token.kind not in (TokenKind.KEYWORD, TokenKind.IDENT):
+                raise self._error("expected a type name")
+            initializer = None
+            if self.current.kind is TokenKind.ASSIGN:
+                self._advance()
+                initializer = self._parse_expression()
+            self._expect(TokenKind.SEMI)
+            declarations.append(
+                ast.VarDecl(
+                    name=name,
+                    type_name=type_token.value.lower(),
+                    direction=direction,
+                    initializer=initializer,
+                )
+            )
+        return declarations
+
+    # -- statements -----------------------------------------------------------------
+
+    def _parse_statements(self, terminators: tuple[str, ...]) -> list[ast.Stmt]:
+        statements: list[ast.Stmt] = []
+        while True:
+            token = self.current
+            if token.kind is TokenKind.EOF:
+                if terminators:
+                    raise self._error(
+                        f"expected one of {', '.join(terminators).upper()}"
+                    )
+                return statements
+            if token.kind is TokenKind.KEYWORD and token.value in terminators:
+                return statements
+            statements.append(self._parse_statement())
+
+    def _parse_statement(self) -> ast.Stmt:
+        token = self.current
+        if token.kind is TokenKind.KEYWORD:
+            if token.value == "if":
+                return self._parse_if()
+            if token.value == "case":
+                return self._parse_case()
+            if token.value == "while":
+                return self._parse_while()
+            if token.value == "repeat":
+                return self._parse_repeat()
+            if token.value == "for":
+                return self._parse_for()
+            if token.value == "exit":
+                self._advance()
+                self._expect(TokenKind.SEMI)
+                return ast.ExitStmt()
+            if token.value == "return":
+                self._advance()
+                self._expect(TokenKind.SEMI)
+                return ast.ReturnStmt()
+            raise self._error("unexpected keyword")
+        if token.kind is TokenKind.IDENT:
+            name = self._advance().value
+            if self.current.kind is TokenKind.ASSIGN:
+                self._advance()
+                expr = self._parse_expression()
+                self._expect(TokenKind.SEMI)
+                return ast.Assign(target=name, expr=expr)
+            if self.current.kind is TokenKind.LPAREN:
+                return self._parse_fb_call(name)
+            raise self._error("expected ':=' or '(' after identifier")
+        raise self._error("expected a statement")
+
+    def _parse_fb_call(self, instance: str) -> ast.FbCall:
+        self._expect(TokenKind.LPAREN)
+        args: list[tuple[str, ast.Expr]] = []
+        if self.current.kind is not TokenKind.RPAREN:
+            while True:
+                param = self._expect(TokenKind.IDENT).value
+                self._expect(TokenKind.ASSIGN)
+                args.append((param.lower(), self._parse_expression()))
+                if self.current.kind is TokenKind.COMMA:
+                    self._advance()
+                    continue
+                break
+        self._expect(TokenKind.RPAREN)
+        self._expect(TokenKind.SEMI)
+        return ast.FbCall(instance=instance, args=tuple(args))
+
+    def _parse_if(self) -> ast.IfStmt:
+        self._expect_keyword("if")
+        branches = []
+        condition = self._parse_expression()
+        self._expect_keyword("then")
+        body = self._parse_statements(("elsif", "else", "end_if"))
+        branches.append((condition, tuple(body)))
+        else_body: tuple[ast.Stmt, ...] = ()
+        while self._accept_keyword("elsif"):
+            condition = self._parse_expression()
+            self._expect_keyword("then")
+            body = self._parse_statements(("elsif", "else", "end_if"))
+            branches.append((condition, tuple(body)))
+        if self._accept_keyword("else"):
+            else_body = tuple(self._parse_statements(("end_if",)))
+        self._expect_keyword("end_if")
+        self._expect(TokenKind.SEMI)
+        return ast.IfStmt(branches=tuple(branches), else_body=else_body)
+
+    def _parse_case(self) -> ast.CaseStmt:
+        self._expect_keyword("case")
+        selector = self._parse_expression()
+        self._expect_keyword("of")
+        entries = []
+        else_body: tuple[ast.Stmt, ...] = ()
+        while not self.current.is_keyword("end_case"):
+            if self._accept_keyword("else"):
+                else_body = tuple(self._parse_statements(("end_case",)))
+                break
+            values: list[float] = []
+            ranges: list[tuple[float, float]] = []
+            while True:
+                low = self._parse_case_value()
+                if self.current.kind is TokenKind.DOTDOT:
+                    self._advance()
+                    high = self._parse_case_value()
+                    ranges.append((low, high))
+                else:
+                    values.append(low)
+                if self.current.kind is TokenKind.COMMA:
+                    self._advance()
+                    continue
+                break
+            self._expect(TokenKind.COLON)
+            # An entry body ends at ELSE/END_CASE or where the next entry's
+            # value list begins (a NUMBER or unary minus at statement
+            # position).
+            body: list[ast.Stmt] = []
+            while not (
+                self.current.kind is TokenKind.NUMBER
+                or (self.current.kind is TokenKind.OP
+                    and self.current.value == "-")
+                or self.current.is_keyword("else")
+                or self.current.is_keyword("end_case")
+            ):
+                if self.current.kind is TokenKind.EOF:
+                    raise self._error("expected END_CASE")
+                body.append(self._parse_statement())
+            entries.append(
+                ast.CaseEntry(
+                    values=tuple(values), ranges=tuple(ranges),
+                    body=tuple(body),
+                )
+            )
+        self._expect_keyword("end_case")
+        self._expect(TokenKind.SEMI)
+        return ast.CaseStmt(
+            selector=selector, entries=tuple(entries), else_body=else_body
+        )
+
+    def _parse_case_value(self) -> float:
+        negative = False
+        if self.current.kind is TokenKind.OP and self.current.value == "-":
+            self._advance()
+            negative = True
+        token = self._expect(TokenKind.NUMBER)
+        value = float(token.value)
+        return -value if negative else value
+
+    def _parse_while(self) -> ast.WhileStmt:
+        self._expect_keyword("while")
+        condition = self._parse_expression()
+        self._expect_keyword("do")
+        body = self._parse_statements(("end_while",))
+        self._expect_keyword("end_while")
+        self._expect(TokenKind.SEMI)
+        return ast.WhileStmt(condition=condition, body=tuple(body))
+
+    def _parse_repeat(self) -> ast.RepeatStmt:
+        self._expect_keyword("repeat")
+        body = self._parse_statements(("until",))
+        self._expect_keyword("until")
+        until = self._parse_expression()
+        self._expect_keyword("end_repeat")
+        self._expect(TokenKind.SEMI)
+        return ast.RepeatStmt(body=tuple(body), until=until)
+
+    def _parse_for(self) -> ast.ForStmt:
+        self._expect_keyword("for")
+        variable = self._expect(TokenKind.IDENT).value
+        self._expect(TokenKind.ASSIGN)
+        start = self._parse_expression()
+        self._expect_keyword("to")
+        stop = self._parse_expression()
+        step: ast.Expr = ast.NumberLit(1.0, is_integer=True)
+        if self._accept_keyword("by"):
+            step = self._parse_expression()
+        self._expect_keyword("do")
+        body = self._parse_statements(("end_for",))
+        self._expect_keyword("end_for")
+        self._expect(TokenKind.SEMI)
+        return ast.ForStmt(
+            variable=variable, start=start, stop=stop, step=step,
+            body=tuple(body),
+        )
+
+    # -- expressions -------------------------------------------------------------------
+
+    def _parse_expression(self) -> ast.Expr:
+        return self._parse_or()
+
+    def _parse_or(self) -> ast.Expr:
+        left = self._parse_and()
+        while self.current.kind is TokenKind.KEYWORD and self.current.value in (
+            "or", "xor",
+        ):
+            op = self._advance().value
+            left = ast.BinaryOp(op=op, left=left, right=self._parse_and())
+        return left
+
+    def _parse_and(self) -> ast.Expr:
+        left = self._parse_comparison()
+        while self.current.is_keyword("and"):
+            self._advance()
+            left = ast.BinaryOp(op="and", left=left, right=self._parse_comparison())
+        return left
+
+    def _parse_comparison(self) -> ast.Expr:
+        left = self._parse_additive()
+        while self.current.kind is TokenKind.OP and self.current.value in (
+            "=", "<>", "<", "<=", ">", ">=",
+        ):
+            op = self._advance().value
+            left = ast.BinaryOp(op=op, left=left, right=self._parse_additive())
+        return left
+
+    def _parse_additive(self) -> ast.Expr:
+        left = self._parse_multiplicative()
+        while self.current.kind is TokenKind.OP and self.current.value in ("+", "-"):
+            op = self._advance().value
+            left = ast.BinaryOp(
+                op=op, left=left, right=self._parse_multiplicative()
+            )
+        return left
+
+    def _parse_multiplicative(self) -> ast.Expr:
+        left = self._parse_unary()
+        while (
+            self.current.kind is TokenKind.OP and self.current.value in ("*", "/")
+        ) or self.current.is_keyword("mod"):
+            op = self._advance().value
+            left = ast.BinaryOp(op=op, left=left, right=self._parse_unary())
+        return left
+
+    def _parse_unary(self) -> ast.Expr:
+        if self.current.is_keyword("not"):
+            self._advance()
+            return ast.UnaryOp(op="not", operand=self._parse_unary())
+        if self.current.kind is TokenKind.OP and self.current.value == "-":
+            self._advance()
+            return ast.UnaryOp(op="-", operand=self._parse_unary())
+        return self._parse_primary()
+
+    def _parse_primary(self) -> ast.Expr:
+        token = self.current
+        if token.kind is TokenKind.NUMBER:
+            self._advance()
+            if token.value.startswith(("t#", "time#")):
+                return ast.NumberLit(parse_time_literal(token.value))
+            is_integer = "." not in token.value and "e" not in token.value.lower()
+            return ast.NumberLit(float(token.value), is_integer=is_integer)
+        if token.kind is TokenKind.KEYWORD and token.value in ("true", "false"):
+            self._advance()
+            return ast.BoolLit(token.value == "true")
+        if token.kind is TokenKind.IDENT:
+            name = self._advance().value
+            if self.current.kind is TokenKind.DOT:
+                self._advance()
+                fieldname = self._expect(TokenKind.IDENT).value
+                return ast.FieldRef(instance=name, fieldname=fieldname.lower())
+            return ast.VarRef(name=name)
+        if token.kind is TokenKind.LPAREN:
+            self._advance()
+            inner = self._parse_expression()
+            self._expect(TokenKind.RPAREN)
+            return inner
+        raise self._error("expected an expression")
+
+
+def parse(source: str) -> ast.Program:
+    """Parse ST source into a :class:`repro.plc.st.ast.Program`."""
+    return Parser(tokenize(source)).parse_program()

@@ -1,0 +1,25 @@
+"""Traffic Reflection — the Section 3 measurement method.
+
+A single-clock tap and a reflection point in the XDP program reveal the
+hidden, code-dependent delays of eBPF/XDP pipelines.
+"""
+
+from .harness import (
+    ReflectionResult,
+    run_flow_scaling,
+    run_reflection,
+    run_variant_sweep,
+)
+from .measurement_error import MeasurementErrorResult, compare_tap_vs_ptp
+from .tap import Tap, TapRecord
+
+__all__ = [
+    "MeasurementErrorResult",
+    "ReflectionResult",
+    "Tap",
+    "TapRecord",
+    "compare_tap_vs_ptp",
+    "run_flow_scaling",
+    "run_reflection",
+    "run_variant_sweep",
+]

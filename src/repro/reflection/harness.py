@@ -1,0 +1,201 @@
+"""The Traffic Reflection measurement harness (Section 3 / Figure 4).
+
+Topology, mirroring the paper's Figure 3::
+
+    sender ──wire── TAP ──wire── reflector (XDP program, native mode)
+
+The sender emits one or more cyclic TSN-style flows; the reflector's XDP
+program reflects every frame; the tap stamps each frame in both directions
+with its single 8 ns clock.  Per-frame *delay* is the tap-to-tap round trip
+(host residence plus two short wire segments); per-flow *jitter* is the
+cycle-to-cycle variation of that delay.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..ebpf.program import XdpProgram
+from ..hoststack.kernel import KernelNoiseModel, PREEMPT_RT_ISOLATED
+from ..hoststack.path import XdpHostModel, XdpReflectorHost
+from ..metrics.cdf import Cdf
+from ..net.flows import CyclicSender, FlowSpec
+from ..net.host import Host
+from ..net.link import Link
+from ..net.packet import TrafficClass
+from ..simcore import Simulator
+from ..simcore.units import MS, SEC, US
+from .tap import Tap
+
+
+@dataclass
+class ReflectionResult:
+    """Measurements of one Traffic Reflection run."""
+
+    program_name: str
+    flow_count: int
+    period_ns: int
+    #: flow id -> per-cycle tap-to-tap delay (µs), in cycle order
+    delays_us: dict[str, np.ndarray] = field(default_factory=dict)
+    unmatched_frames: int = 0
+
+    def all_delays_us(self) -> np.ndarray:
+        """Every delay sample across flows."""
+        if not self.delays_us:
+            return np.empty(0)
+        return np.concatenate(list(self.delays_us.values()))
+
+    def delay_cdf(self) -> Cdf:
+        """CDF of per-frame delay (µs) — Figure 4, left panel."""
+        return Cdf.from_samples(self.all_delays_us())
+
+    def jitter_samples_ns(self) -> np.ndarray:
+        """Cycle-to-cycle |delay difference| per flow, in nanoseconds."""
+        chunks = [
+            np.abs(np.diff(samples)) * 1_000.0
+            for samples in self.delays_us.values()
+            if samples.size >= 2
+        ]
+        if not chunks:
+            return np.empty(0)
+        return np.concatenate(chunks)
+
+    def jitter_cdf(self) -> Cdf:
+        """CDF of jitter (ns) — Figure 4, right panel."""
+        return Cdf.from_samples(self.jitter_samples_ns())
+
+
+def run_reflection(
+    program: XdpProgram,
+    flow_count: int = 1,
+    cycles: int = 500,
+    period_ns: int = 2 * MS,
+    payload_bytes: int = 50,
+    seed: int = 0,
+    kernel: KernelNoiseModel = PREEMPT_RT_ISOLATED,
+    bandwidth_bps: float = 1e9,
+    wire_delay_ns: int = 50,
+) -> ReflectionResult:
+    """Run one Traffic Reflection experiment and return its measurements.
+
+    Parameters follow the paper's setup: 1 Gbit/s links, small cyclic
+    payloads, PREEMPT_RT end hosts, XDP native mode.
+    """
+    if flow_count < 1:
+        raise ValueError("need at least one flow")
+    if cycles < 2:
+        raise ValueError("need at least two cycles for jitter")
+    sim = Simulator(seed=seed)
+    sender = Host(sim, "sender")
+    tap = Tap(sim, "tap")
+    model = XdpHostModel(
+        program=program,
+        rng=sim.streams.stream("reflector/exec"),
+        kernel=kernel,
+        active_flows=flow_count,
+    )
+    reflector = XdpReflectorHost(sim, "reflector", model)
+    # sender <-> tap side A, tap side B <-> reflector
+    sender_port = sender.add_port()
+    tap_a = tap.add_port()
+    tap_b = tap.add_port()
+    reflector_port = reflector.add_port()
+    Link(sim, sender_port, tap_a, bandwidth_bps, wire_delay_ns)
+    Link(sim, tap_b, reflector_port, bandwidth_bps, wire_delay_ns)
+
+    offsets_rng = sim.streams.stream("harness/offsets")
+    senders: list[CyclicSender] = []
+    for index in range(flow_count):
+        spec = FlowSpec(
+            flow_id=f"flow{index}",
+            src="sender",
+            dst="reflector",
+            period_ns=period_ns,
+            payload_bytes=payload_bytes,
+            traffic_class=TrafficClass.CYCLIC_RT,
+        )
+        start = int(offsets_rng.integers(0, period_ns))
+        senders.append(CyclicSender(sim, sender, spec, start_ns=start))
+    for cyclic_sender in senders:
+        cyclic_sender.start()
+
+    horizon = (cycles + 2) * period_ns
+    sim.run(until=horizon)
+    for cyclic_sender in senders:
+        cyclic_sender.stop()
+    sim.run(until=horizon + 10 * period_ns)  # drain in-flight frames
+
+    return _collect(tap, program.name, flow_count, period_ns, cycles)
+
+
+def _collect(
+    tap: Tap,
+    program_name: str,
+    flow_count: int,
+    period_ns: int,
+    cycles: int,
+) -> ReflectionResult:
+    toward: dict[tuple[str, int], int] = {}
+    back: dict[tuple[str, int], int] = {}
+    for record in tap.records:
+        key = (record.flow_id, record.sequence)
+        if record.direction == Tap.SIDE_A:
+            toward[key] = record.timestamp_ns
+        else:
+            back[key] = record.timestamp_ns
+    result = ReflectionResult(
+        program_name=program_name,
+        flow_count=flow_count,
+        period_ns=period_ns,
+    )
+    per_flow: dict[str, list[tuple[int, float]]] = {}
+    unmatched = 0
+    for key, sent_ns in toward.items():
+        returned_ns = back.get(key)
+        if returned_ns is None:
+            unmatched += 1
+            continue
+        flow_id, sequence = key
+        per_flow.setdefault(flow_id, []).append(
+            (sequence, (returned_ns - sent_ns) / US)
+        )
+    result.unmatched_frames = unmatched
+    for flow_id, samples in per_flow.items():
+        samples.sort()
+        trimmed = samples[:cycles]
+        result.delays_us[flow_id] = np.array([d for _, d in trimmed])
+    return result
+
+
+def run_variant_sweep(
+    programs: list[XdpProgram],
+    flow_count: int = 1,
+    cycles: int = 500,
+    seed: int = 0,
+    **kwargs,
+) -> dict[str, ReflectionResult]:
+    """Figure 4 left: one run per program variant, same seed & load."""
+    return {
+        program.name: run_reflection(
+            program, flow_count=flow_count, cycles=cycles, seed=seed, **kwargs
+        )
+        for program in programs
+    }
+
+
+def run_flow_scaling(
+    program: XdpProgram,
+    flow_counts: list[int],
+    cycles: int = 500,
+    seed: int = 0,
+    **kwargs,
+) -> dict[int, ReflectionResult]:
+    """Figure 4 right: same program under increasing concurrent flows."""
+    return {
+        count: run_reflection(
+            program, flow_count=count, cycles=cycles, seed=seed, **kwargs
+        )
+        for count in flow_counts
+    }

@@ -1,0 +1,76 @@
+"""The passive network tap.
+
+Section 3's key measurement trick: a hardware tap stamps frames in *both*
+directions with one clock (8 ns precision), eliminating clock-sync error
+between endpoints.  :class:`Tap` is a two-port pass-through device that
+records a :class:`TapRecord` per frame and forwards the signal without
+re-serializing it (a passive tap repeats the wire, it does not queue).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..net.device import Device
+from ..net.link import Port
+from ..net.packet import Packet
+from ..simcore import Simulator
+from ..simcore.clock import Clock, tap_clock
+
+
+@dataclass(frozen=True)
+class TapRecord:
+    """One captured frame."""
+
+    flow_id: str
+    sequence: int
+    direction: int  # ingress port index (0 = A-side, 1 = B-side)
+    timestamp_ns: int  # tap-clock reading
+    frame_bytes: int
+
+
+class Tap(Device):
+    """A passive two-port tap with single-clock timestamping."""
+
+    SIDE_A = 0
+    SIDE_B = 1
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str = "tap",
+        clock: Clock | None = None,
+        passthrough_ns: int = 8,
+    ) -> None:
+        super().__init__(sim, name)
+        self.clock = clock or tap_clock(name=f"{name}/clock")
+        self.passthrough_ns = passthrough_ns
+        self.records: list[TapRecord] = []
+
+    def receive(self, packet: Packet, in_port: Port) -> None:
+        self.records.append(
+            TapRecord(
+                flow_id=packet.flow_id,
+                sequence=packet.sequence,
+                direction=in_port.index,
+                timestamp_ns=self.clock.read(self.sim.now),
+                frame_bytes=packet.frame_bytes,
+            )
+        )
+        out_port = self.ports[1 - in_port.index]
+        link = out_port.link
+        if link is None:
+            return
+        # Passive pass-through: the frame is already on the wire; repeat it
+        # to the far side without serializing again.
+        self.sim.schedule(
+            self.passthrough_ns, lambda: link.propagate(packet, out_port)
+        )
+
+    def records_by_direction(self, direction: int) -> list[TapRecord]:
+        """All records captured on one ingress side."""
+        return [r for r in self.records if r.direction == direction]
+
+    def clear(self) -> None:
+        """Drop all captured records."""
+        self.records.clear()

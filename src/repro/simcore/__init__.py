@@ -1,0 +1,46 @@
+"""Deterministic discrete-event simulation kernel.
+
+Public API:
+
+- :class:`Simulator` — event loop with integer-nanosecond time.
+- :class:`Process` / :class:`Signal` — generator-coroutine processes.
+- :class:`EventQueue` / :class:`Event` — the underlying queue.
+- :class:`RandomStreams` — named, independent random streams.
+- :class:`Clock`, :class:`PtpSyncModel`, :func:`tap_clock` — clock models.
+- :mod:`repro.simcore.units` — ``NS``/``US``/``MS``/``SEC`` constants.
+"""
+
+from .clock import Clock, PtpSyncModel, tap_clock
+from .events import (
+    Event,
+    EventQueue,
+    PRIORITY_HIGH,
+    PRIORITY_LOW,
+    PRIORITY_NORMAL,
+)
+from .rng import RandomStreams
+from .simulator import Process, Signal, SimulationError, Simulator, every
+from .units import HOUR, MINUTE, MS, NS, SEC, US
+
+__all__ = [
+    "Clock",
+    "Event",
+    "EventQueue",
+    "HOUR",
+    "MINUTE",
+    "MS",
+    "NS",
+    "PRIORITY_HIGH",
+    "PRIORITY_LOW",
+    "PRIORITY_NORMAL",
+    "Process",
+    "PtpSyncModel",
+    "RandomStreams",
+    "SEC",
+    "Signal",
+    "SimulationError",
+    "Simulator",
+    "US",
+    "every",
+    "tap_clock",
+]

@@ -1,0 +1,101 @@
+"""Event queue for the discrete-event simulator.
+
+The queue is a binary heap keyed on ``(time, priority, sequence)``.  The
+monotonically increasing sequence number makes ordering *total* and therefore
+deterministic: two events scheduled for the same instant and priority always
+fire in scheduling order, independent of heap internals.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+#: Default scheduling priority.  Lower values fire first at equal times.
+PRIORITY_NORMAL = 0
+
+#: Priority for housekeeping that must run before normal events at an instant
+#: (e.g. TSN gate state changes must precede transmissions at the same tick).
+PRIORITY_HIGH = -10
+
+#: Priority for observers that must see the final state of an instant.
+PRIORITY_LOW = 10
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback.
+
+    Events compare by ``(time, priority, sequence)`` so they can live directly
+    in a heap.  The callback and its argument are excluded from comparison.
+    """
+
+    time: int
+    priority: int
+    sequence: int
+    callback: Callable[[], Any] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        """Mark the event so it is skipped when popped.
+
+        Cancellation is O(1); the heap entry is lazily discarded.
+        """
+        self.cancelled = True
+
+
+class EventQueue:
+    """A deterministic priority queue of :class:`Event` objects."""
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._sequence = itertools.count()
+
+    def __len__(self) -> int:
+        return sum(1 for event in self._heap if not event.cancelled)
+
+    def __bool__(self) -> bool:
+        return any(not event.cancelled for event in self._heap)
+
+    def push(
+        self,
+        time: int,
+        callback: Callable[[], Any],
+        priority: int = PRIORITY_NORMAL,
+    ) -> Event:
+        """Schedule ``callback`` at absolute ``time`` and return the event."""
+        if time < 0:
+            raise ValueError(f"event time must be non-negative, got {time}")
+        event = Event(
+            time=time,
+            priority=priority,
+            sequence=next(self._sequence),
+            callback=callback,
+        )
+        heapq.heappush(self._heap, event)
+        return event
+
+    def pop(self) -> Event:
+        """Remove and return the earliest non-cancelled event.
+
+        Raises :class:`IndexError` when the queue holds no live events.
+        """
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if not event.cancelled:
+                return event
+        raise IndexError("pop from empty event queue")
+
+    def peek_time(self) -> int | None:
+        """Return the time of the earliest live event, or ``None`` if empty."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        if not self._heap:
+            return None
+        return self._heap[0].time
+
+    def clear(self) -> None:
+        """Drop every pending event."""
+        self._heap.clear()

@@ -1,0 +1,266 @@
+"""The discrete-event simulator.
+
+:class:`Simulator` owns the clock (integer nanoseconds, see
+:mod:`repro.simcore.units`), the event queue, and a registry of named random
+streams.  Components interact with it in two styles:
+
+1. **Callbacks** — ``sim.schedule(delay, fn)`` / ``sim.schedule_at(t, fn)``.
+2. **Processes** — generator coroutines driven by :class:`Process`, which
+   ``yield`` delays (``int`` nanoseconds) or :class:`Signal` objects.
+
+Both styles coexist; the fieldbus and PLC models use processes for their
+cyclic behaviour, while packet forwarding uses plain callbacks.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator, Iterable
+
+from .events import Event, EventQueue, PRIORITY_NORMAL
+from .rng import RandomStreams
+
+
+class SimulationError(RuntimeError):
+    """Raised for invalid simulator usage (e.g. scheduling in the past)."""
+
+
+class Signal:
+    """A broadcast condition that processes can wait on.
+
+    ``wait()`` inside a process suspends it until someone calls
+    :meth:`fire`.  The value passed to ``fire`` is delivered as the result of
+    the ``yield``.
+    """
+
+    def __init__(self, sim: "Simulator", name: str = "") -> None:
+        self._sim = sim
+        self.name = name
+        self._waiters: list[Process] = []
+
+    def fire(self, value: Any = None) -> None:
+        """Wake every waiting process at the current instant."""
+        waiters, self._waiters = self._waiters, []
+        for process in waiters:
+            self._sim.schedule(0, lambda p=process: p._resume(value))
+
+    def _register(self, process: "Process") -> None:
+        self._waiters.append(process)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Signal({self.name!r}, waiters={len(self._waiters)})"
+
+
+class Process:
+    """A generator coroutine scheduled on the simulator.
+
+    The generator may yield:
+
+    - ``int`` — sleep that many nanoseconds;
+    - :class:`Signal` — suspend until the signal fires;
+    - ``None`` — yield the floor (resume at the same instant, after other
+      pending events at this time).
+    """
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        generator: Generator[Any, Any, Any],
+        name: str = "",
+    ) -> None:
+        self._sim = sim
+        self._generator = generator
+        self.name = name or repr(generator)
+        self.alive = True
+        self.result: Any = None
+        self._pending_event: Event | None = None
+        self.finished = Signal(sim, name=f"{self.name}/finished")
+
+    def start(self) -> "Process":
+        """Schedule the first step at the current instant."""
+        self._pending_event = self._sim.schedule(0, lambda: self._resume(None))
+        return self
+
+    def stop(self) -> None:
+        """Terminate the process without running it further."""
+        if not self.alive:
+            return
+        self.alive = False
+        if self._pending_event is not None:
+            self._pending_event.cancel()
+            self._pending_event = None
+        self._generator.close()
+        self.finished.fire(None)
+
+    def _resume(self, value: Any) -> None:
+        if not self.alive:
+            return
+        self._pending_event = None
+        try:
+            command = self._generator.send(value)
+        except StopIteration as stop:
+            self.alive = False
+            self.result = stop.value
+            self.finished.fire(stop.value)
+            return
+        self._dispatch(command)
+
+    def _dispatch(self, command: Any) -> None:
+        if command is None:
+            self._pending_event = self._sim.schedule(
+                0, lambda: self._resume(None)
+            )
+        elif isinstance(command, int):
+            if command < 0:
+                raise SimulationError(
+                    f"process {self.name} yielded negative delay {command}"
+                )
+            self._pending_event = self._sim.schedule(
+                command, lambda: self._resume(None)
+            )
+        elif isinstance(command, Signal):
+            command._register(self)
+        else:
+            raise SimulationError(
+                f"process {self.name} yielded unsupported value {command!r}"
+            )
+
+
+class Simulator:
+    """Deterministic discrete-event simulator with integer-ns time."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self._now = 0
+        self._queue = EventQueue()
+        self.streams = RandomStreams(seed=seed)
+        self._running = False
+        self._trace_hooks: list[Callable[[int, str], None]] = []
+
+    @property
+    def now(self) -> int:
+        """Current simulated time in nanoseconds."""
+        return self._now
+
+    # -- scheduling ---------------------------------------------------------
+
+    def schedule(
+        self,
+        delay: int,
+        callback: Callable[[], Any],
+        priority: int = PRIORITY_NORMAL,
+    ) -> Event:
+        """Run ``callback`` after ``delay`` nanoseconds."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        return self._queue.push(self._now + delay, callback, priority)
+
+    def schedule_at(
+        self,
+        time: int,
+        callback: Callable[[], Any],
+        priority: int = PRIORITY_NORMAL,
+    ) -> Event:
+        """Run ``callback`` at absolute ``time`` (must not be in the past)."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at {time}, current time is {self._now}"
+            )
+        return self._queue.push(time, callback, priority)
+
+    def process(
+        self, generator: Generator[Any, Any, Any], name: str = ""
+    ) -> Process:
+        """Wrap ``generator`` as a :class:`Process` and start it."""
+        return Process(self, generator, name=name).start()
+
+    def signal(self, name: str = "") -> Signal:
+        """Create a :class:`Signal` bound to this simulator."""
+        return Signal(self, name=name)
+
+    # -- execution ----------------------------------------------------------
+
+    def run(self, until: int | None = None) -> int:
+        """Execute events until the queue drains or ``until`` is reached.
+
+        Returns the final simulated time.  With ``until`` given, time
+        advances exactly to ``until`` even if the queue drains earlier, so
+        repeated ``run`` calls compose predictably.
+        """
+        if self._running:
+            raise SimulationError("simulator is already running")
+        if until is not None and until < self._now:
+            raise SimulationError(
+                f"cannot run until {until}, current time is {self._now}"
+            )
+        self._running = True
+        try:
+            while True:
+                next_time = self._queue.peek_time()
+                if next_time is None:
+                    break
+                if until is not None and next_time > until:
+                    break
+                event = self._queue.pop()
+                self._now = event.time
+                event.callback()
+            if until is not None:
+                self._now = max(self._now, until)
+        finally:
+            self._running = False
+        return self._now
+
+    def step(self) -> bool:
+        """Execute a single event.  Returns ``False`` if the queue is empty."""
+        try:
+            event = self._queue.pop()
+        except IndexError:
+            return False
+        self._now = event.time
+        event.callback()
+        return True
+
+    @property
+    def pending_events(self) -> int:
+        """Number of live events waiting in the queue."""
+        return len(self._queue)
+
+    # -- tracing ------------------------------------------------------------
+
+    def add_trace_hook(self, hook: Callable[[int, str], None]) -> None:
+        """Register a ``hook(time_ns, message)`` called by :meth:`trace`."""
+        self._trace_hooks.append(hook)
+
+    def trace(self, message: str) -> None:
+        """Emit a trace message to all registered hooks."""
+        for hook in self._trace_hooks:
+            hook(self._now, message)
+
+
+def every(
+    sim: Simulator,
+    period: int,
+    action: Callable[[], Any],
+    start: int = 0,
+    jitter_fn: Callable[[], int] | None = None,
+) -> Process:
+    """Start a process that invokes ``action`` every ``period`` ns.
+
+    ``jitter_fn``, when given, returns an extra (non-negative) delay added to
+    each activation — used to model release jitter of periodic tasks.
+    """
+
+    def _loop() -> Iterable[Any]:
+        if start:
+            yield start
+        while True:
+            if jitter_fn is not None:
+                extra = jitter_fn()
+                if extra:
+                    yield extra
+                action()
+                remaining = period - extra
+                yield max(0, remaining)
+            else:
+                action()
+                yield period
+
+    return sim.process(_loop(), name=f"every({period})")

@@ -1,0 +1,167 @@
+"""Network-calculus worst-case latency bounds.
+
+Deterministic guarantees are the currency of industrial networking: a
+vendor must *bound* latency and jitter, not report percentiles (Section
+2.1).  This module provides the standard min-plus results for the traffic
+this library models:
+
+- token-bucket arrival curves ``alpha(t) = burst + rate * t`` (a cyclic
+  microflow is the special case ``burst = frame``, ``rate = frame/period``);
+- rate-latency service curves ``beta(t) = R * max(0, t - T)``;
+- the delay bound ``h(alpha, beta) = T + burst / R``;
+- the backlog bound ``v(alpha, beta) = burst + rate * T``;
+- concatenation (pay-bursts-only-once) across hops;
+- residual service under strict priority with non-preemptive blocking.
+
+The tests validate the bounds *against the simulator*: measured worst-case
+delays must never exceed the computed bounds, and the bounds must be tight
+enough to be useful (within a small factor of the measurement).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..net.flows import FlowSpec
+from ..net.packet import Packet
+
+
+@dataclass(frozen=True)
+class ArrivalCurve:
+    """Token-bucket arrival curve: ``alpha(t) = burst_bits + rate_bps*t``."""
+
+    burst_bits: float
+    rate_bps: float
+
+    def __post_init__(self) -> None:
+        if self.burst_bits < 0 or self.rate_bps < 0:
+            raise ValueError("burst and rate must be non-negative")
+
+    def at(self, t_s: float) -> float:
+        """Maximum bits that may arrive in any window of length ``t_s``."""
+        if t_s < 0:
+            raise ValueError("time must be non-negative")
+        return self.burst_bits + self.rate_bps * t_s
+
+    def __add__(self, other: "ArrivalCurve") -> "ArrivalCurve":
+        """Aggregate of independent flows (curves add)."""
+        return ArrivalCurve(
+            burst_bits=self.burst_bits + other.burst_bits,
+            rate_bps=self.rate_bps + other.rate_bps,
+        )
+
+    @classmethod
+    def for_cyclic_flow(cls, spec: FlowSpec) -> "ArrivalCurve":
+        """The curve of one cyclic microflow (one frame per period)."""
+        if spec.period_ns is None or spec.period_ns <= 0:
+            raise ValueError("flow is not cyclic")
+        frame_bits = (
+            Packet(src=spec.src, dst=spec.dst, payload_bytes=spec.payload_bytes)
+            .wire_size_bytes * 8
+        )
+        return cls(
+            burst_bits=frame_bits,
+            rate_bps=frame_bits / (spec.period_ns / 1e9),
+        )
+
+
+@dataclass(frozen=True)
+class ServiceCurve:
+    """Rate-latency service curve: ``beta(t) = R * max(0, t - T)``."""
+
+    rate_bps: float
+    latency_s: float
+
+    def __post_init__(self) -> None:
+        if self.rate_bps <= 0:
+            raise ValueError("service rate must be positive")
+        if self.latency_s < 0:
+            raise ValueError("service latency cannot be negative")
+
+    def at(self, t_s: float) -> float:
+        """Guaranteed bits served in any backlogged window of ``t_s``."""
+        return self.rate_bps * max(0.0, t_s - self.latency_s)
+
+    def concatenate(self, other: "ServiceCurve") -> "ServiceCurve":
+        """End-to-end curve of two servers in tandem.
+
+        Min-plus convolution of rate-latency curves: rates take the min,
+        latencies add — the pay-bursts-only-once theorem.
+        """
+        return ServiceCurve(
+            rate_bps=min(self.rate_bps, other.rate_bps),
+            latency_s=self.latency_s + other.latency_s,
+        )
+
+
+def delay_bound_s(arrival: ArrivalCurve, service: ServiceCurve) -> float:
+    """Worst-case delay ``h(alpha, beta) = T + b / R`` (stable system).
+
+    Raises when the arrival rate exceeds the service rate (unbounded
+    backlog — no finite bound exists).
+    """
+    if arrival.rate_bps > service.rate_bps:
+        raise ValueError(
+            f"unstable: arrival rate {arrival.rate_bps:.0f} bps exceeds "
+            f"service rate {service.rate_bps:.0f} bps"
+        )
+    return service.latency_s + arrival.burst_bits / service.rate_bps
+
+
+def backlog_bound_bits(arrival: ArrivalCurve, service: ServiceCurve) -> float:
+    """Worst-case backlog ``v(alpha, beta) = b + r * T``."""
+    if arrival.rate_bps > service.rate_bps:
+        raise ValueError("unstable system has no backlog bound")
+    return arrival.burst_bits + arrival.rate_bps * service.latency_s
+
+
+def strict_priority_residual(
+    port_rate_bps: float,
+    base_latency_s: float,
+    higher_priority: ArrivalCurve | None,
+    max_lower_frame_bits: float,
+) -> ServiceCurve:
+    """Residual service for one class under strict priority.
+
+    The class sees the port minus everything higher-priority, delayed by
+    one maximal lower-priority frame (non-preemptive blocking):
+
+    ``R' = C - r_H``, ``T' = T + (b_H + L_max) / (C - r_H)``.
+    """
+    if higher_priority is None:
+        higher_priority = ArrivalCurve(0.0, 0.0)
+    residual_rate = port_rate_bps - higher_priority.rate_bps
+    if residual_rate <= 0:
+        raise ValueError("higher-priority traffic saturates the port")
+    extra_latency = (
+        higher_priority.burst_bits + max_lower_frame_bits
+    ) / residual_rate
+    return ServiceCurve(
+        rate_bps=residual_rate,
+        latency_s=base_latency_s + extra_latency,
+    )
+
+
+def switch_service_curve(
+    port_rate_bps: float,
+    processing_delay_ns: int,
+    propagation_delay_ns: int = 0,
+) -> ServiceCurve:
+    """The full-rate service curve of one store-and-forward hop."""
+    return ServiceCurve(
+        rate_bps=port_rate_bps,
+        latency_s=(processing_delay_ns + propagation_delay_ns) / 1e9,
+    )
+
+
+def path_delay_bound_s(
+    arrival: ArrivalCurve,
+    hop_curves: list[ServiceCurve],
+) -> float:
+    """End-to-end bound over a path (pay bursts only once)."""
+    if not hop_curves:
+        raise ValueError("need at least one hop")
+    end_to_end = hop_curves[0]
+    for curve in hop_curves[1:]:
+        end_to_end = end_to_end.concatenate(curve)
+    return delay_bound_s(arrival, end_to_end)

@@ -1,0 +1,111 @@
+"""802.1CB-style Frame Replication and Elimination for Reliability (FRER).
+
+Seamless redundancy: a talker's stream is replicated over disjoint paths and
+duplicates are eliminated near the listener, so a single link failure loses
+no frame and adds no recovery delay.  This complements the availability
+story of Section 4 — InstaPLC protects against *controller* failure, FRER
+against *path* failure.
+
+Implemented pieces:
+
+- :class:`SequenceRecovery` — the vector recovery algorithm (accept a
+  sequence number once within a sliding history window);
+- :class:`StreamSplitter` — replicates selected flows out multiple ports of
+  a switch;
+- :class:`StreamMerger` — host-side wrapper applying recovery before
+  delivering to the application.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable
+
+from ..net.host import Host
+from ..net.link import Port
+from ..net.packet import Packet
+from ..net.switch import Switch
+
+
+class SequenceRecovery:
+    """Per-stream duplicate elimination with a bounded history window."""
+
+    def __init__(self, history_length: int = 64) -> None:
+        if history_length < 1:
+            raise ValueError("history length must be at least 1")
+        self.history_length = history_length
+        self._seen: deque[int] = deque(maxlen=history_length)
+        self._seen_set: set[int] = set()
+        self.accepted = 0
+        self.discarded = 0
+
+    def accept(self, sequence: int) -> bool:
+        """Return ``True`` the first time a sequence number is seen."""
+        if sequence in self._seen_set:
+            self.discarded += 1
+            return False
+        if len(self._seen) == self.history_length:
+            oldest = self._seen[0]
+            self._seen_set.discard(oldest)
+        self._seen.append(sequence)
+        self._seen_set.add(sequence)
+        self.accepted += 1
+        return True
+
+    def reset(self) -> None:
+        """Forget all history (stream restart)."""
+        self._seen.clear()
+        self._seen_set.clear()
+
+
+class StreamSplitter(Switch):
+    """A switch that replicates configured flows out several egress ports.
+
+    Non-configured traffic is forwarded normally.
+    """
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        #: flow id -> list of egress port indices receiving a copy
+        self.split_table: dict[str, list[int]] = {}
+        self.replicated_frames = 0
+
+    def configure_split(self, flow_id: str, port_indices: list[int]) -> None:
+        """Replicate ``flow_id`` out every listed port."""
+        if len(port_indices) < 2:
+            raise ValueError("splitting needs at least two egress ports")
+        for index in port_indices:
+            if not 0 <= index < len(self.ports):
+                raise ValueError(f"port {index} does not exist on {self.name}")
+        self.split_table[flow_id] = list(port_indices)
+
+    def _forward(self, packet: Packet, in_port: Port) -> None:
+        targets = self.split_table.get(packet.flow_id)
+        if targets is None:
+            super()._forward(packet, in_port)
+            return
+        packet.hops.append(self.name)
+        self.replicated_frames += 1
+        for index in targets:
+            if index != in_port.index:
+                self.ports[index].send(packet.copy_for_replication())
+
+
+class StreamMerger:
+    """Attach to a host to deliver each stream sequence exactly once."""
+
+    def __init__(
+        self,
+        host: Host,
+        flow_id: str,
+        deliver: Callable[[Packet], None],
+        history_length: int = 64,
+    ) -> None:
+        self.recovery = SequenceRecovery(history_length=history_length)
+        self.flow_id = flow_id
+        self._deliver = deliver
+        host.on_flow(flow_id, self._on_packet)
+
+    def _on_packet(self, packet: Packet) -> None:
+        if self.recovery.accept(packet.sequence):
+            self._deliver(packet)

@@ -1,0 +1,142 @@
+"""802.1Qbv gate control lists.
+
+A :class:`GateControlList` is a cyclic sequence of entries, each opening a
+subset of the eight PCP gates for a duration.  The time-aware shaper
+(:mod:`repro.tsn.shaper`) evaluates it to decide which queues may transmit
+at a given instant and when the next gate change happens.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+ALL_PCPS = frozenset(range(8))
+
+
+@dataclass(frozen=True)
+class GateControlEntry:
+    """One row of a gate control list."""
+
+    duration_ns: int
+    open_pcps: frozenset[int]
+
+    def __post_init__(self) -> None:
+        if self.duration_ns <= 0:
+            raise ValueError("entry duration must be positive")
+        if not self.open_pcps <= ALL_PCPS:
+            raise ValueError(f"invalid PCPs {self.open_pcps - ALL_PCPS}")
+
+
+@dataclass
+class GateControlList:
+    """A cyclic gate schedule anchored at ``base_time_ns``."""
+
+    entries: list[GateControlEntry] = field(default_factory=list)
+    base_time_ns: int = 0
+
+    @property
+    def cycle_time_ns(self) -> int:
+        """Sum of all entry durations."""
+        return sum(entry.duration_ns for entry in self.entries)
+
+    def validate(self) -> None:
+        """Raise if the list is unusable."""
+        if not self.entries:
+            raise ValueError("gate control list has no entries")
+        if self.cycle_time_ns <= 0:
+            raise ValueError("cycle time must be positive")
+
+    def state_at(self, time_ns: int) -> tuple[frozenset[int], int]:
+        """Return ``(open_pcps, ns_until_next_change)`` at ``time_ns``."""
+        self.validate()
+        cycle = self.cycle_time_ns
+        phase = (time_ns - self.base_time_ns) % cycle
+        elapsed = 0
+        for entry in self.entries:
+            if phase < elapsed + entry.duration_ns:
+                remaining = elapsed + entry.duration_ns - phase
+                return entry.open_pcps, remaining
+            elapsed += entry.duration_ns
+        # Unreachable when validate() holds, but keep a safe fallback.
+        last = self.entries[-1]
+        return last.open_pcps, cycle - phase
+
+    def gate_open_until(self, time_ns: int, pcp: int) -> int:
+        """How long (ns) the gate for ``pcp`` stays open from ``time_ns``.
+
+        Returns 0 when the gate is currently closed.  Scans forward through
+        consecutive entries that keep the gate open (a gate may span rows).
+        """
+        self.validate()
+        open_pcps, remaining = self.state_at(time_ns)
+        if pcp not in open_pcps:
+            return 0
+        total = remaining
+        cycle = self.cycle_time_ns
+        # Walk subsequent entries; stop after one full cycle (always-open gate).
+        probe = time_ns + remaining
+        while total < cycle:
+            open_pcps, segment = self.state_at(probe)
+            if pcp not in open_pcps:
+                break
+            total += segment
+            probe += segment
+        return min(total, cycle)
+
+    def next_open_delay(self, time_ns: int, pcp: int) -> int | None:
+        """Nanoseconds until the ``pcp`` gate next opens (0 if open now).
+
+        Returns ``None`` when the gate never opens in this schedule.
+        """
+        self.validate()
+        open_pcps, remaining = self.state_at(time_ns)
+        if pcp in open_pcps:
+            return 0
+        waited = remaining
+        cycle = self.cycle_time_ns
+        probe = time_ns + remaining
+        while waited <= cycle:
+            open_pcps, segment = self.state_at(probe)
+            if pcp in open_pcps:
+                return waited
+            waited += segment
+            probe += segment
+        return None
+
+
+def always_open() -> GateControlList:
+    """A degenerate GCL with every gate permanently open."""
+    return GateControlList(
+        entries=[GateControlEntry(duration_ns=1_000_000, open_pcps=ALL_PCPS)]
+    )
+
+
+def protected_window_gcl(
+    cycle_ns: int,
+    rt_window_ns: int,
+    rt_pcps: frozenset[int] = frozenset({6, 7}),
+    rt_offset_ns: int = 0,
+    base_time_ns: int = 0,
+) -> GateControlList:
+    """A classic two-window schedule: an exclusive RT window, rest best-effort.
+
+    The RT window of ``rt_window_ns`` starts ``rt_offset_ns`` into each
+    cycle; only ``rt_pcps`` may send during it.  Outside it, every *other*
+    PCP may send (the RT gates are closed so RT frames wait for their
+    window — this is what makes the traffic deterministic).
+    """
+    if not 0 < rt_window_ns < cycle_ns:
+        raise ValueError("RT window must be positive and smaller than the cycle")
+    if not 0 <= rt_offset_ns < cycle_ns:
+        raise ValueError("RT offset must lie within the cycle")
+    if rt_offset_ns + rt_window_ns > cycle_ns:
+        raise ValueError("RT window must not wrap the cycle boundary")
+    be_pcps = ALL_PCPS - rt_pcps
+    entries: list[GateControlEntry] = []
+    if rt_offset_ns > 0:
+        entries.append(GateControlEntry(rt_offset_ns, be_pcps))
+    entries.append(GateControlEntry(rt_window_ns, frozenset(rt_pcps)))
+    tail = cycle_ns - rt_offset_ns - rt_window_ns
+    if tail > 0:
+        entries.append(GateControlEntry(tail, be_pcps))
+    return GateControlList(entries=entries, base_time_ns=base_time_ns)

@@ -1,0 +1,119 @@
+"""Architectural availability analysis (Section 2.2)."""
+
+import pytest
+
+from repro.core import (
+    ComponentClass,
+    DependencyChain,
+    classic_ot_plant,
+    compare_architectures,
+    consolidated_vplc_plant,
+    redundant_vplc_plant,
+)
+from repro.core.availability_analysis import (
+    DC_SERVER,
+    HARDWARE_PLC_COMPONENT,
+    VIRTUALIZATION_STACK,
+    _group_failures_per_year,
+)
+from repro.metrics import SECONDS_PER_YEAR
+
+
+class TestComponentClass:
+    def test_availability_from_profile(self):
+        component = ComponentClass("x", mtbf_s=99.0, mttr_s=1.0)
+        assert component.availability == pytest.approx(0.99)
+
+    def test_failures_per_year(self):
+        component = ComponentClass(
+            "x", mtbf_s=SECONDS_PER_YEAR, mttr_s=0.0
+        )
+        assert component.failures_per_year == pytest.approx(1.0)
+
+    def test_hardware_plc_more_reliable_than_dc_stack(self):
+        assert (
+            HARDWARE_PLC_COMPONENT.availability
+            > DC_SERVER.availability
+            > VIRTUALIZATION_STACK.availability
+        )
+
+
+class TestDependencyChain:
+    def test_series_composition(self):
+        a = ComponentClass("a", 99.0, 1.0)
+        chain = DependencyChain(private=(a, a))
+        assert chain.availability() == pytest.approx(0.99**2)
+
+    def test_redundant_group_composition(self):
+        a = ComponentClass("a", 9.0, 1.0)  # A = 0.9
+        chain = DependencyChain(private_redundant=((a, a),))
+        assert chain.availability() == pytest.approx(0.99)
+
+    def test_mixed_chain(self):
+        a = ComponentClass("a", 99.0, 1.0)
+        b = ComponentClass("b", 9.0, 1.0)
+        chain = DependencyChain(private=(a,), shared_redundant=((b, b),))
+        assert chain.availability() == pytest.approx(0.99 * 0.99)
+
+
+class TestGroupFailureRate:
+    def test_redundancy_slashes_group_rate(self):
+        single = ComponentClass("s", mtbf_s=999.0, mttr_s=1.0)
+        group_rate = _group_failures_per_year((single, single))
+        assert group_rate < single.failures_per_year / 100
+
+    def test_single_member_group_is_plain_rate(self):
+        component = ComponentClass("s", mtbf_s=999.0, mttr_s=1.0)
+        assert _group_failures_per_year((component,)) == pytest.approx(
+            component.failures_per_year
+        )
+
+
+class TestArchitectures:
+    def test_consolidation_penalty(self):
+        # The Section 2.2 claim: naive consolidation is strictly worse
+        # than classic OT, both per cell and in blast radius.
+        classic = classic_ot_plant(24)
+        consolidated = consolidated_vplc_plant(24)
+        assert (
+            consolidated.cell_availability() < classic.cell_availability()
+        )
+        assert consolidated.shared_failure_blast_radius() == 24
+        assert classic.shared_failure_blast_radius() == 1
+
+    def test_redundancy_recovers_availability(self):
+        consolidated = consolidated_vplc_plant(24)
+        redundant = redundant_vplc_plant(24)
+        classic = classic_ot_plant(24)
+        assert redundant.cell_availability() > consolidated.cell_availability()
+        # Hardened consolidation even beats classic OT per cell.
+        assert redundant.cell_availability() > classic.cell_availability()
+
+    def test_cell_outage_events_scale_with_blast_radius(self):
+        consolidated = consolidated_vplc_plant(24)
+        classic = classic_ot_plant(24)
+        assert (
+            consolidated.simultaneous_cell_outages_per_year()
+            > 50 * classic.simultaneous_cell_outages_per_year()
+        )
+
+    def test_blast_radius_grows_with_plant_size(self):
+        small = consolidated_vplc_plant(4)
+        large = consolidated_vplc_plant(64)
+        assert (
+            large.simultaneous_cell_outages_per_year()
+            > small.simultaneous_cell_outages_per_year()
+        )
+        # Per-cell availability is size-independent (shared chain only).
+        assert small.cell_availability() == pytest.approx(
+            large.cell_availability()
+        )
+
+    def test_compare_architectures_report(self):
+        report = compare_architectures(24)
+        assert set(report) == {
+            "classic-ot", "consolidated-vplc", "redundant-vplc",
+        }
+        for metrics in report.values():
+            assert 0 < metrics["cell_availability"] < 1
+            assert metrics["cell_downtime_s_per_year"] > 0

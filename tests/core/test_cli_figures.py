@@ -1,0 +1,92 @@
+"""The figure-regeneration API and CLI."""
+
+import csv
+import io
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.figures import (
+    FIGURES,
+    fig1,
+    fig4_delay,
+    fig4_jitter,
+    fig5,
+    rows_to_csv,
+    rows_to_table,
+)
+
+
+class TestFigureFunctions:
+    def test_fig1_rows_match_paper(self):
+        rows = fig1()
+        assert len(rows) == 13
+        assert all(row["occurrences"] == row["paper"] for row in rows)
+
+    def test_fig4_delay_rows(self):
+        rows = fig4_delay(cycles=60)
+        assert {row["variant"] for row in rows} == {
+            "Base", "TS", "TS-TS", "TS-RB", "TS-OW", "TS-D-RB",
+        }
+        assert all(row["p50_us"] <= row["p99_us"] for row in rows)
+
+    def test_fig4_jitter_rows(self):
+        rows = fig4_jitter(flow_counts=(1, 25), cycles=60)
+        assert [row["flows"] for row in rows] == [1, 25]
+
+    def test_fig5_rows_cover_three_seconds(self):
+        rows = fig5()
+        assert len(rows) == 60
+        assert rows[0]["to_io"] > 0
+        assert rows[-1]["from_vplc1"] == 0
+        assert rows[-1]["to_io"] > 0
+
+    def test_registry_complete(self):
+        assert set(FIGURES) == {
+            "fig1", "fig4-delay", "fig4-jitter", "fig5", "fig6",
+        }
+
+
+class TestRendering:
+    def test_csv_round_trip(self):
+        rows = [{"a": 1, "b": "x"}, {"a": 2, "b": "y"}]
+        text = rows_to_csv(rows)
+        parsed = list(csv.DictReader(io.StringIO(text)))
+        assert parsed == [{"a": "1", "b": "x"}, {"a": "2", "b": "y"}]
+
+    def test_empty_rows(self):
+        assert rows_to_csv([]) == ""
+        assert rows_to_table([]) == "(no data)"
+
+    def test_table_contains_headers_and_values(self):
+        table = rows_to_table([{"name": "x", "value": 42}])
+        assert "name" in table and "42" in table
+
+
+class TestCli:
+    def test_list_command(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig5" in out and "fig1" in out
+
+    def test_figure_to_stdout(self, capsys):
+        assert main(["fig4-jitter"]) == 0
+        out = capsys.readouterr().out
+        assert "flows" in out
+
+    def test_figure_to_csv(self, tmp_path, capsys):
+        target = tmp_path / "fig1.csv"
+        assert main(["fig1", "--csv", str(target)]) == 0
+        assert target.exists()
+        assert "term_group" in target.read_text().splitlines()[0]
+
+    def test_seed_changes_stochastic_output(self, tmp_path):
+        a = tmp_path / "a.csv"
+        b = tmp_path / "b.csv"
+        main(["fig4-jitter", "--csv", str(a), "--seed", "1"])
+        main(["fig4-jitter", "--csv", str(b), "--seed", "2"])
+        assert a.read_text() != b.read_text()
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["nonsense"])

@@ -1,0 +1,158 @@
+"""Term permutations, counting, and the synthetic corpus round trip."""
+
+import pytest
+
+from repro.corpus import (
+    CorpusDocument,
+    PAPER_COUNTS,
+    PAPER_GROUPS,
+    TermCounter,
+    analyze_corpus,
+    expand_permutations,
+    generate_corpus,
+    group_by_name,
+    normalize,
+)
+
+
+class TestPermutations:
+    def test_spacing_variants(self):
+        variants = expand_permutations("data center")
+        assert {"data center", "data-center", "datacenter"} <= variants
+
+    def test_plural_variants(self):
+        assert "vplcs" in expand_permutations("vPLC")
+
+    def test_case_insensitive_base(self):
+        assert "tsn" in expand_permutations("TSN")
+
+    def test_slash_variants(self):
+        variants = expand_permutations("it/ot")
+        assert "it ot" in variants or "itot" in variants
+
+
+class TestCounter:
+    def count(self, text, group_name):
+        return TermCounter().count_text(text)[group_name]
+
+    def test_simple_occurrence(self):
+        assert self.count("We study the Internet at scale.", "Internet") == 1
+
+    def test_permutations_counted_together(self):
+        text = "A data center and a datacenter and a data-center."
+        assert self.count(text, "Datacenter") == 3
+
+    def test_word_boundaries_respected(self):
+        # 'plc' inside another word must not match.
+        assert self.count("simplchecker is a tool", "PLC") == 0
+        assert self.count("a PLC controls the line", "PLC") == 1
+
+    def test_specific_group_shadows_general(self):
+        # 'industrial internet of things' is IIoT, not an Internet hit.
+        text = "The industrial internet of things grows."
+        counts = TermCounter().count_text(text)
+        assert counts["IIoT"] == 1
+        assert counts["Internet"] == 0
+
+    def test_plural_matches(self):
+        assert self.count("Many vPLCs run in racks.", "vPLC") == 1
+
+    def test_case_insensitive(self):
+        assert self.count("PROFINET and profinet and Profinet",
+                          "PROFINET/EtherCAT/TSN") == 3
+
+    def test_count_corpus_sums_documents(self):
+        documents = [
+            CorpusDocument("V", 2022, "a", "the internet"),
+            CorpusDocument("V", 2022, "b", "the Internet again: internet"),
+        ]
+        totals = TermCounter().count_corpus(documents)
+        assert totals["Internet"] == 3
+
+    def test_normalize_collapses_whitespace(self):
+        assert normalize("Data\n  Center") == "data center"
+
+
+class TestGroups:
+    def test_thirteen_groups_match_figure(self):
+        assert len(PAPER_GROUPS) == 13
+        assert set(PAPER_COUNTS) == {g.name for g in PAPER_GROUPS}
+
+    def test_industrial_flags(self):
+        assert group_by_name("vPLC").is_industrial
+        assert not group_by_name("Internet").is_industrial
+
+    def test_unknown_group_raises(self):
+        with pytest.raises(KeyError):
+            group_by_name("Blockchain")
+
+
+class TestSyntheticRoundTrip:
+    def test_counts_reproduce_figure_one_exactly(self):
+        documents = generate_corpus(seed=3)
+        report = analyze_corpus(documents)
+        assert report.counts == PAPER_COUNTS
+
+    def test_different_seed_same_totals(self):
+        report = analyze_corpus(generate_corpus(seed=99))
+        assert report.counts == PAPER_COUNTS
+
+    def test_corpus_has_expected_paper_count(self):
+        documents = generate_corpus(seed=0)
+        assert len(documents) == 55 + 60 + 30 + 32
+
+    def test_custom_counts_respected(self):
+        counts = {name: 0 for name in PAPER_COUNTS}
+        counts["vPLC"] = 5
+        documents = generate_corpus(counts=counts, seed=1)
+        report = analyze_corpus(documents)
+        assert report.counts["vPLC"] == 5
+        assert report.counts["Internet"] == 0
+
+
+class TestGapReport:
+    def test_gap_ratio_two_orders_of_magnitude(self):
+        report = analyze_corpus(generate_corpus(seed=0))
+        # Figure 1's message: general networking terms dominate by ~100x.
+        assert report.gap_ratio > 50
+
+    def test_ranked_by_count(self):
+        report = analyze_corpus(generate_corpus(seed=0))
+        ranked = report.ranked()
+        assert ranked[0][0] == "TCP/UDP/IPv4/IPv6"
+        counts = [count for _, count in ranked]
+        assert counts == sorted(counts, reverse=True)
+
+    def test_bar_rows_render_all_groups(self):
+        report = analyze_corpus(generate_corpus(seed=0))
+        rows = report.bar_rows()
+        assert len(rows) == 13
+        assert any("vPLC" in row for row in rows)
+
+    def test_infinite_gap_with_zero_industrial(self):
+        from repro.corpus.report import GapReport
+
+        report = GapReport(counts={}, industrial_total=0, general_total=10)
+        assert report.gap_ratio == float("inf")
+
+
+class TestLoadDirectory:
+    def test_loads_text_files(self, tmp_path):
+        from repro.corpus import load_directory
+
+        (tmp_path / "paper1.txt").write_text("We study the Internet.")
+        (tmp_path / "paper2.txt").write_text("PLC and vPLC systems.")
+        (tmp_path / "notes.md").write_text("ignored")
+        documents = load_directory(tmp_path, venue="TEST", year=2026)
+        assert [d.title for d in documents] == ["paper1", "paper2"]
+        assert documents[0].venue == "TEST"
+        report = analyze_corpus(documents)
+        assert report.counts["Internet"] == 1
+        assert report.counts["PLC"] == 1
+        assert report.counts["vPLC"] == 1
+
+    def test_missing_directory_rejected(self, tmp_path):
+        from repro.corpus import load_directory
+
+        with pytest.raises(NotADirectoryError):
+            load_directory(tmp_path / "nope")

@@ -1,0 +1,206 @@
+"""Controller-device application relations end to end."""
+
+import pytest
+
+from repro.fieldbus import (
+    ArState,
+    ConnectionParams,
+    CyclicConnection,
+    IoDeviceApp,
+)
+from repro.net import build_star
+from repro.net.routing import install_shortest_path_routes
+from repro.simcore import Simulator, MS, SEC
+
+
+def star_setup(hosts=3, seed=0):
+    sim = Simulator(seed=seed)
+    topo = build_star(sim, hosts)
+    install_shortest_path_routes(topo)
+    return sim, topo
+
+
+def connect(sim, topo, controller="h0", device="h1", cycle=10 * MS, **kwargs):
+    device_app = IoDeviceApp(sim, topo.devices[device], **kwargs)
+    connection = CyclicConnection(
+        sim,
+        topo.devices[controller],
+        device,
+        ConnectionParams(cycle_ns=cycle),
+    )
+    return device_app, connection
+
+
+class TestHandshake:
+    def test_both_sides_reach_running(self):
+        sim, topo = star_setup()
+        device, connection = connect(sim, topo)
+        connection.open()
+        sim.run(until=1 * SEC)
+        assert connection.state is ArState.RUNNING
+        assert device.state is ArState.RUNNING
+        assert device.controller == "h0"
+
+    def test_connect_timeout_aborts(self):
+        sim, topo = star_setup()
+        # No device app on h1: nothing answers.
+        connection = CyclicConnection(
+            sim, topo.devices["h0"], "h1", ConnectionParams(cycle_ns=10 * MS)
+        )
+        reasons = []
+        connection.on_abort.append(reasons.append)
+        connection.open()
+        sim.run(until=5 * SEC)
+        assert connection.state is ArState.ABORTED
+        assert reasons == ["connect timeout"]
+
+    def test_second_controller_rejected(self):
+        sim, topo = star_setup()
+        device, first = connect(sim, topo)
+        first.open()
+        sim.run(until=200 * MS)
+        second = CyclicConnection(
+            sim, topo.devices["h2"], "h1", ConnectionParams(cycle_ns=10 * MS)
+        )
+        rejections = []
+        second.on_reject.append(rejections.append)
+        second.open()
+        sim.run(until=400 * MS)
+        assert second.state is ArState.ABORTED
+        assert rejections == ["device already controlled"]
+        assert device.stats.connects_rejected == 1
+        # The original relation is unaffected.
+        assert first.state is ArState.RUNNING
+
+    def test_reconnect_after_abort(self):
+        sim, topo = star_setup()
+        device, connection = connect(sim, topo)
+        connection.open()
+        sim.run(until=200 * MS)
+        connection.fail_silently()
+        sim.run(until=500 * MS)  # device watchdog fires, AR aborts
+        assert device.state is ArState.ABORTED
+        fresh = CyclicConnection(
+            sim, topo.devices["h2"], "h1", ConnectionParams(cycle_ns=10 * MS)
+        )
+        fresh.open()
+        sim.run(until=1 * SEC)
+        assert fresh.state is ArState.RUNNING
+        assert device.state is ArState.RUNNING
+        assert device.controller == "h2"
+
+    def test_double_open_rejected(self):
+        sim, topo = star_setup()
+        device, connection = connect(sim, topo)
+        connection.open()
+        with pytest.raises(RuntimeError):
+            connection.open()
+
+
+class TestCyclicExchange:
+    def test_cyclic_rates_match_cycle_time(self):
+        sim, topo = star_setup()
+        device, connection = connect(sim, topo, cycle=10 * MS)
+        connection.open()
+        sim.run(until=1 * SEC)
+        # ~100 cycles in a second (minus handshake time).
+        assert 95 <= connection.stats.cyclic_received <= 101
+        assert 95 <= device.stats.cyclic_received <= 101
+
+    def test_outputs_propagate_to_device(self):
+        sim, topo = star_setup()
+        applied = []
+        device, connection = connect(
+            sim, topo, apply_outputs=lambda data: applied.append(dict(data))
+        )
+        connection.outputs = {"valve": 42}
+        connection.open()
+        sim.run(until=100 * MS)
+        assert device.outputs == {"valve": 42}
+        assert applied[-1] == {"valve": 42}
+
+    def test_inputs_propagate_to_controller(self):
+        sim, topo = star_setup()
+        device, connection = connect(
+            sim, topo, sample_inputs=lambda: {"temp": 21.5}
+        )
+        connection.open()
+        sim.run(until=100 * MS)
+        assert connection.inputs == {"temp": 21.5}
+
+    def test_on_inputs_callback_invoked_per_cycle(self):
+        sim, topo = star_setup()
+        seen = []
+        device_app = IoDeviceApp(sim, topo.devices["h1"])
+        connection = CyclicConnection(
+            sim,
+            topo.devices["h0"],
+            "h1",
+            ConnectionParams(cycle_ns=10 * MS),
+            on_inputs=seen.append,
+        )
+        connection.open()
+        sim.run(until=200 * MS)
+        assert len(seen) >= 15
+
+    def test_release_moves_device_to_failsafe_idle(self):
+        sim, topo = star_setup()
+        device, connection = connect(sim, topo)
+        connection.open()
+        sim.run(until=200 * MS)
+        connection.release()
+        sim.run(until=400 * MS)
+        assert connection.state is ArState.ABORTED
+        assert device.state is ArState.ABORTED
+        assert device.fail_safe
+        assert device.outputs == {}
+
+
+class TestFailureDetection:
+    def test_device_watchdog_on_controller_crash(self):
+        sim, topo = star_setup()
+        device, connection = connect(sim, topo, cycle=10 * MS)
+        connection.open()
+        sim.run(until=500 * MS)
+        connection.fail_silently()
+        sim.run(until=1 * SEC)
+        assert device.stats.watchdog_expirations == 1
+        assert device.fail_safe
+        # Fail-safe clears outputs: the physical consequence of Section 2.2.
+        assert device.outputs == {}
+
+    def test_controller_watchdog_on_device_death(self):
+        sim, topo = star_setup()
+        device, connection = connect(sim, topo, cycle=10 * MS)
+        connection.open()
+        sim.run(until=500 * MS)
+        # Cut the device's link: its frames stop reaching the controller.
+        topo.link_between("sw0", "h1").set_down()
+        sim.run(until=1 * SEC)
+        assert connection.state is ArState.ABORTED
+        assert connection.stats.watchdog_expirations == 1
+
+    def test_abort_reason_reported(self):
+        sim, topo = star_setup()
+        device, connection = connect(sim, topo, cycle=10 * MS)
+        reasons = []
+        device.on_abort.append(reasons.append)
+        connection.open()
+        sim.run(until=200 * MS)
+        connection.fail_silently()
+        sim.run(until=500 * MS)
+        assert reasons == ["watchdog expired"]
+
+    def test_alarm_channel_reaches_controller(self):
+        sim, topo = star_setup()
+        device, connection = connect(sim, topo)
+        connection.open()
+        sim.run(until=100 * MS)
+        alarms = []
+        topo.devices["h0"].on_receive(
+            lambda p: alarms.append(p.payload)
+            if p.payload.get("type") == "alarm" else None
+        )
+        device.send_alarm("overtemperature", {"celsius": 95})
+        sim.run(until=200 * MS)
+        assert alarms and alarms[0]["alarm_type"] == "overtemperature"

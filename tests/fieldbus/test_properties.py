@@ -1,0 +1,102 @@
+"""Property-based tests for the fieldbus protocol machinery."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fieldbus import (
+    ArState,
+    ConnectionParams,
+    CyclicConnection,
+    IoDeviceApp,
+    Watchdog,
+)
+from repro.net import build_star
+from repro.net.routing import install_shortest_path_routes
+from repro.simcore import Simulator, MS, SEC
+
+
+@given(
+    st.integers(1, 50),       # cycle time in ms
+    st.integers(2, 10),       # watchdog factor (1 is a boundary race:
+                              # the gap equals the timeout exactly)
+    st.integers(0, 2**31),    # seed
+)
+@settings(deadline=None, max_examples=15)
+def test_handshake_always_reaches_running(cycle_ms, factor, seed):
+    sim = Simulator(seed=seed)
+    topo = build_star(sim, 2)
+    install_shortest_path_routes(topo)
+    device = IoDeviceApp(sim, topo.devices["h1"])
+    connection = CyclicConnection(
+        sim, topo.devices["h0"], "h1",
+        ConnectionParams(cycle_ns=cycle_ms * MS, watchdog_factor=factor),
+    )
+    connection.open()
+    sim.run(until=max(1 * SEC, 20 * cycle_ms * MS))
+    assert connection.state is ArState.RUNNING
+    assert device.state is ArState.RUNNING
+    assert device.stats.watchdog_expirations == 0
+
+
+@given(
+    st.lists(st.integers(1, 40), min_size=2, max_size=40),  # feed gaps (ms)
+    st.integers(5, 30),                                     # timeout (ms)
+)
+@settings(deadline=None, max_examples=40)
+def test_watchdog_expires_iff_some_gap_exceeds_timeout(gaps_ms, timeout_ms):
+    sim = Simulator()
+    expirations = []
+    watchdog = Watchdog(
+        sim, timeout_ns=timeout_ms * MS,
+        on_expire=lambda: expirations.append(sim.now),
+    )
+    watchdog.start()
+    t = 0
+    for gap in gaps_ms:
+        t += gap * MS
+        sim.schedule_at(t, watchdog.feed)
+    sim.run(until=t)  # stop exactly at the last feed: only gaps count
+    if any(gap == timeout_ms for gap in gaps_ms):
+        return  # gap == timeout is a tie broken by event order; skip
+    should_expire = any(gap > timeout_ms for gap in gaps_ms)
+    assert (len(expirations) > 0) == should_expire
+
+
+@given(st.integers(2, 30), st.integers(0, 2**31))
+@settings(deadline=None, max_examples=10)
+def test_cyclic_rate_matches_cycle_time(cycle_ms, seed):
+    sim = Simulator(seed=seed)
+    topo = build_star(sim, 2)
+    install_shortest_path_routes(topo)
+    device = IoDeviceApp(sim, topo.devices["h1"])
+    connection = CyclicConnection(
+        sim, topo.devices["h0"], "h1", ConnectionParams(cycle_ns=cycle_ms * MS)
+    )
+    connection.open()
+    horizon_cycles = 50
+    sim.run(until=(horizon_cycles + 10) * cycle_ms * MS)
+    # Both directions ran at the negotiated cadence (within handshake slack).
+    assert device.stats.cyclic_received >= horizon_cycles
+    assert connection.stats.cyclic_received >= horizon_cycles
+
+
+@given(st.integers(2, 6), st.integers(0, 2**31))
+@settings(deadline=None, max_examples=10)
+def test_crash_always_detected_within_watchdog_window(factor, seed):
+    cycle = 10 * MS
+    sim = Simulator(seed=seed)
+    topo = build_star(sim, 2)
+    install_shortest_path_routes(topo)
+    device = IoDeviceApp(sim, topo.devices["h1"])
+    connection = CyclicConnection(
+        sim, topo.devices["h0"], "h1",
+        ConnectionParams(cycle_ns=cycle, watchdog_factor=factor),
+    )
+    connection.open()
+    sim.run(until=1 * SEC)
+    assert device.state is ArState.RUNNING
+    crash_at = sim.now
+    connection.fail_silently()
+    sim.run(until=crash_at + (factor + 2) * cycle)
+    assert device.stats.watchdog_expirations == 1
+    assert device.fail_safe

@@ -1,0 +1,80 @@
+"""Protocol parameters and watchdog supervision."""
+
+import pytest
+
+from repro.fieldbus import ConnectionParams, Watchdog
+from repro.simcore import Simulator, MS
+
+
+class TestConnectionParams:
+    def test_watchdog_timeout_is_factor_times_cycle(self):
+        params = ConnectionParams(cycle_ns=2 * MS, watchdog_factor=3)
+        assert params.watchdog_timeout_ns == 6 * MS
+
+    def test_invalid_cycle_rejected(self):
+        with pytest.raises(ValueError):
+            ConnectionParams(cycle_ns=0)
+
+    def test_invalid_factor_rejected(self):
+        with pytest.raises(ValueError):
+            ConnectionParams(cycle_ns=MS, watchdog_factor=0)
+
+    def test_defaults_match_profinet_conventions(self):
+        params = ConnectionParams(cycle_ns=MS)
+        assert params.watchdog_factor == 3
+        assert 20 <= params.input_payload_bytes <= 250
+
+
+class TestWatchdog:
+    def test_expires_without_feeding(self):
+        sim = Simulator()
+        expired = []
+        watchdog = Watchdog(sim, timeout_ns=10 * MS, on_expire=lambda: expired.append(sim.now))
+        watchdog.start()
+        sim.run(until=50 * MS)
+        assert expired == [10 * MS]
+        assert watchdog.expirations == 1
+        assert not watchdog.running
+
+    def test_feeding_defers_expiration(self):
+        sim = Simulator()
+        expired = []
+        watchdog = Watchdog(sim, timeout_ns=10 * MS, on_expire=lambda: expired.append(sim.now))
+        watchdog.start()
+        for k in range(1, 6):
+            sim.schedule_at(k * 5 * MS, watchdog.feed)
+        sim.run(until=100 * MS)
+        # Last feed at 25 ms; expires 10 ms later.
+        assert expired == [35 * MS]
+
+    def test_stop_prevents_expiration(self):
+        sim = Simulator()
+        expired = []
+        watchdog = Watchdog(sim, timeout_ns=10 * MS, on_expire=lambda: expired.append(1))
+        watchdog.start()
+        sim.schedule(5 * MS, watchdog.stop)
+        sim.run(until=100 * MS)
+        assert expired == []
+
+    def test_expires_only_once_until_restarted(self):
+        sim = Simulator()
+        expired = []
+        watchdog = Watchdog(sim, timeout_ns=MS, on_expire=lambda: expired.append(sim.now))
+        watchdog.start()
+        sim.run(until=10 * MS)
+        assert len(expired) == 1
+        watchdog.start()
+        sim.run(until=20 * MS)
+        assert len(expired) == 2
+
+    def test_feed_records_last_feed_time(self):
+        sim = Simulator()
+        watchdog = Watchdog(sim, timeout_ns=MS, on_expire=lambda: None)
+        watchdog.start()
+        sim.schedule(500_000, watchdog.feed)
+        sim.run(until=600_000)
+        assert watchdog.last_feed_ns == 500_000
+
+    def test_invalid_timeout_rejected(self):
+        with pytest.raises(ValueError):
+            Watchdog(Simulator(), timeout_ns=0, on_expire=lambda: None)

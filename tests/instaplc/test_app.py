@@ -1,0 +1,204 @@
+"""InstaPLC control-plane behaviour over the P4 data plane."""
+
+import pytest
+
+from repro.fieldbus import ArState, ConnectionParams, CyclicConnection, IoDeviceApp
+from repro.instaplc import InstaPlcApp
+from repro.net import Host, Link
+from repro.p4 import P4Switch
+from repro.simcore import Simulator, MS, SEC
+
+CYCLE = 10 * MS
+
+
+def build_scene(detection_cycles=1.5):
+    sim = Simulator(seed=0)
+    switch = P4Switch(sim, "sw")
+    hosts = {}
+    for name in ("vplc1", "vplc2", "io"):
+        host = Host(sim, name)
+        Link(sim, host.add_port(), switch.add_port(), 1e9, 500)
+        hosts[name] = host
+    app = InstaPlcApp(sim, switch, detection_cycles=detection_cycles)
+    app.attach_device("io", port=2)
+    device = IoDeviceApp(sim, hosts["io"])
+    return sim, switch, app, hosts, device
+
+
+def connection(sim, hosts, name, cycle=CYCLE):
+    return CyclicConnection(
+        sim, hosts[name], "io", ConnectionParams(cycle_ns=cycle)
+    )
+
+
+class TestPrimaryDesignation:
+    def test_first_vplc_becomes_primary(self):
+        sim, switch, app, hosts, device = build_scene()
+        conn = connection(sim, hosts, "vplc1")
+        conn.open()
+        sim.run(until=1 * SEC)
+        binding = app.bindings["io"]
+        assert binding.primary == "vplc1"
+        assert binding.cycle_ns == CYCLE
+        assert conn.state is ArState.RUNNING
+        assert device.state is ArState.RUNNING
+
+    def test_cyclic_frames_counted_in_register(self):
+        sim, switch, app, hosts, device = build_scene()
+        connection(sim, hosts, "vplc1").open()
+        sim.run(until=1 * SEC)
+        count = app.primary_frames.read(app.bindings["io"].index)
+        assert count >= 90
+
+    def test_unprotected_device_ignored(self):
+        sim, switch, app, hosts, device = build_scene()
+        # Talk to a name InstaPLC does not protect.
+        stray = CyclicConnection(
+            sim, hosts["vplc1"], "ghost", ConnectionParams(cycle_ns=CYCLE),
+            connect_timeout_ns=200 * MS,
+        )
+        stray.open()
+        sim.run(until=500 * MS)
+        assert stray.state is ArState.ABORTED  # connect timeout
+        assert "ghost" not in app.bindings
+
+    def test_duplicate_attach_rejected(self):
+        sim, switch, app, hosts, device = build_scene()
+        with pytest.raises(ValueError):
+            app.attach_device("io", port=2)
+
+
+class TestSecondaryAndTwin:
+    def start_both(self, secondary_delay=300 * MS):
+        sim, switch, app, hosts, device = build_scene()
+        first = connection(sim, hosts, "vplc1")
+        second = connection(sim, hosts, "vplc2")
+        first.open()
+        sim.schedule(secondary_delay, second.open)
+        return sim, switch, app, hosts, device, first, second
+
+    def test_second_vplc_becomes_secondary_via_twin(self):
+        sim, switch, app, hosts, device, first, second = self.start_both()
+        sim.run(until=1 * SEC)
+        binding = app.bindings["io"]
+        assert binding.secondary == "vplc2"
+        assert binding.twin is not None
+        assert binding.twin.handshake_complete
+        # The secondary believes it is RUNNING against the real device.
+        assert second.state is ArState.RUNNING
+        # The real device saw only one controller.
+        assert device.stats.connects_accepted == 1
+        assert device.stats.connects_rejected == 0
+
+    def test_secondary_receives_mirrored_device_state(self):
+        sim, switch, app, hosts, device, first, second = self.start_both()
+        sim.run(until=1 * SEC)
+        assert second.inputs == first.inputs
+        assert second.stats.cyclic_received > 10
+
+    def test_secondary_cyclic_absorbed_in_data_plane(self):
+        sim, switch, app, hosts, device, first, second = self.start_both()
+        sim.run(until=1 * SEC)
+        absorbed = app.secondary_absorbed.read(app.bindings["io"].index)
+        assert absorbed > 10
+        # Device receives only the primary's cyclic rate, not double.
+        assert device.stats.cyclic_received <= first.stats.cyclic_sent + 2
+
+    def test_third_vplc_not_admitted(self):
+        sim, switch, app, hosts, device, first, second = self.start_both()
+        third_host = Host(sim, "vplc3")
+        Link(sim, third_host.add_port(), switch.add_port(), 1e9, 500)
+        third = CyclicConnection(
+            sim, third_host, "io", ConnectionParams(cycle_ns=CYCLE),
+            connect_timeout_ns=300 * MS,
+        )
+        sim.schedule(600 * MS, third.open)
+        sim.run(until=2 * SEC)
+        assert third.state is ArState.ABORTED
+        assert app.bindings["io"].secondary == "vplc2"
+
+
+class TestSwitchover:
+    def run_switchover(self, detection_cycles=1.5):
+        sim, switch, app, hosts, device = build_scene(detection_cycles)
+        first = connection(sim, hosts, "vplc1")
+        second = connection(sim, hosts, "vplc2")
+        first.open()
+        sim.schedule(200 * MS, second.open)
+        sim.schedule(1 * SEC, first.fail_silently)
+        sim.run(until=3 * SEC)
+        self.hosts = hosts
+        return sim, app, device, first, second
+
+    def test_switchover_triggered_by_stalled_counter(self):
+        sim, app, device, first, second = self.run_switchover()
+        events = app.bindings["io"].switchovers
+        assert len(events) == 1
+        assert events[0].old_primary == "vplc1"
+        assert events[0].new_primary == "vplc2"
+        # Detected within ~2 cycles of the crash.
+        assert events[0].detected_ns - 1 * SEC < 2 * CYCLE
+
+    def test_device_never_enters_failsafe(self):
+        sim, app, device, first, second = self.run_switchover()
+        assert device.stats.watchdog_expirations == 0
+        assert not device.fail_safe
+        assert device.state is ArState.RUNNING
+
+    def test_secondary_keeps_its_own_watchdog_fed(self):
+        sim, app, device, first, second = self.run_switchover()
+        assert second.state is ArState.RUNNING
+        assert second.stats.watchdog_expirations == 0
+
+    def test_promoted_secondary_controls_device(self):
+        sim, app, device, first, second = self.run_switchover()
+        second.outputs["post_switchover"] = 77
+        sim.run(until=int(3.5 * SEC))
+        assert device.outputs.get("post_switchover") == 77
+
+    def test_resurrected_old_primary_becomes_new_secondary(self):
+        sim, app, device, first, second = self.run_switchover()
+        accepted_before = device.stats.connects_accepted
+        # The old primary comes back and reconnects: InstaPLC re-admits it
+        # as the standby (served by a fresh digital twin), restoring 1:1
+        # redundancy without ever touching the real device.
+        revived = CyclicConnection(
+            sim, self.hosts["vplc1"], "io", ConnectionParams(cycle_ns=CYCLE)
+        )
+        revived.open()
+        sim.run(until=5 * SEC)
+        binding = app.bindings["io"]
+        assert binding.primary == "vplc2"
+        assert binding.secondary == "vplc1"
+        assert revived.state is ArState.RUNNING
+        # The real device never saw a second handshake.
+        assert device.stats.connects_accepted == accepted_before
+        assert device.state is ArState.RUNNING
+
+    def test_double_failover_survives(self):
+        # vplc1 dies -> vplc2 takes over; vplc1 revives as standby; then
+        # vplc2 dies -> control returns to vplc1.  Two data-plane
+        # switchovers, zero device watchdog expirations.
+        sim, app, device, first, second = self.run_switchover()
+        revived = CyclicConnection(
+            sim, self.hosts["vplc1"], "io", ConnectionParams(cycle_ns=CYCLE)
+        )
+        revived.open()
+        sim.run(until=4 * SEC)
+        second.fail_silently()
+        sim.run(until=6 * SEC)
+        binding = app.bindings["io"]
+        assert len(binding.switchovers) == 2
+        assert binding.primary == "vplc1"
+        assert device.stats.watchdog_expirations == 0
+        assert device.state is ArState.RUNNING
+
+    def test_monitor_does_not_false_trigger_without_secondary(self):
+        sim, switch, app, hosts, device = build_scene()
+        first = connection(sim, hosts, "vplc1")
+        first.open()
+        sim.schedule(1 * SEC, first.fail_silently)
+        sim.run(until=3 * SEC)
+        # No secondary: nothing to switch to; the device fails safe.
+        assert app.bindings["io"].switchovers == []
+        assert device.stats.watchdog_expirations == 1

@@ -1,0 +1,87 @@
+"""The Figure 5 harness: switchover scenario shape."""
+
+import numpy as np
+import pytest
+
+from repro.instaplc import run_fig5
+from repro.simcore.units import MS, SEC
+
+
+@pytest.fixture(scope="module")
+def result():
+    # One shared run: the scenario is deterministic given the seed.
+    return run_fig5(duration_ns=3 * SEC, crash_ns=round(1.5 * SEC), seed=0)
+
+
+def steady(counts):
+    """Bins at the steady-state plateau (strictly positive ones)."""
+    return counts[counts > 0]
+
+
+class TestFig5Shape:
+    def test_vplc1_stops_at_crash(self, result):
+        counts = result.binned("vplc1").counts
+        crash_bin = result.crash_ns // result.bin_width_ns
+        assert all(counts[:crash_bin - 1] > 0)
+        assert all(counts[crash_bin + 1:] == 0)
+
+    def test_vplc2_sends_before_and_after(self, result):
+        counts = result.binned("vplc2").counts
+        # After its startup phase, vPLC2 transmits continuously (absorbed
+        # pre-switchover, forwarded after) — Figure 5a's second curve.
+        started = np.argmax(counts > 0)
+        assert all(counts[started + 1:] > 0)
+
+    def test_io_rate_continuous_through_switchover(self, result):
+        counts = result.binned("to_io").counts
+        plateau = steady(counts[2:])
+        # Figure 5b: the to-I/O rate never collapses; allow a one-bin dip
+        # of a couple of cycles during the handover.
+        expected = result.bin_width_ns // result.cycle_ns
+        assert plateau.min() >= expected - 3
+        assert counts[2:].min() > 0
+
+    def test_rates_match_cycle_time(self, result):
+        expected = result.bin_width_ns // result.cycle_ns
+        vplc1 = result.binned("vplc1").counts
+        assert int(np.median(vplc1[vplc1 > 0])) == expected
+
+    def test_exactly_one_switchover(self, result):
+        assert len(result.switchovers) == 1
+        event = result.switchovers[0]
+        assert event.old_primary == "vplc1"
+        assert event.new_primary == "vplc2"
+
+    def test_switchover_latency_under_two_cycles(self, result):
+        assert result.switchover_latency_ns is not None
+        assert result.switchover_latency_ns < 2 * result.cycle_ns
+
+    def test_device_stays_healthy(self, result):
+        assert result.device_watchdog_expirations == 0
+        assert not result.device_fail_safe
+
+    def test_max_io_gap_within_watchdog(self, result):
+        gap = result.max_io_gap_after_ns(500 * MS)
+        assert gap < 3 * result.cycle_ns  # the device watchdog never fires
+
+    def test_switchover_beats_hardware_redundancy_baseline(self, result):
+        from repro.plc import HW_SWITCHOVER_MIN_NS
+
+        # InstaPLC's in-network switchover is far below the classic
+        # redundant-pair's 50 ms best case.
+        assert result.switchover_latency_ns < HW_SWITCHOVER_MIN_NS
+
+
+class TestFig5Variants:
+    def test_different_seed_same_story(self):
+        result = run_fig5(duration_ns=2 * SEC, crash_ns=1 * SEC, seed=42)
+        assert len(result.switchovers) == 1
+        assert result.device_watchdog_expirations == 0
+
+    def test_longer_cycle_still_seamless(self):
+        result = run_fig5(
+            cycle_ns=10 * MS, duration_ns=4 * SEC, crash_ns=2 * SEC, seed=1
+        )
+        assert len(result.switchovers) == 1
+        assert result.device_watchdog_expirations == 0
+        assert result.max_io_gap_after_ns(1 * SEC) < 3 * 10 * MS

@@ -1,0 +1,109 @@
+"""Planned, interruption-free vPLC migration through InstaPLC."""
+
+import numpy as np
+import pytest
+
+from repro.fieldbus import ArState, ConnectionParams, CyclicConnection, IoDeviceApp
+from repro.instaplc import InstaPlcApp
+from repro.net import Host, Link
+from repro.p4 import P4Switch
+from repro.simcore import Simulator, MS, SEC
+
+CYCLE = 2 * MS
+
+
+def build():
+    sim = Simulator(seed=3)
+    switch = P4Switch(sim, "sw")
+    hosts = {}
+    for name in ("vplc1", "vplc2", "io"):
+        host = Host(sim, name)
+        Link(sim, host.add_port(), switch.add_port(), 1e9, 500)
+        hosts[name] = host
+    app = InstaPlcApp(sim, switch)
+    app.attach_device("io", port=2)
+    device = IoDeviceApp(sim, hosts["io"])
+    io_arrivals = []
+    switch.egress_taps.append(
+        lambda p, port: io_arrivals.append(sim.now)
+        if port == 2 and p.payload.get("type") == "cyclic_data" else None
+    )
+    first = CyclicConnection(sim, hosts["vplc1"], "io",
+                             ConnectionParams(cycle_ns=CYCLE))
+    second = CyclicConnection(sim, hosts["vplc2"], "io",
+                              ConnectionParams(cycle_ns=CYCLE))
+    first.open()
+    sim.schedule(100 * MS, second.open)
+    sim.run(until=1 * SEC)
+    return sim, app, device, first, second, io_arrivals
+
+
+class TestPlannedMigration:
+    def test_migration_hands_over_without_gap(self):
+        sim, app, device, first, second, io_arrivals = build()
+        event = app.migrate("io")
+        sim.run(until=2 * SEC)
+        assert event.old_primary == "vplc1"
+        assert event.new_primary == "vplc2"
+        assert device.state is ArState.RUNNING
+        assert device.stats.watchdog_expirations == 0
+        # Interruption-free: the to-device cyclic stream never gaps by
+        # more than about one cycle across the migration instant.
+        gaps = np.diff(np.asarray(io_arrivals, dtype=np.int64))
+        assert gaps.max() < int(1.5 * CYCLE)
+
+    def test_new_primary_controls_outputs(self):
+        sim, app, device, first, second, io_arrivals = build()
+        app.migrate("io")
+        second.outputs["speed"] = 9
+        sim.run(until=2 * SEC)
+        assert device.outputs.get("speed") == 9
+
+    def test_old_primary_drained_not_forwarded(self):
+        sim, app, device, first, second, io_arrivals = build()
+        app.migrate("io")
+        sent_before = first.stats.cyclic_sent
+        sim.run(until=int(1.5 * SEC))
+        # The old primary still transmits (it was not failed)...
+        assert first.stats.cyclic_sent > sent_before
+        # ...and can later be released cleanly without disturbing the
+        # device, which now belongs to vplc2.
+        first.release()
+        sim.run(until=2 * SEC)
+        assert device.state is ArState.RUNNING
+
+    def test_migration_without_standby_rejected(self):
+        sim = Simulator(seed=0)
+        switch = P4Switch(sim, "sw")
+        host = Host(sim, "vplc1")
+        io_host = Host(sim, "io")
+        Link(sim, host.add_port(), switch.add_port(), 1e9, 500)
+        Link(sim, io_host.add_port(), switch.add_port(), 1e9, 500)
+        app = InstaPlcApp(sim, switch)
+        app.attach_device("io", port=1)
+        IoDeviceApp(sim, io_host)
+        conn = CyclicConnection(sim, host, "io",
+                                ConnectionParams(cycle_ns=CYCLE))
+        conn.open()
+        sim.run(until=500 * MS)
+        with pytest.raises(RuntimeError):
+            app.migrate("io")
+
+    def test_migrated_away_controller_can_return_as_standby(self):
+        sim, app, device, first, second, io_arrivals = build()
+        app.migrate("io")
+        sim.run(until=int(1.2 * SEC))
+        first.release()
+        sim.run(until=int(1.4 * SEC))
+        returning = CyclicConnection(
+            sim, first.host, "io", ConnectionParams(cycle_ns=CYCLE)
+        )
+        returning.open()
+        sim.run(until=2 * SEC)
+        assert app.bindings["io"].secondary == "vplc1"
+        assert returning.state is ArState.RUNNING
+        # Round trip: migrate back.
+        event = app.migrate("io")
+        sim.run(until=3 * SEC)
+        assert event.new_primary == "vplc1"
+        assert device.stats.watchdog_expirations == 0

@@ -1,0 +1,82 @@
+"""InstaPLC protecting several I/O devices on one switch."""
+
+from repro.fieldbus import ArState, ConnectionParams, CyclicConnection, IoDeviceApp
+from repro.instaplc import InstaPlcApp
+from repro.net import Host, Link
+from repro.p4 import P4Switch
+from repro.simcore import Simulator, MS, SEC
+
+CYCLE = 5 * MS
+
+
+def build_two_device_scene():
+    sim = Simulator(seed=6)
+    switch = P4Switch(sim, "sw")
+    hosts = {}
+    for name in ("vplc1", "vplc2", "vplc3", "vplc4", "io1", "io2"):
+        host = Host(sim, name)
+        Link(sim, host.add_port(), switch.add_port(), 1e9, 500)
+        hosts[name] = host
+    app = InstaPlcApp(sim, switch)
+    app.attach_device("io1", port=4)
+    app.attach_device("io2", port=5)
+    devices = {
+        "io1": IoDeviceApp(sim, hosts["io1"]),
+        "io2": IoDeviceApp(sim, hosts["io2"]),
+    }
+    params = ConnectionParams(cycle_ns=CYCLE)
+    connections = {
+        "vplc1": CyclicConnection(sim, hosts["vplc1"], "io1", params),
+        "vplc2": CyclicConnection(sim, hosts["vplc2"], "io1", params),
+        "vplc3": CyclicConnection(sim, hosts["vplc3"], "io2", params),
+        "vplc4": CyclicConnection(sim, hosts["vplc4"], "io2", params),
+    }
+    connections["vplc1"].open()
+    connections["vplc3"].open()
+    sim.schedule(100 * MS, connections["vplc2"].open)
+    sim.schedule(100 * MS, connections["vplc4"].open)
+    return sim, app, devices, connections
+
+
+class TestMultiDevice:
+    def test_independent_bindings(self):
+        sim, app, devices, connections = build_two_device_scene()
+        sim.run(until=1 * SEC)
+        assert app.bindings["io1"].primary == "vplc1"
+        assert app.bindings["io1"].secondary == "vplc2"
+        assert app.bindings["io2"].primary == "vplc3"
+        assert app.bindings["io2"].secondary == "vplc4"
+        assert all(d.state is ArState.RUNNING for d in devices.values())
+
+    def test_per_device_registers_isolated(self):
+        sim, app, devices, connections = build_two_device_scene()
+        sim.run(until=1 * SEC)
+        io1_count = app.primary_frames.read(app.bindings["io1"].index)
+        io2_count = app.primary_frames.read(app.bindings["io2"].index)
+        assert io1_count > 100
+        assert io2_count > 100
+
+    def test_failure_of_one_primary_does_not_touch_the_other_device(self):
+        sim, app, devices, connections = build_two_device_scene()
+        sim.run(until=1 * SEC)
+        connections["vplc1"].fail_silently()
+        sim.run(until=2 * SEC)
+        # io1 switched to vplc2; io2 untouched, still on vplc3.
+        assert app.bindings["io1"].primary == "vplc2"
+        assert len(app.bindings["io1"].switchovers) == 1
+        assert app.bindings["io2"].primary == "vplc3"
+        assert app.bindings["io2"].switchovers == []
+        assert devices["io1"].stats.watchdog_expirations == 0
+        assert devices["io2"].stats.watchdog_expirations == 0
+
+    def test_simultaneous_failures_both_recover(self):
+        sim, app, devices, connections = build_two_device_scene()
+        sim.run(until=1 * SEC)
+        connections["vplc1"].fail_silently()
+        connections["vplc3"].fail_silently()
+        sim.run(until=2 * SEC)
+        assert app.bindings["io1"].primary == "vplc2"
+        assert app.bindings["io2"].primary == "vplc4"
+        for device in devices.values():
+            assert device.stats.watchdog_expirations == 0
+            assert device.state is ArState.RUNNING

@@ -1,0 +1,71 @@
+"""InstaPLC with vPLCs reached across an aggregation network.
+
+In the paper's deployment picture the vPLCs live in a data center, not on
+the InstaPLC switch itself.  Here both controllers sit behind a standard
+learning switch on a single InstaPLC uplink: designation, mirroring (with
+destination rewrite), absorption, and switchover must all work when the
+two vPLCs share one ingress port.
+"""
+
+from repro.fieldbus import ArState, ConnectionParams, CyclicConnection, IoDeviceApp
+from repro.instaplc import InstaPlcApp
+from repro.net import Host, Link, Switch
+from repro.p4 import P4Switch
+from repro.simcore import Simulator, MS, SEC
+
+CYCLE = 5 * MS
+
+
+def build_remote_scene():
+    sim = Simulator(seed=8)
+    p4 = P4Switch(sim, "instaplc")
+    aggregation = Switch(sim, "agg")
+    vplc1 = Host(sim, "vplc1")
+    vplc2 = Host(sim, "vplc2")
+    io_host = Host(sim, "io")
+    # Aggregation: both vPLCs behind one uplink into InstaPLC port 0.
+    Link(sim, vplc1.add_port(), aggregation.add_port(), 1e9, 500)
+    Link(sim, vplc2.add_port(), aggregation.add_port(), 1e9, 500)
+    Link(sim, aggregation.add_port(), p4.add_port(), 1e9, 500)
+    Link(sim, io_host.add_port(), p4.add_port(), 1e9, 500)
+    app = InstaPlcApp(sim, p4)
+    app.attach_device("io", port=1)
+    device = IoDeviceApp(sim, io_host)
+    params = ConnectionParams(cycle_ns=CYCLE)
+    first = CyclicConnection(sim, vplc1, "io", params)
+    second = CyclicConnection(sim, vplc2, "io", params)
+    first.open()
+    sim.schedule(100 * MS, second.open)
+    return sim, app, device, first, second
+
+
+class TestRemoteVplcs:
+    def test_shared_ingress_port_designation(self):
+        sim, app, device, first, second = build_remote_scene()
+        sim.run(until=1 * SEC)
+        binding = app.bindings["io"]
+        assert binding.primary == "vplc1"
+        assert binding.secondary == "vplc2"
+        # Both were learned on the same uplink port.
+        assert binding.primary_port == binding.secondary_port == 0
+
+    def test_mirrored_state_crosses_the_aggregation(self):
+        sim, app, device, first, second = build_remote_scene()
+        sim.run(until=1 * SEC)
+        assert first.state is ArState.RUNNING
+        assert second.state is ArState.RUNNING
+        # The aggregation switch delivers the rewritten clone to vplc2.
+        assert second.inputs == first.inputs
+        assert second.stats.cyclic_received > 50
+
+    def test_switchover_across_the_aggregation(self):
+        sim, app, device, first, second = build_remote_scene()
+        sim.run(until=1 * SEC)
+        first.fail_silently()
+        sim.run(until=3 * SEC)
+        assert app.bindings["io"].primary == "vplc2"
+        assert device.stats.watchdog_expirations == 0
+        assert device.state is ArState.RUNNING
+        second.outputs["k"] = 1
+        sim.run(until=4 * SEC)
+        assert device.outputs.get("k") == 1

@@ -1,0 +1,117 @@
+"""Availability algebra and time binning."""
+
+import pytest
+
+from repro.metrics import (
+    OutageLog,
+    SECONDS_PER_YEAR,
+    availability_from_downtime,
+    availability_from_mtbf_mttr,
+    availability_to_nines,
+    bin_counts,
+    downtime_per_year_s,
+    nines_to_availability,
+    parallel_availability,
+    series_availability,
+)
+
+
+class TestNines:
+    def test_six_nines_budget_matches_paper(self):
+        # Paper: 99.9999% availability = "downtime of less than 31.5 s/year".
+        availability = nines_to_availability(6)
+        assert availability == pytest.approx(0.999999)
+        assert downtime_per_year_s(availability) == pytest.approx(31.536, rel=1e-3)
+
+    def test_round_trip(self):
+        for nines in (2.0, 3.0, 4.5, 6.0):
+            assert availability_to_nines(
+                nines_to_availability(nines)
+            ) == pytest.approx(nines)
+
+    def test_datacenter_minutes_per_month_is_worse_than_six_nines(self):
+        # "a few minutes per month" ~ 3 min/month = 36 min/year.
+        dc_availability = availability_from_downtime(36 * 60)
+        assert dc_availability < nines_to_availability(6)
+        assert availability_to_nines(dc_availability) < 5
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            nines_to_availability(0)
+        with pytest.raises(ValueError):
+            availability_to_nines(1.0)
+        with pytest.raises(ValueError):
+            downtime_per_year_s(0.0)
+        with pytest.raises(ValueError):
+            availability_from_downtime(-1)
+
+
+class TestComposition:
+    def test_mtbf_mttr(self):
+        assert availability_from_mtbf_mttr(99.0, 1.0) == pytest.approx(0.99)
+        with pytest.raises(ValueError):
+            availability_from_mtbf_mttr(0, 1)
+
+    def test_series_is_product(self):
+        assert series_availability([0.99, 0.99]) == pytest.approx(0.9801)
+
+    def test_parallel_redundancy_boosts_availability(self):
+        single = 0.99
+        pair = parallel_availability([single, single])
+        assert pair == pytest.approx(0.9999)
+        assert pair > single
+
+    def test_redundant_plc_pair_reaches_six_nines(self):
+        # The Section 4 motivation: one controller at 3 nines cannot meet
+        # the industrial class, a redundant pair can.
+        one = nines_to_availability(3)
+        assert parallel_availability([one, one]) >= nines_to_availability(6)
+
+
+class TestOutageLog:
+    def test_availability_and_projection(self):
+        log = OutageLog(observation_s=1000.0, outage_durations_s=(1.0, 2.0))
+        assert log.total_downtime_s == 3.0
+        assert log.availability == pytest.approx(0.997)
+        assert log.projected_yearly_downtime_s() == pytest.approx(
+            3.0 / 1000.0 * SECONDS_PER_YEAR
+        )
+
+    def test_meets_requirement(self):
+        log = OutageLog(observation_s=100.0, outage_durations_s=())
+        assert log.meets(0.999999)
+        bad = OutageLog(observation_s=100.0, outage_durations_s=(1.0,))
+        assert not bad.meets(0.999999)
+
+    def test_zero_window_rejected(self):
+        with pytest.raises(ValueError):
+            OutageLog(observation_s=0.0, outage_durations_s=()).availability
+
+
+class TestBinning:
+    def test_counts_land_in_correct_bins(self):
+        series = bin_counts([0, 49, 50, 99, 100], bin_width_ns=50, end_ns=150)
+        assert list(series.counts) == [2, 2, 1]
+
+    def test_fixed_end_produces_trailing_zero_bins(self):
+        series = bin_counts([0, 10], bin_width_ns=50, end_ns=250)
+        assert list(series.counts) == [2, 0, 0, 0, 0]
+        assert series.first_empty_bin() == 1
+
+    def test_out_of_range_events_ignored(self):
+        series = bin_counts([5, 500], bin_width_ns=50, start_ns=0, end_ns=100)
+        assert int(series.counts.sum()) == 1
+
+    def test_bin_starts(self):
+        series = bin_counts([0], bin_width_ns=10, end_ns=30)
+        assert list(series.bin_starts_ns) == [0, 10, 20]
+
+    def test_no_empty_bin_returns_none(self):
+        series = bin_counts([1, 11], bin_width_ns=10, end_ns=20)
+        assert series.first_empty_bin() is None
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            bin_counts([0], bin_width_ns=0)
+        with pytest.raises(ValueError):
+            bin_counts([0], bin_width_ns=10, start_ns=10, end_ns=10)

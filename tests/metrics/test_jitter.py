@@ -1,0 +1,105 @@
+"""Jitter analysis: reports, consecutive runs, watchdogs."""
+
+import numpy as np
+import pytest
+
+from repro.metrics import (
+    consecutive_jitter_runs,
+    interarrival_times,
+    jitter_report,
+    longest_consecutive_jitter,
+    period_jitter,
+    watchdog_expirations,
+)
+
+PERIOD = 1_000_000  # 1 ms
+
+
+def arrivals_with_deviations(deviations):
+    """Build arrival times whose *interarrival* deviations are given."""
+    times = [0]
+    for k, deviation in enumerate(deviations):
+        times.append(times[-1] + PERIOD + deviation)
+    return times
+
+
+def test_interarrival_times_basic():
+    assert list(interarrival_times([0, 10, 25])) == [10, 15]
+
+
+def test_interarrival_needs_two_samples():
+    with pytest.raises(ValueError):
+        interarrival_times([5])
+
+
+def test_period_jitter_signs():
+    arrivals = arrivals_with_deviations([100, -50, 0])
+    assert list(period_jitter(arrivals, PERIOD)) == [100, -50, 0]
+
+
+def test_perfect_arrivals_have_zero_jitter():
+    arrivals = [k * PERIOD for k in range(100)]
+    report = jitter_report(arrivals, PERIOD)
+    assert report.max_abs_jitter_ns == 0.0
+    assert report.peak_to_peak_ns == 0.0
+    assert report.meets_bound(0.0)
+
+
+def test_report_worst_case_and_peak_to_peak():
+    arrivals = arrivals_with_deviations([500, -300, 100])
+    report = jitter_report(arrivals, PERIOD)
+    assert report.max_abs_jitter_ns == 500
+    assert report.peak_to_peak_ns == 800
+    assert report.sample_count == 3
+    assert not report.meets_bound(499)
+    assert report.meets_bound(500)
+
+
+def test_consecutive_run_detection():
+    deviations = [0, 2000, 2000, 0, 2000, 0]
+    arrivals = arrivals_with_deviations(deviations)
+    runs = consecutive_jitter_runs(arrivals, PERIOD, threshold_ns=1000)
+    assert [(run.start_index, run.length) for run in runs] == [(1, 2), (4, 1)]
+    assert longest_consecutive_jitter(arrivals, PERIOD, 1000) == 2
+
+
+def test_run_extending_to_end_is_counted():
+    arrivals = arrivals_with_deviations([0, 0, 5000, 5000])
+    runs = consecutive_jitter_runs(arrivals, PERIOD, threshold_ns=1000)
+    assert runs[-1].length == 2
+
+
+def test_no_runs_when_under_threshold():
+    arrivals = arrivals_with_deviations([100, -100, 50])
+    assert consecutive_jitter_runs(arrivals, PERIOD, 1000) == []
+    assert longest_consecutive_jitter(arrivals, PERIOD, 1000) == 0
+
+
+class TestWatchdog:
+    def test_no_expiration_for_regular_traffic(self):
+        arrivals = [k * PERIOD for k in range(50)]
+        assert watchdog_expirations(arrivals, PERIOD, watchdog_factor=3) == 0
+
+    def test_gap_beyond_factor_counts(self):
+        arrivals = [0, PERIOD, PERIOD + 4 * PERIOD, 6 * PERIOD]
+        assert watchdog_expirations(arrivals, PERIOD, watchdog_factor=3) == 1
+
+    def test_gap_exactly_at_limit_does_not_expire(self):
+        arrivals = [0, 3 * PERIOD]
+        assert watchdog_expirations(arrivals, PERIOD, watchdog_factor=3) == 0
+        assert watchdog_expirations(arrivals, PERIOD, watchdog_factor=2) == 1
+
+    def test_invalid_factor_rejected(self):
+        with pytest.raises(ValueError):
+            watchdog_expirations([0, PERIOD], PERIOD, watchdog_factor=0)
+
+    def test_multiple_gaps_counted_independently(self):
+        arrivals = [0, 5 * PERIOD, 6 * PERIOD, 12 * PERIOD]
+        assert watchdog_expirations(arrivals, PERIOD, watchdog_factor=3) == 2
+
+
+def test_report_with_numpy_input():
+    arrivals = np.arange(0, 20 * PERIOD, PERIOD, dtype=np.int64)
+    report = jitter_report(arrivals, PERIOD)
+    assert report.sample_count == 19
+    assert report.std_ns == 0.0

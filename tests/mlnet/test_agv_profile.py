@@ -1,0 +1,52 @@
+"""The AGV-navigation application profile (Section 5 extension)."""
+
+import pytest
+
+from repro.mlnet import (
+    AGV_NAVIGATION,
+    ALL_APPS,
+    DEFECT_DETECTION,
+    MlAwareOptimizer,
+    NetworkDegradation,
+    PAPER_APPS,
+    run_point,
+)
+
+
+class TestAgvProfile:
+    def test_registered_in_all_apps_not_paper_apps(self):
+        assert AGV_NAVIGATION in ALL_APPS
+        assert AGV_NAVIGATION not in PAPER_APPS
+
+    def test_compression_tolerant(self):
+        # Navigation survives aggressive compression better than optical
+        # inspection: at 4x, the AGV model loses less accuracy.
+        degradation = NetworkDegradation(compression_ratio=4.0)
+        agv_drop = AGV_NAVIGATION.base_accuracy - AGV_NAVIGATION.accuracy(
+            degradation
+        )
+        defect_drop = DEFECT_DETECTION.base_accuracy - DEFECT_DETECTION.accuracy(
+            degradation
+        )
+        assert agv_drop < defect_drop
+
+    def test_loss_sensitive(self):
+        # A lost frame means a stale navigation decision: the loss
+        # coefficient is the highest of all profiles.
+        assert AGV_NAVIGATION.loss_coeff == max(p.loss_coeff for p in ALL_APPS)
+
+    def test_optimizer_compresses_hard(self):
+        frame = AGV_NAVIGATION.min_frame_bytes()
+        assert frame < AGV_NAVIGATION.reference_frame_bytes / 2
+
+    def test_design_is_feasible(self):
+        design = MlAwareOptimizer(AGV_NAVIGATION).design(64)
+        assert design.predicted_accuracy >= AGV_NAVIGATION.target_accuracy - 1e-6
+        assert design.servers_per_cell >= 1
+
+    def test_topology_ordering_holds_for_agv_too(self):
+        ring = run_point(AGV_NAVIGATION, "ring", 128,
+                         duration_ns=300_000_000)
+        aware = run_point(AGV_NAVIGATION, "ml-aware", 128,
+                          duration_ns=300_000_000)
+        assert aware.mean_latency_ms < ring.mean_latency_ms

@@ -1,0 +1,156 @@
+"""ML application profiles, degradation, and the design optimizer."""
+
+import math
+
+import pytest
+
+from repro.mlnet import (
+    DEFECT_DETECTION,
+    MlAwareOptimizer,
+    NetworkDegradation,
+    OBJECT_IDENTIFICATION,
+    PAPER_APPS,
+    mmc_wait_s,
+)
+
+
+class TestDegradation:
+    def test_reference_quality_is_ratio_one(self):
+        degradation = NetworkDegradation()
+        assert degradation.compression_ratio == 1.0
+        assert degradation.frame_bytes(1000) == 1000
+
+    def test_compression_shrinks_frames(self):
+        degradation = NetworkDegradation(compression_ratio=4.0)
+        assert degradation.frame_bytes(1000) == 250
+
+    def test_from_frame_bytes_inverse(self):
+        degradation = NetworkDegradation.from_frame_bytes(250, 1000)
+        assert degradation.compression_ratio == 4.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            NetworkDegradation(compression_ratio=0.5)
+        with pytest.raises(ValueError):
+            NetworkDegradation(loss_rate=1.0)
+        with pytest.raises(ValueError):
+            NetworkDegradation(jitter_ms=-1)
+        with pytest.raises(ValueError):
+            NetworkDegradation.from_frame_bytes(2000, 1000)
+
+
+class TestProfiles:
+    def test_accuracy_at_reference_is_base(self):
+        for profile in PAPER_APPS:
+            assert profile.accuracy(NetworkDegradation()) == pytest.approx(
+                profile.base_accuracy
+            )
+
+    def test_accuracy_monotone_in_compression(self):
+        for profile in PAPER_APPS:
+            accuracies = [
+                profile.accuracy(NetworkDegradation(compression_ratio=r))
+                for r in (1.0, 2.0, 4.0, 8.0)
+            ]
+            assert accuracies == sorted(accuracies, reverse=True)
+
+    def test_loss_hurts_accuracy(self):
+        for profile in PAPER_APPS:
+            clean = profile.accuracy(NetworkDegradation())
+            lossy = profile.accuracy(NetworkDegradation(loss_rate=0.05))
+            assert lossy < clean
+
+    def test_accuracy_clamped_to_unit_interval(self):
+        brutal = NetworkDegradation(compression_ratio=100.0, loss_rate=0.9)
+        for profile in PAPER_APPS:
+            assert 0.0 <= profile.accuracy(brutal) <= 1.0
+
+    def test_min_frame_bytes_meets_target(self):
+        for profile in PAPER_APPS:
+            frame = profile.min_frame_bytes()
+            degradation = NetworkDegradation.from_frame_bytes(
+                frame, profile.reference_frame_bytes
+            )
+            assert profile.accuracy(degradation) >= profile.target_accuracy - 1e-6
+
+    def test_min_frame_saves_traffic(self):
+        for profile in PAPER_APPS:
+            assert profile.min_frame_bytes() < profile.reference_frame_bytes
+
+    def test_defect_detection_less_compressible(self):
+        # Its steeper response surface forces relatively larger frames.
+        obj_ratio = (
+            OBJECT_IDENTIFICATION.min_frame_bytes()
+            / OBJECT_IDENTIFICATION.reference_frame_bytes
+        )
+        defect_ratio = (
+            DEFECT_DETECTION.min_frame_bytes()
+            / DEFECT_DETECTION.reference_frame_bytes
+        )
+        assert defect_ratio > obj_ratio
+
+    def test_unreachable_target_keeps_reference_quality(self):
+        profile = OBJECT_IDENTIFICATION
+        assert profile.max_compression_for(profile.base_accuracy + 0.01) == 1.0
+
+    def test_demand_scales_with_frame_and_fps(self):
+        profile = OBJECT_IDENTIFICATION
+        assert profile.demand_bps(10_000) == 10_000 * 8 * profile.fps
+
+
+class TestMmc:
+    def test_zero_wait_at_low_load(self):
+        assert mmc_wait_s(1.0, 1000.0, 1) < 0.01
+
+    def test_unstable_returns_inf(self):
+        assert math.isinf(mmc_wait_s(10.0, 5.0, 1))
+        assert math.isinf(mmc_wait_s(10.0, 5.0, 2))
+
+    def test_more_servers_less_waiting(self):
+        one = mmc_wait_s(8.0, 10.0, 1)
+        two = mmc_wait_s(8.0, 10.0, 2)
+        assert two < one
+
+    def test_invalid_servers_rejected(self):
+        with pytest.raises(ValueError):
+            mmc_wait_s(1.0, 1.0, 0)
+
+
+class TestOptimizer:
+    def test_design_is_stable_and_cost_positive(self):
+        optimizer = MlAwareOptimizer(OBJECT_IDENTIFICATION)
+        design = optimizer.design(128)
+        assert design.servers_per_cell >= 1
+        assert design.cost_units > 0
+        assert math.isfinite(design.estimated_latency_ms)
+
+    def test_compute_utilization_under_target(self):
+        optimizer = MlAwareOptimizer(DEFECT_DETECTION, utilization_target=0.5)
+        for cell_clients in (8, 16, 32, 64):
+            servers = optimizer.servers_for_cell(cell_clients)
+            arrival = cell_clients * DEFECT_DETECTION.fps
+            service = 1e9 / DEFECT_DETECTION.inference_time_ns
+            assert arrival / (servers * service) <= 0.5 + 1e-9
+
+    def test_design_preserves_accuracy_target(self):
+        for profile in PAPER_APPS:
+            design = MlAwareOptimizer(profile).design(64)
+            assert design.predicted_accuracy >= profile.target_accuracy - 1e-6
+
+    def test_sweep_explores_cell_sizes(self):
+        designs = MlAwareOptimizer(OBJECT_IDENTIFICATION).design_sweep(128)
+        assert len(designs) == 4
+        assert len({d.cell_size for d in designs}) == 4
+
+    def test_bigger_cells_cost_less_total(self):
+        # Fewer cells amortize the per-cell switch; this is the cost side
+        # of the cost/latency trade the ablation bench sweeps.
+        designs = MlAwareOptimizer(OBJECT_IDENTIFICATION).design_sweep(
+            256, cell_sizes=[16, 64]
+        )
+        by_size = {d.cell_size: d for d in designs}
+        assert by_size[64].cost_units < by_size[16].cost_units
+
+    def test_invalid_utilization_rejected(self):
+        with pytest.raises(ValueError):
+            MlAwareOptimizer(OBJECT_IDENTIFICATION, utilization_target=1.5)

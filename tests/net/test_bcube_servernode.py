@@ -1,0 +1,138 @@
+"""BCube and server-centric forwarding."""
+
+import pytest
+
+from repro.net import (
+    ServerNode,
+    Topology,
+    build_bcube,
+    install_shortest_path_routes,
+    path_hop_count,
+    shortest_path,
+    verify_routes,
+)
+from repro.simcore import Simulator, MS
+
+
+class TestServerNode:
+    def build_chain(self):
+        """a -- relay -- b with the relay being a ServerNode."""
+        sim = Simulator()
+        topo = Topology(sim)
+        a = topo.add_host("a")
+        b = topo.add_host("b")
+        relay = topo.add_server("relay", forwarding_delay_ns=2_000)
+        topo.connect(a, relay)
+        topo.connect(relay, b)
+        install_shortest_path_routes(topo)
+        return sim, topo, a, b, relay
+
+    def test_relay_forwards_foreign_frames(self):
+        sim, topo, a, b, relay = self.build_chain()
+        b.record_received = True
+        a.send("b", payload_bytes=100)
+        sim.run(until=1 * MS)
+        assert len(b.received) == 1
+        assert b.received[0].hops == ["relay"]
+        assert relay.forwarded_frames == 1
+
+    def test_relay_still_receives_its_own_frames(self):
+        sim, topo, a, b, relay = self.build_chain()
+        relay.record_received = True
+        a.send("relay", payload_bytes=100)
+        sim.run(until=1 * MS)
+        assert len(relay.received) == 1
+        assert relay.forwarded_frames == 0
+
+    def test_forwarding_delay_applied(self):
+        sim, topo, a, b, relay = self.build_chain()
+        arrivals = []
+        b.on_receive(lambda p: arrivals.append(sim.now))
+        a.send("b", payload_bytes=20)
+        sim.run(until=1 * MS)
+        # two serializations + two propagations + 2 us relay.
+        assert arrivals == [672 + 500 + 2_000 + 672 + 500]
+
+    def test_unrouted_frame_dropped(self):
+        sim = Simulator()
+        topo = Topology(sim)
+        a = topo.add_host("a")
+        relay = topo.add_server("relay")
+        b = topo.add_host("b")
+        topo.connect(a, relay)
+        topo.connect(relay, b)
+        # No routes installed: the relay has no entry and must drop.
+        a.send("b", payload_bytes=20)
+        sim.run(until=1 * MS)
+        assert relay.forwarded_frames == 0
+
+    def test_multihomed_origination_uses_route(self):
+        sim = Simulator()
+        topo = Topology(sim)
+        server = topo.add_server("s")
+        left = topo.add_host("left")
+        right = topo.add_host("right")
+        topo.connect(server, left)
+        topo.connect(server, right)
+        install_shortest_path_routes(topo)
+        right.record_received = True
+        server.send("right", payload_bytes=20)
+        sim.run(until=1 * MS)
+        assert len(right.received) == 1
+
+    def test_install_route_validation(self):
+        sim = Simulator()
+        server = ServerNode(sim, "s")
+        with pytest.raises(ValueError):
+            server.install_route("x", 3)
+
+
+class TestBCube:
+    @pytest.mark.parametrize("n,k", [(2, 1), (4, 1), (2, 2), (3, 0)])
+    def test_dimensions(self, n, k):
+        topo = build_bcube(Simulator(), n, k)
+        assert len(topo.hosts()) == n ** (k + 1)
+        assert len(topo.switches()) == (k + 1) * n**k
+        # Every server is (k+1)-homed.
+        assert all(len(h.ports) == k + 1 for h in topo.hosts())
+        assert topo.is_connected()
+
+    @pytest.mark.parametrize("n,k", [(2, 1), (4, 1), (2, 2)])
+    def test_routes_clean(self, n, k):
+        topo = build_bcube(Simulator(), n, k)
+        install_shortest_path_routes(topo)
+        assert verify_routes(topo) == []
+
+    def test_cross_level_path_transits_a_server(self):
+        topo = build_bcube(Simulator(), 2, 1)
+        install_shortest_path_routes(topo)
+        # h0 (digits 00) to h3 (digits 11): differs in both digits, so the
+        # path must relay through one intermediate server.
+        path = shortest_path(topo, "h0", "h3")
+        transit_servers = [
+            name for name in path[1:-1] if name.startswith("h")
+        ]
+        assert len(transit_servers) == 1
+
+    def test_same_level_neighbors_one_switch_away(self):
+        topo = build_bcube(Simulator(), 2, 1)
+        assert path_hop_count(topo, "h0", "h1") == 2  # via sw0_0
+
+    def test_end_to_end_delivery(self):
+        sim = Simulator()
+        topo = build_bcube(sim, 2, 2)
+        install_shortest_path_routes(topo)
+        src = topo.devices["h0"]
+        dst = topo.devices["h7"]  # differs in all three digits
+        dst.record_received = True
+        src.send("h7", payload_bytes=64)
+        sim.run(until=1 * MS)
+        assert len(dst.received) == 1
+        relays = [h for h in dst.received[0].hops if h.startswith("h")]
+        assert len(relays) == 2  # k relays for a k+1-digit mismatch
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            build_bcube(Simulator(), 1, 1)
+        with pytest.raises(ValueError):
+            build_bcube(Simulator(), 2, -1)

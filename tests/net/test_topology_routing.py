@@ -1,0 +1,187 @@
+"""Topology builders and static routing."""
+
+import pytest
+
+from repro.net import (
+    Topology,
+    build_fat_tree,
+    build_leaf_spine,
+    build_line,
+    build_ring,
+    build_star,
+    build_tree,
+    install_shortest_path_routes,
+    path_hop_count,
+    shortest_path,
+    verify_routes,
+)
+from repro.simcore import Simulator
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+class TestBuilders:
+    def test_line_shape(self, sim):
+        topo = build_line(sim, 4)
+        assert len(topo.hosts()) == 4
+        assert len(topo.switches()) == 4
+        assert len(topo.links) == 4 + 3
+        assert topo.is_connected()
+
+    def test_ring_shape(self, sim):
+        topo = build_ring(sim, 5, hosts_per_switch=2)
+        assert len(topo.switches()) == 5
+        assert len(topo.hosts()) == 10
+        assert len(topo.links) == 5 + 10
+        assert topo.is_connected()
+
+    def test_ring_minimum_size(self, sim):
+        with pytest.raises(ValueError):
+            build_ring(sim, 2)
+
+    def test_star_shape(self, sim):
+        topo = build_star(sim, 6)
+        assert len(topo.switches()) == 1
+        assert len(topo.hosts()) == 6
+        assert all(
+            path_hop_count(topo, h.name, "sw0") == 1 for h in topo.hosts()
+        )
+
+    def test_tree_shape(self, sim):
+        topo = build_tree(sim, depth=2, fanout=2, hosts_per_leaf=2)
+        assert len(topo.switches()) == 1 + 2 + 4
+        assert len(topo.hosts()) == 8
+        assert topo.is_connected()
+
+    def test_leaf_spine_full_bipartite_core(self, sim):
+        topo = build_leaf_spine(sim, leaf_count=4, spine_count=2, hosts_per_leaf=3)
+        assert len(topo.hosts()) == 12
+        # Each leaf connects to each spine.
+        fabric_links = [
+            link for link in topo.links
+            if "spine" in link.port_a.device.name
+            or "spine" in link.port_b.device.name
+        ]
+        assert len(fabric_links) == 8
+
+    def test_fat_tree_k4_dimensions(self, sim):
+        topo = build_fat_tree(sim, k=4)
+        assert len(topo.hosts()) == 16  # k^3/4
+        assert len(topo.switches()) == 4 + 8 + 8  # cores + agg + edge
+        assert topo.is_connected()
+
+    def test_fat_tree_odd_k_rejected(self, sim):
+        with pytest.raises(ValueError):
+            build_fat_tree(sim, k=3)
+
+    def test_duplicate_device_name_rejected(self, sim):
+        topo = Topology(sim)
+        topo.add_host("x")
+        with pytest.raises(ValueError):
+            topo.add_host("x")
+
+    def test_link_between(self, sim):
+        topo = build_line(sim, 2)
+        assert topo.link_between("sw0", "sw1") is not None
+        assert topo.link_between("sw0", "h1") is None
+
+    def test_hop_count_same_device_zero(self, sim):
+        topo = build_line(sim, 2)
+        assert path_hop_count(topo, "h0", "h0") == 0
+
+    def test_hop_count_disconnected_raises(self, sim):
+        topo = Topology(sim)
+        topo.add_host("a")
+        topo.add_host("b")
+        with pytest.raises(ValueError):
+            path_hop_count(topo, "a", "b")
+
+
+class TestRouting:
+    @pytest.mark.parametrize(
+        "builder,kwargs",
+        [
+            (build_line, {"host_count": 5}),
+            (build_ring, {"switch_count": 6, "hosts_per_switch": 2}),
+            (build_star, {"host_count": 4}),
+            (build_tree, {"depth": 2, "fanout": 3}),
+            (build_leaf_spine, {"leaf_count": 3, "spine_count": 2, "hosts_per_leaf": 2}),
+            (build_fat_tree, {"k": 4}),
+        ],
+    )
+    def test_routes_verify_clean_on_all_topologies(self, sim, builder, kwargs):
+        topo = builder(sim, **kwargs)
+        installed = install_shortest_path_routes(topo)
+        assert installed > 0
+        assert verify_routes(topo) == []
+
+    def test_shortest_path_endpoints(self, sim):
+        topo = build_ring(sim, 6)
+        path = shortest_path(topo, "h0_0", "h3_0")
+        assert path[0] == "h0_0"
+        assert path[-1] == "h3_0"
+        # Ring of 6: 3 switch hops is the short way round.
+        assert len(path) == 2 + 4
+
+    def test_shortest_path_disconnected_raises(self, sim):
+        topo = Topology(sim)
+        topo.add_host("a")
+        topo.add_host("b")
+        with pytest.raises(ValueError):
+            shortest_path(topo, "a", "b")
+
+    def test_ring_routing_takes_short_direction(self, sim):
+        topo = build_ring(sim, 8)
+        install_shortest_path_routes(topo)
+        # h1 is one switch hop from h0's switch going clockwise.
+        assert path_hop_count(topo, "h0_0", "h1_0") == 3
+
+    def test_end_to_end_delivery_on_fat_tree(self, sim):
+        topo = build_fat_tree(sim, k=4)
+        install_shortest_path_routes(topo)
+        hosts = topo.hosts()
+        src, dst = hosts[0], hosts[-1]
+        received = []
+        dst.on_receive(received.append)
+        src.send(dst.name, payload_bytes=100)
+        sim.run()
+        assert len(received) == 1
+        # Cross-pod path traverses edge-agg-core-agg-edge.
+        assert len(received[0].hops) == 5
+
+    def test_ecmp_seed_changes_spine_choice_somewhere(self, sim):
+        topo = build_leaf_spine(sim, leaf_count=4, spine_count=4, hosts_per_leaf=4)
+        install_shortest_path_routes(topo, ecmp_seed=0)
+        tables_a = {
+            s.name: dict(s.forwarding_table) for s in topo.switches()
+        }
+        for switch in topo.switches():
+            switch.forwarding_table.clear()
+        install_shortest_path_routes(topo, ecmp_seed=1)
+        tables_b = {
+            s.name: dict(s.forwarding_table) for s in topo.switches()
+        }
+        assert tables_a != tables_b
+        assert verify_routes(topo) == []
+
+    def test_verify_routes_reports_missing_entry(self, sim):
+        topo = build_line(sim, 3)
+        install_shortest_path_routes(topo)
+        topo.switches()[0].forwarding_table.pop("h2")
+        problems = verify_routes(topo)
+        assert any("no route to h2" in p for p in problems)
+
+    def test_verify_routes_reports_loop(self, sim):
+        topo = build_line(sim, 3)
+        install_shortest_path_routes(topo)
+        # Point sw1's route for h2 back toward sw0: creates a loop.
+        sw0_port = next(
+            port.index for port in topo.devices["sw1"].ports
+            if port.peer is not None and port.peer.device.name == "sw0"
+        )
+        topo.devices["sw1"].install_route("h2", sw0_port)
+        problems = verify_routes(topo)
+        assert any("loop" in p for p in problems)

@@ -1,0 +1,156 @@
+"""PLC runtimes and platform timing models."""
+
+import numpy as np
+import pytest
+
+from repro.fieldbus import ArState, IoDeviceApp
+from repro.metrics import jitter_report
+from repro.net import build_star
+from repro.net.routing import install_shortest_path_routes
+from repro.plc import (
+    HARDWARE_PLC,
+    PLATFORMS,
+    PlcRuntime,
+    VPLC_PREEMPT_RT,
+    VPLC_STOCK_KERNEL,
+    passthrough_program,
+)
+from repro.simcore import Simulator, MS, SEC, US
+
+
+class TestPlatformModels:
+    def test_registry_contains_the_three_platforms(self):
+        assert set(PLATFORMS) == {
+            "hardware-plc", "vplc-preempt-rt", "vplc-stock-kernel",
+        }
+
+    def test_jitter_ordering_hardware_best(self):
+        rng = np.random.default_rng(0)
+        means = {}
+        for model in (HARDWARE_PLC, VPLC_PREEMPT_RT, VPLC_STOCK_KERNEL):
+            sampler = model.jitter_sampler(np.random.default_rng(1))
+            means[model.name] = np.mean([sampler() for _ in range(3000)])
+        assert (
+            means["hardware-plc"]
+            < means["vplc-preempt-rt"]
+            < means["vplc-stock-kernel"]
+        )
+
+    def test_hardware_meets_one_microsecond_worst_case(self):
+        sampler = HARDWARE_PLC.jitter_sampler(np.random.default_rng(2))
+        worst = max(sampler() for _ in range(10000))
+        assert worst < 1 * US
+
+    def test_stock_kernel_has_millisecond_spikes(self):
+        sampler = VPLC_STOCK_KERNEL.jitter_sampler(np.random.default_rng(3))
+        worst = max(sampler() for _ in range(20000))
+        assert worst > 200 * US
+
+    def test_samples_never_negative(self):
+        for model in PLATFORMS.values():
+            sampler = model.jitter_sampler(np.random.default_rng(4))
+            assert all(sampler() >= 0 for _ in range(1000))
+
+    def test_scan_time_includes_program_and_overhead(self):
+        sampler = HARDWARE_PLC.scan_time_sampler(
+            np.random.default_rng(5), program_exec_ns=50_000
+        )
+        sample = sampler()
+        assert sample >= 50_000 + HARDWARE_PLC.scan_overhead_ns
+
+
+def star_with_plc(platform=HARDWARE_PLC, cycle=10 * MS, seed=0):
+    sim = Simulator(seed=seed)
+    topo = build_star(sim, 2)
+    install_shortest_path_routes(topo)
+    device = IoDeviceApp(sim, topo.devices["h1"])
+    plc = PlcRuntime(
+        sim,
+        topo.devices["h0"],
+        passthrough_program({"h1.echo": "h1.counter"}),
+        cycle_ns=cycle,
+        platform=platform,
+        name="plc",
+    )
+    plc.assign_device("h1")
+    return sim, plc, device
+
+
+class TestPlcRuntime:
+    def test_start_brings_connection_running(self):
+        sim, plc, device = star_with_plc()
+        plc.start()
+        sim.run(until=1 * SEC)
+        assert plc.all_running
+        assert device.state is ArState.RUNNING
+
+    def test_scan_loop_executes_program(self):
+        sim, plc, device = star_with_plc()
+        plc.start()
+        sim.run(until=1 * SEC)
+        # The passthrough echoes the device counter back to the device.
+        assert device.outputs.get("echo", 0) > 0
+        assert plc.stats.scans >= 90
+
+    def test_scan_overruns_counted(self):
+        sim, plc, device = star_with_plc(
+            platform=VPLC_STOCK_KERNEL, cycle=100 * US, seed=3
+        )
+        plc.start()
+        sim.run(until=2 * SEC)
+        # A 100 us cycle on a noisy stock kernel must overrun sometimes.
+        assert plc.stats.overruns > 0
+
+    def test_crash_stops_everything_silently(self):
+        sim, plc, device = star_with_plc()
+        plc.start()
+        sim.run(until=500 * MS)
+        scans_at_crash = plc.stats.scans
+        plc.crash()
+        sim.run(until=1 * SEC)
+        assert plc.crashed
+        assert plc.stats.scans == scans_at_crash
+        assert device.stats.watchdog_expirations == 1
+
+    def test_crash_callbacks_fire(self):
+        sim, plc, device = star_with_plc()
+        fired = []
+        plc.on_crash.append(lambda: fired.append(sim.now))
+        plc.start()
+        sim.run(until=100 * MS)
+        plc.crash()
+        assert len(fired) == 1
+
+    def test_stop_releases_devices(self):
+        sim, plc, device = star_with_plc()
+        plc.start()
+        sim.run(until=500 * MS)
+        plc.stop()
+        sim.run(until=1 * SEC)
+        assert device.state is ArState.ABORTED
+        # Released, not watchdog-expired: orderly shutdown.
+        assert device.stats.watchdog_expirations == 0
+
+    def test_duplicate_device_assignment_rejected(self):
+        sim, plc, device = star_with_plc()
+        with pytest.raises(ValueError):
+            plc.assign_device("h1")
+
+    def test_invalid_cycle_rejected(self):
+        sim = Simulator()
+        topo = build_star(sim, 1)
+        with pytest.raises(ValueError):
+            PlcRuntime(
+                sim, topo.devices["h0"], passthrough_program({}), cycle_ns=0
+            )
+
+    def test_hardware_plc_cyclic_jitter_far_below_vplc(self):
+        results = {}
+        for platform in (HARDWARE_PLC, VPLC_PREEMPT_RT):
+            sim, plc, device = star_with_plc(platform=platform, seed=11)
+            plc.start()
+            sim.run(until=3 * SEC)
+            arrivals = device.stats.rx_times_ns
+            report = jitter_report(arrivals[5:], 10 * MS)
+            results[platform.name] = report.max_abs_jitter_ns
+        assert results["hardware-plc"] * 5 < results["vplc-preempt-rt"]

@@ -1,0 +1,261 @@
+"""Structured Text: interpreter semantics."""
+
+import pytest
+
+from repro.plc.st import StRuntimeError, compile_st
+
+
+def run_once(source, inputs=None, dt=0.01):
+    return compile_st(source).execute(inputs or {}, dt)
+
+
+class TestBasics:
+    def test_io_round_trip(self):
+        out = run_once(
+            "VAR_INPUT a : REAL; END_VAR VAR_OUTPUT b : REAL; END_VAR "
+            "b := a * 2.0;",
+            {"a": 21.0},
+        )
+        assert out == {"b": 42.0}
+
+    def test_var_retains_across_scans(self):
+        program = compile_st(
+            "VAR_OUTPUT n : INT; END_VAR VAR count : INT; END_VAR "
+            "count := count + 1; n := count;"
+        )
+        assert program.execute({}, 0.01)["n"] == 1
+        assert program.execute({}, 0.01)["n"] == 2
+
+    def test_initializers(self):
+        program = compile_st(
+            "VAR_OUTPUT x : REAL; END_VAR VAR sp : REAL := 450.0; END_VAR "
+            "x := sp;"
+        )
+        assert program.execute({}, 0.01)["x"] == 450.0
+
+    def test_reset_restores_initial_state(self):
+        program = compile_st(
+            "VAR_OUTPUT n : INT; END_VAR VAR c : INT; END_VAR "
+            "c := c + 1; n := c;"
+        )
+        program.execute({}, 0.01)
+        program.reset()
+        assert program.execute({}, 0.01)["n"] == 1
+
+    def test_case_insensitive_variables(self):
+        out = run_once(
+            "VAR_INPUT Level : REAL; END_VAR VAR_OUTPUT Pump : BOOL; END_VAR "
+            "pump := LEVEL > 10.0;",
+            {"Level": 20.0},
+        )
+        assert out["Pump"] is True
+
+    def test_input_output_maps(self):
+        program = compile_st(
+            "VAR_INPUT raw : REAL; END_VAR VAR_OUTPUT act : REAL; END_VAR "
+            "act := raw + 1.0;",
+            input_map={"dev.sensor": "raw"},
+            output_map={"dev.actuator": "act"},
+        )
+        assert program.execute({"dev.sensor": 4.0}, 0.01) == {"dev.actuator": 5.0}
+
+
+class TestExpressions:
+    @pytest.mark.parametrize(
+        "expr,expected",
+        [
+            ("1 + 2 * 3", 7),
+            ("(1 + 2) * 3", 9),
+            ("10 / 4", 2.5),
+            ("10 MOD 3", 1),
+            ("-3 + 5", 2),
+            ("2 < 3", True),
+            ("2 >= 3", False),
+            ("1 = 1", True),
+            ("1 <> 1", False),
+            ("TRUE AND FALSE", False),
+            ("TRUE OR FALSE", True),
+            ("TRUE XOR TRUE", False),
+            ("NOT FALSE", True),
+            ("NOT (1 > 2) AND 3 < 4", True),
+        ],
+    )
+    def test_evaluation(self, expr, expected):
+        out = run_once(
+            f"VAR_OUTPUT r : REAL; END_VAR r := {expr};"
+        )
+        assert out["r"] == expected
+
+    def test_division_by_zero(self):
+        with pytest.raises(StRuntimeError):
+            run_once("VAR_OUTPUT r : REAL; END_VAR r := 1 / 0;")
+
+    def test_integer_division_stays_integral_when_exact(self):
+        assert run_once("VAR_OUTPUT r : INT; END_VAR r := 10 / 2;")["r"] == 5
+
+
+class TestControlFlow:
+    def test_if_branching(self):
+        source = (
+            "VAR_INPUT x : INT; END_VAR VAR_OUTPUT y : INT; END_VAR "
+            "IF x = 1 THEN y := 10; ELSIF x = 2 THEN y := 20; "
+            "ELSE y := 30; END_IF;"
+        )
+        program = compile_st(source)
+        assert program.execute({"x": 1}, 0.01)["y"] == 10
+        assert program.execute({"x": 2}, 0.01)["y"] == 20
+        assert program.execute({"x": 9}, 0.01)["y"] == 30
+
+    def test_case_values_and_ranges(self):
+        source = (
+            "VAR_INPUT s : INT; END_VAR VAR_OUTPUT m : INT; END_VAR "
+            "CASE s OF 1, 2: m := 12; 5..7: m := 57; ELSE m := 0; END_CASE;"
+        )
+        program = compile_st(source)
+        assert program.execute({"s": 2}, 0.01)["m"] == 12
+        assert program.execute({"s": 6}, 0.01)["m"] == 57
+        assert program.execute({"s": 4}, 0.01)["m"] == 0
+
+    def test_for_loop_sum(self):
+        out = run_once(
+            "VAR_OUTPUT s : INT; END_VAR VAR i : INT; END_VAR "
+            "FOR i := 1 TO 10 DO s := s + i; END_FOR;"
+        )
+        assert out["s"] == 55
+
+    def test_for_loop_with_step(self):
+        out = run_once(
+            "VAR_OUTPUT s : INT; END_VAR VAR i : INT; END_VAR "
+            "FOR i := 10 TO 1 BY -3 DO s := s + i; END_FOR;"
+        )
+        assert out["s"] == 10 + 7 + 4 + 1
+
+    def test_while_and_exit(self):
+        out = run_once(
+            "VAR_OUTPUT n : INT; END_VAR "
+            "WHILE TRUE DO n := n + 1; IF n >= 5 THEN EXIT; END_IF; "
+            "END_WHILE;"
+        )
+        assert out["n"] == 5
+
+    def test_repeat_runs_at_least_once(self):
+        out = run_once(
+            "VAR_OUTPUT n : INT; END_VAR "
+            "REPEAT n := n + 1; UNTIL TRUE END_REPEAT;"
+        )
+        assert out["n"] == 1
+
+    def test_return_skips_rest_of_scan(self):
+        out = run_once(
+            "VAR_OUTPUT a : INT; b : INT; END_VAR a := 1; RETURN; b := 1;"
+        )
+        assert out == {"a": 1, "b": 0}
+
+    def test_runaway_loop_trips_scan_watchdog(self):
+        program = compile_st(
+            "VAR_OUTPUT n : INT; END_VAR WHILE TRUE DO n := n + 1; END_WHILE;"
+        )
+        program.max_loop_iterations = 1_000
+        with pytest.raises(StRuntimeError):
+            program.execute({}, 0.01)
+
+    def test_zero_for_step_rejected(self):
+        with pytest.raises(StRuntimeError):
+            run_once(
+                "VAR i : INT; END_VAR FOR i := 1 TO 5 BY 0 DO END_FOR;"
+            )
+
+
+class TestFunctionBlocks:
+    def test_ton_delays(self):
+        program = compile_st(
+            "VAR_INPUT run : BOOL; END_VAR VAR_OUTPUT q : BOOL; END_VAR "
+            "VAR t : TON; END_VAR "
+            "t(IN := run, PT := T#100ms); q := t.Q;"
+        )
+        results = [
+            program.execute({"run": True}, 0.04)["q"] for _ in range(4)
+        ]
+        assert results == [False, False, True, True]
+
+    def test_tof_holds_after_release(self):
+        program = compile_st(
+            "VAR_INPUT run : BOOL; END_VAR VAR_OUTPUT q : BOOL; END_VAR "
+            "VAR t : TOF; END_VAR "
+            "t(IN := run, PT := T#100ms); q := t.Q;"
+        )
+        assert program.execute({"run": True}, 0.04)["q"] is True
+        held = [program.execute({"run": False}, 0.04)["q"] for _ in range(4)]
+        assert held == [True, True, False, False]
+
+    def test_ctu_counts_edges(self):
+        program = compile_st(
+            "VAR_INPUT pulse : BOOL; END_VAR VAR_OUTPUT cv : INT; q : BOOL; "
+            "END_VAR VAR c : CTU; END_VAR "
+            "c(CU := pulse, PV := 2); cv := c.CV; q := c.Q;"
+        )
+        sequence = [True, True, False, True]
+        results = [program.execute({"pulse": p}, 0.01) for p in sequence]
+        assert [r["cv"] for r in results] == [1, 1, 1, 2]
+        assert results[-1]["q"] is True
+
+    def test_ctd_counts_down_after_load(self):
+        program = compile_st(
+            "VAR_INPUT pulse : BOOL; load : BOOL; END_VAR "
+            "VAR_OUTPUT cv : INT; END_VAR VAR c : CTD; END_VAR "
+            "c(CD := pulse, LD := load, PV := 3); cv := c.CV;"
+        )
+        program.execute({"pulse": False, "load": True}, 0.01)
+        program.execute({"pulse": True, "load": False}, 0.01)
+        program.execute({"pulse": False, "load": False}, 0.01)
+        out = program.execute({"pulse": True, "load": False}, 0.01)
+        assert out["cv"] == 1
+
+    def test_r_trig_single_scan_pulse(self):
+        program = compile_st(
+            "VAR_INPUT clk : BOOL; END_VAR VAR_OUTPUT q : BOOL; END_VAR "
+            "VAR e : R_TRIG; END_VAR e(CLK := clk); q := e.Q;"
+        )
+        outs = [
+            program.execute({"clk": c}, 0.01)["q"]
+            for c in (False, True, True, False, True)
+        ]
+        assert outs == [False, True, False, False, True]
+
+    def test_f_trig_detects_falling_edge(self):
+        program = compile_st(
+            "VAR_INPUT clk : BOOL; END_VAR VAR_OUTPUT q : BOOL; END_VAR "
+            "VAR e : F_TRIG; END_VAR e(CLK := clk); q := e.Q;"
+        )
+        outs = [
+            program.execute({"clk": c}, 0.01)["q"]
+            for c in (True, False, False, True, False)
+        ]
+        assert outs == [False, True, False, False, True]
+
+
+class TestErrors:
+    def test_unknown_variable(self):
+        with pytest.raises(StRuntimeError):
+            run_once("VAR_OUTPUT x : INT; END_VAR x := ghost;")
+
+    def test_assignment_to_undeclared(self):
+        with pytest.raises(StRuntimeError):
+            run_once("ghost := 1;")
+
+    def test_call_of_non_fb(self):
+        with pytest.raises(StRuntimeError):
+            run_once("VAR x : INT; END_VAR x(IN := 1);")
+
+    def test_unknown_fb_output(self):
+        with pytest.raises(StRuntimeError):
+            run_once(
+                "VAR t : TON; END_VAR VAR_OUTPUT x : BOOL; END_VAR "
+                "x := t.banana;"
+            )
+
+    def test_non_constant_initializer(self):
+        with pytest.raises(StRuntimeError):
+            compile_st(
+                "VAR a : INT; b : INT := a; END_VAR"
+            )

@@ -1,0 +1,210 @@
+"""Structured Text: lexer and parser."""
+
+import pytest
+
+from repro.plc.st import (
+    StSyntaxError,
+    TokenKind,
+    parse,
+    parse_time_literal,
+    tokenize,
+)
+from repro.plc.st import ast
+
+
+class TestLexer:
+    def kinds(self, source):
+        return [t.kind for t in tokenize(source)[:-1]]
+
+    def test_assignment_tokens(self):
+        tokens = tokenize("x := 1;")
+        assert [t.kind for t in tokens] == [
+            TokenKind.IDENT, TokenKind.ASSIGN, TokenKind.NUMBER,
+            TokenKind.SEMI, TokenKind.EOF,
+        ]
+
+    def test_keywords_case_insensitive(self):
+        for variant in ("IF", "if", "If"):
+            token = tokenize(variant)[0]
+            assert token.is_keyword("if")
+
+    def test_identifiers_preserve_case(self):
+        token = tokenize("MotorSpeed")[0]
+        assert token.kind is TokenKind.IDENT
+        assert token.value == "MotorSpeed"
+
+    def test_numbers(self):
+        values = [t.value for t in tokenize("1 2.5 1e3 2.5e-2")[:-1]]
+        assert values == ["1", "2.5", "1e3", "2.5e-2"]
+
+    def test_time_literals(self):
+        token = tokenize("T#1s500ms")[0]
+        assert token.kind is TokenKind.NUMBER
+        assert token.value == "t#1s500ms"
+        assert tokenize("TIME#2h")[0].value == "time#2h"
+
+    def test_comments_skipped(self):
+        tokens = tokenize("x (* a comment *) := // trailing\n 1;")
+        assert len(tokens) == 5  # x := 1 ; EOF
+
+    def test_multiline_comment_tracks_line_numbers(self):
+        tokens = tokenize("(* line1\nline2 *) x")
+        assert tokens[0].line == 2
+
+    def test_unterminated_comment_raises(self):
+        with pytest.raises(StSyntaxError):
+            tokenize("(* never closed")
+
+    def test_unknown_character_raises(self):
+        with pytest.raises(StSyntaxError) as excinfo:
+            tokenize("x @ y")
+        assert "line 1" in str(excinfo.value)
+
+    def test_operators(self):
+        ops = [t.value for t in tokenize("< <= > >= = <> + - * /")[:-1]]
+        assert ops == ["<", "<=", ">", ">=", "=", "<>", "+", "-", "*", "/"]
+
+    def test_dotdot_vs_dot(self):
+        kinds = self.kinds("1..5 a.b")
+        assert TokenKind.DOTDOT in kinds
+        assert TokenKind.DOT in kinds
+
+
+class TestTimeLiterals:
+    @pytest.mark.parametrize(
+        "text,seconds",
+        [
+            ("t#500ms", 0.5),
+            ("t#1s", 1.0),
+            ("t#1s500ms", 1.5),
+            ("t#2.5s", 2.5),
+            ("time#1m30s", 90.0),
+            ("t#1h", 3600.0),
+            ("t#10us", 1e-5),
+        ],
+    )
+    def test_values(self, text, seconds):
+        assert parse_time_literal(text) == pytest.approx(seconds)
+
+    def test_malformed_rejected(self):
+        with pytest.raises(ValueError):
+            parse_time_literal("t#abc")
+        with pytest.raises(ValueError):
+            parse_time_literal("t#")
+
+
+class TestParser:
+    def test_var_blocks(self):
+        program = parse(
+            """
+            VAR_INPUT a : BOOL; END_VAR
+            VAR_OUTPUT b : REAL := 1.5; END_VAR
+            VAR t1 : TON; n : INT := 3; END_VAR
+            """
+        )
+        assert [d.name for d in program.declarations] == ["a", "b", "t1", "n"]
+        assert program.declarations[1].initializer == ast.NumberLit(1.5)
+        assert program.declarations[2].is_fb_instance
+        assert len(program.inputs()) == 1
+        assert len(program.outputs()) == 1
+
+    def test_precedence(self):
+        program = parse("VAR x : INT; END_VAR x := 1 + 2 * 3;")
+        assign = program.body[0]
+        assert isinstance(assign.expr, ast.BinaryOp)
+        assert assign.expr.op == "+"
+        assert assign.expr.right.op == "*"
+
+    def test_and_binds_tighter_than_or(self):
+        program = parse("VAR x : BOOL; END_VAR x := TRUE OR FALSE AND FALSE;")
+        expr = program.body[0].expr
+        assert expr.op == "or"
+        assert expr.right.op == "and"
+
+    def test_comparison_in_condition(self):
+        program = parse(
+            "VAR x : INT; y : BOOL; END_VAR "
+            "IF x >= 10 THEN y := TRUE; END_IF;"
+        )
+        if_stmt = program.body[0]
+        assert isinstance(if_stmt, ast.IfStmt)
+        assert if_stmt.branches[0][0].op == ">="
+
+    def test_if_elsif_else(self):
+        program = parse(
+            """
+            VAR x : INT; y : INT; END_VAR
+            IF x = 1 THEN y := 1;
+            ELSIF x = 2 THEN y := 2;
+            ELSE y := 3;
+            END_IF;
+            """
+        )
+        if_stmt = program.body[0]
+        assert len(if_stmt.branches) == 2
+        assert len(if_stmt.else_body) == 1
+
+    def test_case_with_ranges(self):
+        program = parse(
+            """
+            VAR s : INT; m : INT; END_VAR
+            CASE s OF
+                1, 2: m := 10;
+                3..5: m := 20;
+            ELSE m := 0;
+            END_CASE;
+            """
+        )
+        case = program.body[0]
+        assert case.entries[0].values == (1.0, 2.0)
+        assert case.entries[1].ranges == ((3.0, 5.0),)
+        assert len(case.else_body) == 1
+
+    def test_loops(self):
+        program = parse(
+            """
+            VAR i : INT; s : INT; END_VAR
+            FOR i := 1 TO 10 BY 2 DO s := s + i; END_FOR;
+            WHILE s > 0 DO s := s - 1; END_WHILE;
+            REPEAT s := s + 1; UNTIL s >= 5 END_REPEAT;
+            """
+        )
+        assert isinstance(program.body[0], ast.ForStmt)
+        assert isinstance(program.body[1], ast.WhileStmt)
+        assert isinstance(program.body[2], ast.RepeatStmt)
+
+    def test_fb_call_and_field_access(self):
+        program = parse(
+            """
+            VAR t1 : TON; done : BOOL; END_VAR
+            t1(IN := TRUE, PT := T#100ms);
+            done := t1.Q;
+            """
+        )
+        call = program.body[0]
+        assert isinstance(call, ast.FbCall)
+        assert call.args[0][0] == "in"
+        access = program.body[1].expr
+        assert access == ast.FieldRef(instance="t1", fieldname="q")
+
+    def test_exit_and_return(self):
+        program = parse(
+            "VAR i : INT; END_VAR "
+            "WHILE TRUE DO EXIT; END_WHILE; RETURN;"
+        )
+        assert isinstance(program.body[0].body[0], ast.ExitStmt)
+        assert isinstance(program.body[1], ast.ReturnStmt)
+
+    @pytest.mark.parametrize(
+        "source",
+        [
+            "x := ;",
+            "IF x THEN y := 1;",          # missing END_IF
+            "VAR x BOOL; END_VAR",        # missing colon
+            "x + 1;",                      # expression as statement
+            "FOR i := 1 TO DO END_FOR;",  # missing bound
+        ],
+    )
+    def test_syntax_errors(self, source):
+        with pytest.raises(StSyntaxError):
+            parse(source)

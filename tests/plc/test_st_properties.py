@@ -1,0 +1,119 @@
+"""Property-based tests for the Structured Text compiler."""
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.plc.st import compile_st, parse, tokenize
+from repro.plc.st.parser import parse_time_literal
+
+identifiers = st.text(alphabet="abcdefgh", min_size=1, max_size=6).filter(
+    lambda s: s not in {"and", "or", "not", "mod", "if", "do", "of",
+                        "to", "by", "for", "case", "then", "else",
+                        "while", "exit", "true", "false", "var", "int",
+                        "bool", "real", "time", "ton", "tof", "ctu",
+                        "ctd", "dint", "lreal"}
+)
+
+
+@given(st.integers(-1_000_000, 1_000_000), st.integers(-1_000_000, 1_000_000))
+def test_arithmetic_matches_python(a, b):
+    program = compile_st(
+        "VAR_OUTPUT s : DINT; d : DINT; p : DINT; END_VAR "
+        f"s := {a} + {b}; d := {a} - {b}; p := ({a}) * ({b});"
+        .replace("+ -", "+ (0 - 1) * ").replace("- -", "- (0 - 1) * ")
+    )
+    out = program.execute({}, 0.01)
+    assert out["s"] == a + b
+    assert out["d"] == a - b
+    assert out["p"] == a * b
+
+
+@given(st.booleans(), st.booleans(), st.booleans())
+def test_boolean_algebra_matches_python(a, b, c):
+    program = compile_st(
+        "VAR_INPUT a : BOOL; b : BOOL; c : BOOL; END_VAR "
+        "VAR_OUTPUT r1 : BOOL; r2 : BOOL; r3 : BOOL; END_VAR "
+        "r1 := a AND b OR c; r2 := NOT (a XOR b); r3 := (a OR b) AND NOT c;"
+    )
+    out = program.execute({"a": a, "b": b, "c": c}, 0.01)
+    assert out["r1"] == ((a and b) or c)
+    assert out["r2"] == (not (a != b))
+    assert out["r3"] == ((a or b) and not c)
+
+
+@given(
+    st.integers(-100, 100), st.integers(-100, 100), st.integers(-100, 100)
+)
+def test_comparisons_match_python(a, b, c):
+    program = compile_st(
+        "VAR_INPUT a : INT; b : INT; c : INT; END_VAR "
+        "VAR_OUTPUT r : BOOL; END_VAR "
+        "r := a < b AND b <= c OR a = c;"
+    )
+    out = program.execute({"a": a, "b": b, "c": c}, 0.01)
+    assert out["r"] == ((a < b and b <= c) or a == c)
+
+
+@given(st.integers(1, 60), st.integers(0, 999))
+def test_time_literal_round_trip(seconds, millis):
+    text = f"t#{seconds}s{millis}ms"
+    # Float accumulation order differs from the closed form: compare with
+    # a ULP-scale tolerance.
+    assert abs(parse_time_literal(text) - (seconds + millis / 1000)) < 1e-9
+
+
+@given(identifiers, st.integers(-1000, 1000))
+def test_declared_variable_round_trip(name, value):
+    program = compile_st(
+        f"VAR_INPUT {name} : DINT; END_VAR "
+        f"VAR_OUTPUT out_v : DINT; END_VAR out_v := {name};"
+    )
+    assert program.execute({name: value}, 0.01)["out_v"] == value
+
+
+@given(st.integers(0, 50), st.integers(1, 5))
+@settings(deadline=None)
+def test_for_loop_sum_closed_form(n, step):
+    program = compile_st(
+        "VAR_OUTPUT s : DINT; END_VAR VAR i : DINT; END_VAR "
+        f"FOR i := 0 TO {n} BY {step} DO s := s + i; END_FOR;"
+    )
+    expected = sum(range(0, n + 1, step))
+    assert program.execute({}, 0.01)["s"] == expected
+
+
+@given(st.lists(st.booleans(), min_size=1, max_size=40))
+@settings(deadline=None)
+def test_ctu_counts_exactly_rising_edges(pulses):
+    program = compile_st(
+        "VAR_INPUT p : BOOL; END_VAR VAR_OUTPUT cv : INT; END_VAR "
+        "VAR c : CTU; END_VAR c(CU := p, PV := 10000); cv := c.CV;"
+    )
+    final = 0
+    for pulse in pulses:
+        final = program.execute({"p": pulse}, 0.01)["cv"]
+    expected = sum(
+        1 for prev, cur in zip([False] + pulses, pulses)
+        if cur and not prev
+    )
+    assert final == expected
+
+
+@given(st.text(alphabet="abc:=;()<>+-*/ \n\t", max_size=60))
+@settings(deadline=None)
+def test_parser_never_crashes_unexpectedly(source):
+    """Arbitrary input either parses or raises StSyntaxError — never
+    anything else."""
+    from repro.plc.st import StSyntaxError
+
+    try:
+        parse(source)
+    except StSyntaxError:
+        pass
+
+
+@given(st.integers(0, 200))
+def test_tokenizer_position_tracking(n):
+    source = ("x := 1;\n" * n) + "y"
+    tokens = tokenize(source)
+    assert tokens[-2].line == n + 1

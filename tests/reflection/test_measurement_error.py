@@ -1,0 +1,47 @@
+"""Tap vs PTP measurement-error comparison (Section 3's method argument)."""
+
+import numpy as np
+import pytest
+
+from repro.reflection import compare_tap_vs_ptp
+from repro.simcore.clock import PtpSyncModel
+
+
+class TestTapVsPtp:
+    def test_tap_error_bounded_by_quantization(self):
+        result = compare_tap_vs_ptp(tap_granularity_ns=8, seed=0)
+        # Two reads, each off by at most half a quantum, plus the
+        # half-nanosecond from integerizing the true delay.
+        assert result.tap_errors_ns.max() <= 8.5 + 1e-6
+
+    def test_ptp_error_dominated_by_asymmetry(self):
+        ptp = PtpSyncModel(path_asymmetry_ns=400.0, timestamp_noise_ns=0.0,
+                           residual_drift_ppm=0.0)
+        result = compare_tap_vs_ptp(ptp=ptp, seed=1)
+        # Opposite offsets of asymmetry/2 on both clocks: error ~ 400 ns.
+        assert abs(np.median(result.ptp_errors_ns) - 400.0) < 5.0
+
+    def test_tap_beats_ptp_by_an_order_of_magnitude(self):
+        result = compare_tap_vs_ptp(seed=2)
+        assert result.advantage_factor() > 10
+
+    def test_finer_tap_is_more_accurate(self):
+        coarse = compare_tap_vs_ptp(tap_granularity_ns=64, seed=3)
+        fine = compare_tap_vs_ptp(tap_granularity_ns=8, seed=3)
+        assert fine.tap_p99_ns() < coarse.tap_p99_ns()
+
+    def test_deterministic_given_seed(self):
+        first = compare_tap_vs_ptp(seed=5)
+        second = compare_tap_vs_ptp(seed=5)
+        assert np.array_equal(first.ptp_errors_ns, second.ptp_errors_ns)
+
+    def test_sample_validation(self):
+        with pytest.raises(ValueError):
+            compare_tap_vs_ptp(samples=1)
+
+    def test_jitter_scale_relevance(self):
+        # Section 2.1 demands 1 us jitter bounds; the PTP residual error
+        # is a meaningful fraction of that, the tap's is negligible.
+        result = compare_tap_vs_ptp(seed=6)
+        assert result.ptp_p99_ns() > 100.0   # > 10% of the 1 us budget
+        assert result.tap_p99_ns() < 10.0    # < 1% of the budget

@@ -1,0 +1,145 @@
+"""Random streams, clocks, and unit helpers."""
+
+import numpy as np
+import pytest
+
+from repro.simcore.clock import Clock, PtpSyncModel, tap_clock
+from repro.simcore.rng import RandomStreams
+from repro.simcore.units import (
+    MS,
+    SEC,
+    US,
+    format_duration,
+    ms_to_ns,
+    ns_to_ms,
+    ns_to_s,
+    ns_to_us,
+    s_to_ns,
+    us_to_ns,
+)
+
+
+class TestRandomStreams:
+    def test_same_seed_same_stream_reproduces(self):
+        a = RandomStreams(seed=7).stream("x").integers(1 << 40)
+        b = RandomStreams(seed=7).stream("x").integers(1 << 40)
+        assert a == b
+
+    def test_different_names_are_independent(self):
+        streams = RandomStreams(seed=7)
+        a = streams.stream("a").integers(1 << 40)
+        b = streams.stream("b").integers(1 << 40)
+        assert a != b  # astronomically unlikely to collide
+
+    def test_different_seeds_differ(self):
+        a = RandomStreams(seed=1).stream("x").integers(1 << 40)
+        b = RandomStreams(seed=2).stream("x").integers(1 << 40)
+        assert a != b
+
+    def test_stream_is_cached_and_stateful(self):
+        streams = RandomStreams(seed=0)
+        first = streams.stream("s")
+        second = streams.stream("s")
+        assert first is second
+        values = [first.random(), second.random()]
+        assert values[0] != values[1]  # draws continue, not restart
+
+    def test_adding_stream_does_not_disturb_existing(self):
+        reference = RandomStreams(seed=3)
+        ref_values = reference.stream("main").random(5)
+
+        perturbed = RandomStreams(seed=3)
+        perturbed.stream("other").random(100)
+        got = perturbed.stream("main").random(5)
+        assert np.allclose(ref_values, got)
+
+    def test_fork_changes_streams(self):
+        parent = RandomStreams(seed=3)
+        child = parent.fork("child")
+        assert (
+            parent.stream("x").integers(1 << 40)
+            != child.stream("x").integers(1 << 40)
+        )
+        assert child.seed == RandomStreams(seed=3).fork("child").seed
+
+
+class TestClock:
+    def test_perfect_clock_reads_true_time(self):
+        clock = Clock()
+        assert clock.read(123_456) == 123_456
+
+    def test_offset_shifts_reading(self):
+        clock = Clock(offset_ns=50)
+        assert clock.read(1000) == 1050
+
+    def test_drift_accumulates(self):
+        clock = Clock(drift_ppm=100.0)  # 100 us per second
+        assert clock.read(SEC) == SEC + 100_000
+
+    def test_granularity_quantizes(self):
+        clock = tap_clock(granularity_ns=8)
+        for true_time in (0, 3, 4, 11, 12, 100):
+            reading = clock.read(true_time)
+            assert reading % 8 == 0
+            assert abs(reading - true_time) <= 4
+
+    def test_error_at_ignores_noise(self):
+        clock = Clock(offset_ns=10, drift_ppm=1.0)
+        assert clock.error_at(0) == 10
+        assert clock.error_at(1_000_000) == pytest.approx(11.0)
+
+    def test_noise_uses_given_rng(self):
+        rng = np.random.default_rng(0)
+        clock = Clock(noise_std_ns=100.0, rng=rng)
+        readings = {clock.read(1000) for _ in range(10)}
+        assert len(readings) > 1
+
+
+class TestPtpSync:
+    def test_residual_error_grows_with_time_since_sync(self):
+        model = PtpSyncModel()
+        rng = np.random.default_rng(1)
+        early = np.mean(
+            [model.residual_error_ns(0, rng) for _ in range(200)]
+        )
+        late = np.mean(
+            [model.residual_error_ns(10 * SEC, rng) for _ in range(200)]
+        )
+        assert late > early
+
+    def test_synchronized_clock_carries_asymmetry_offset(self):
+        model = PtpSyncModel(path_asymmetry_ns=300.0, timestamp_noise_ns=0.0)
+        clock = model.synchronized_clock("slave", np.random.default_rng(0))
+        assert clock.offset_ns == pytest.approx(150.0)
+
+    def test_tap_beats_ptp_for_one_way_measurement(self):
+        # The Section 3 argument: tap quantization (8 ns) is far below the
+        # PTP residual (asymmetry/2 ~ 100 ns).
+        model = PtpSyncModel(path_asymmetry_ns=200.0)
+        rng = np.random.default_rng(2)
+        ptp_error = abs(model.residual_error_ns(SEC, rng))
+        tap_error = 4  # half the 8 ns quantum
+        assert ptp_error > tap_error
+
+
+class TestUnits:
+    def test_round_trips(self):
+        assert us_to_ns(ns_to_us(1234)) == 1234
+        assert ms_to_ns(ns_to_ms(5 * MS)) == 5 * MS
+        assert s_to_ns(ns_to_s(3 * SEC)) == 3 * SEC
+
+    def test_constants_are_consistent(self):
+        assert MS == 1000 * US
+        assert SEC == 1000 * MS
+
+    @pytest.mark.parametrize(
+        "value,expected",
+        [
+            (500, "500ns"),
+            (1_500, "1.500us"),
+            (2_000_000, "2.000ms"),
+            (3_000_000_000, "3.000s"),
+        ],
+    )
+    def test_format_duration(self, value, expected):
+        assert format_duration(value) == expected

@@ -1,0 +1,114 @@
+"""Simulated-annealing schedule synthesis."""
+
+import pytest
+
+from repro.net import (
+    CyclicSender,
+    FlowSpec,
+    Topology,
+    TrafficClass,
+    build_line,
+    install_shortest_path_routes,
+)
+from repro.net.routing import shortest_path
+from repro.simcore import Simulator, MS, US
+from repro.tsn import (
+    AnnealingSynthesizer,
+    InfeasibleScheduleError,
+    ScheduleSynthesizer,
+)
+
+
+def tight_single_link(flows=3, period_ns=25_000):
+    """Three ~7 us frames per 25 us period on a 100 Mbit/s link: feasible
+    only with sub-grid offset placement."""
+    sim = Simulator()
+    topo = Topology(sim)
+    a, b = topo.add_host("a"), topo.add_host("b")
+    topo.connect(a, b, bandwidth_bps=1e8)
+    install_shortest_path_routes(topo)
+    specs = [
+        FlowSpec(
+            f"f{i}", "a", "b", period_ns=period_ns, payload_bytes=50,
+            traffic_class=TrafficClass.CYCLIC_RT,
+        )
+        for i in range(flows)
+    ]
+    return sim, topo, specs
+
+
+class TestAnnealing:
+    def test_finds_schedule_where_coarse_greedy_fails(self):
+        sim, topo, specs = tight_single_link()
+        with pytest.raises(InfeasibleScheduleError):
+            ScheduleSynthesizer(topo, granularity_ns=10_000).synthesize(specs)
+        schedule = AnnealingSynthesizer(topo, seed=1).synthesize(specs)
+        assert len(schedule.offsets()) == 3
+
+    def test_schedule_windows_do_not_overlap(self):
+        sim, topo, specs = tight_single_link()
+        schedule = AnnealingSynthesizer(topo, seed=2).synthesize(specs)
+        for windows in schedule.port_windows().values():
+            for (s1, e1), (s2, e2) in zip(windows, windows[1:]):
+                assert e1 <= s2
+
+    def test_truly_infeasible_set_rejected(self):
+        # Four 7 us frames cannot fit a 25 us period (28 > 25).
+        sim, topo, specs = tight_single_link(flows=4)
+        with pytest.raises(InfeasibleScheduleError):
+            AnnealingSynthesizer(
+                topo, iterations=3_000, seed=0
+            ).synthesize(specs)
+
+    def test_gate_installation_end_to_end_zero_jitter(self):
+        sim = Simulator(seed=0)
+        topo = build_line(sim, 3)
+        install_shortest_path_routes(topo)
+        spec = FlowSpec(
+            "rt", "h0", "h2", period_ns=1 * MS, payload_bytes=50,
+            traffic_class=TrafficClass.CYCLIC_RT,
+        )
+        schedule = AnnealingSynthesizer(topo, seed=3).synthesize([spec])
+        schedule.install_gate_control()
+        arrivals = []
+        topo.devices["h2"].on_flow("rt", lambda p: arrivals.append(sim.now))
+
+        def sender_with_offset():
+            yield schedule.offsets()["rt"]
+            CyclicSender(sim, topo.devices["h0"], spec).start()
+
+        sim.process(sender_with_offset())
+        sim.run(until=30 * MS)
+        gaps = {b - a for a, b in zip(arrivals, arrivals[1:])}
+        assert gaps == {1 * MS}
+
+    def test_mixed_periods_respect_hyperperiod(self):
+        sim = Simulator()
+        topo = Topology(sim)
+        a, b = topo.add_host("a"), topo.add_host("b")
+        topo.connect(a, b)
+        install_shortest_path_routes(topo)
+        specs = [
+            FlowSpec("slow", "a", "b", period_ns=2 * MS, payload_bytes=100),
+            FlowSpec("fast", "a", "b", period_ns=1 * MS, payload_bytes=100),
+        ]
+        schedule = AnnealingSynthesizer(topo, seed=4).synthesize(specs)
+        assert schedule.hyperperiod_ns == 2 * MS
+
+    def test_non_cyclic_rejected(self):
+        sim, topo, _ = tight_single_link()
+        with pytest.raises(ValueError):
+            AnnealingSynthesizer(topo).synthesize(
+                [FlowSpec("bulk", "a", "b", total_bytes=1000)]
+            )
+
+    def test_deterministic_given_seed(self):
+        sim, topo, specs = tight_single_link()
+        first = AnnealingSynthesizer(topo, seed=9).synthesize(specs)
+        second = AnnealingSynthesizer(topo, seed=9).synthesize(specs)
+        assert first.offsets() == second.offsets()
+
+    def test_invalid_iterations(self):
+        sim, topo, _ = tight_single_link()
+        with pytest.raises(ValueError):
+            AnnealingSynthesizer(topo, iterations=0)

