@@ -1,11 +1,19 @@
-"""Command-line interface: regenerate the paper's figures.
+"""Command-line interface: regenerate the paper's figures, in parallel.
 
 Usage::
 
     python -m repro list
-    python -m repro fig5
-    python -m repro fig4-delay --csv out/fig4_delay.csv --seed 3
-    python -m repro all --out-dir results/
+    python -m repro fig5 --format json
+    python -m repro fig4-delay --csv out/fig4_delay.csv --seed 3 --cycles 100
+    python -m repro all --out-dir results/ --jobs 4
+    python -m repro sweep --figure fig4-jitter --seeds 0..4 \\
+        --param cycles=100,400 --jobs 4 --out-dir sweeps/
+
+``all`` and ``sweep`` fan jobs out over a ``multiprocessing`` pool
+(``--jobs``, default: CPU count) and reuse a content-addressed on-disk
+result cache (``--cache-dir``, default ``.repro-cache``; disable with
+``--no-cache``).  ``sweep`` prints a JSON run manifest (see
+:mod:`repro.runner.manifest`) to stdout, with per-job progress on stderr.
 """
 
 from __future__ import annotations
@@ -13,9 +21,38 @@ from __future__ import annotations
 import argparse
 import sys
 from pathlib import Path
+from typing import Any
 
 from . import __version__
-from .figures import FIGURES, rows_to_csv, rows_to_table
+from .figures import (
+    FORMATS,
+    FigureSpec,
+    UnknownFigureError,
+    get_spec,
+    registry,
+)
+from .runner import (
+    DEFAULT_CACHE_DIR,
+    JobRecord,
+    ResultCache,
+    expand_grid,
+    run_jobs,
+)
+
+
+def _add_cache_args(sub: argparse.ArgumentParser) -> None:
+    sub.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="worker processes (default: CPU count)",
+    )
+    sub.add_argument(
+        "--cache-dir", type=Path, default=DEFAULT_CACHE_DIR,
+        help=f"result cache directory (default: {DEFAULT_CACHE_DIR})",
+    )
+    sub.add_argument(
+        "--no-cache", action="store_true",
+        help="recompute everything; do not read or write the cache",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -32,46 +69,222 @@ def build_parser() -> argparse.ArgumentParser:
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
     subparsers.add_parser("list", help="list available figures")
-    for name, fn in FIGURES.items():
-        sub = subparsers.add_parser(name, help=(fn.__doc__ or "").splitlines()[0])
+
+    for name, spec in registry().items():
+        sub = subparsers.add_parser(name, help=spec.doc)
         sub.add_argument("--seed", type=int, default=0, help="random seed")
         sub.add_argument(
             "--csv", type=Path, default=None,
             help="write the rows to this CSV file instead of printing",
         )
-    sub = subparsers.add_parser("all", help="regenerate every figure")
+        sub.add_argument(
+            "--out", type=Path, default=None,
+            help="write the rows to this file in --format",
+        )
+        sub.add_argument(
+            "--format", choices=FORMATS, default="table",
+            help="render format (default: table)",
+        )
+        for param in spec.params:
+            sub.add_argument(
+                f"--{param.name.replace('_', '-')}",
+                dest=param.name, default=None, metavar="V",
+                help=f"{param.doc} (default: {param.default})",
+            )
+
+    sub = subparsers.add_parser(
+        "all", help="regenerate every figure (parallel, cached)"
+    )
     sub.add_argument("--seed", type=int, default=0)
     sub.add_argument(
         "--out-dir", type=Path, default=Path("results"),
-        help="directory receiving one CSV per figure",
+        help="directory receiving one CSV per figure plus manifest.json",
     )
+    _add_cache_args(sub)
+
+    sub = subparsers.add_parser(
+        "sweep", help="run a (figure x seed x param) grid in parallel"
+    )
+    sub.add_argument(
+        "--figure", action="append", default=None, metavar="NAME",
+        help="figure to sweep (repeatable; default: all figures)",
+    )
+    sub.add_argument(
+        "--seeds", default="0", metavar="LIST",
+        help="seeds: comma list '0,1,2' or inclusive range '0..4'",
+    )
+    sub.add_argument(
+        "--param", action="append", default=None, metavar="NAME=V1,V2",
+        help=(
+            "grid values for one parameter (repeatable); tuple-valued "
+            "params use ':' inside one value, e.g. flow_counts=1:5:25"
+        ),
+    )
+    sub.add_argument(
+        "--out-dir", type=Path, default=None,
+        help="also write one CSV per job into this directory",
+    )
+    sub.add_argument(
+        "--manifest", type=Path, default=None,
+        help="write the JSON run manifest here instead of stdout",
+    )
+    _add_cache_args(sub)
     return parser
+
+
+def parse_seeds(text: str) -> list[int]:
+    """Parse ``"0,1,2"`` or the inclusive range ``"0..4"``."""
+    text = text.strip()
+    if ".." in text:
+        first, _, last = text.partition("..")
+        return list(range(int(first), int(last) + 1))
+    return [int(part) for part in text.split(",") if part.strip()]
+
+
+def parse_param_grid(specs: list[str] | None) -> dict[str, list[str]]:
+    """Parse repeated ``NAME=V1,V2`` flags into a grid mapping."""
+    grid: dict[str, list[str]] = {}
+    for item in specs or []:
+        name, sep, values = item.partition("=")
+        name = name.strip()
+        if not sep or not name or not values:
+            raise ValueError(
+                f"bad --param {item!r}; expected NAME=V1,V2,..."
+            )
+        grid.setdefault(name, []).extend(
+            part for part in values.split(",") if part.strip()
+        )
+    return grid
+
+
+def _cache_from(args: argparse.Namespace) -> ResultCache | None:
+    if getattr(args, "no_cache", False):
+        return None
+    return ResultCache(getattr(args, "cache_dir", DEFAULT_CACHE_DIR))
+
+
+def _progress(record: JobRecord) -> None:
+    label = " ".join(
+        [record.figure, f"seed={record.seed}"]
+        + [f"{k}={v}" for k, v in record.params.items()]
+    )
+    state = "cached" if record.cached else f"{record.wall_time_s:.2f}s"
+    print(f"  {label}: {state} ({record.rows} rows)", file=sys.stderr)
+
+
+def _csv_name(record: JobRecord, multi: bool) -> str:
+    stem = record.figure.replace("-", "_")
+    if not multi:
+        return f"{stem}.csv"
+    return f"{stem}.seed{record.seed}.{record.key[:8]}.csv"
+
+
+def _run_figure_command(spec: FigureSpec, args: argparse.Namespace) -> int:
+    overrides = {
+        param.name: value
+        for param in spec.params
+        if (value := getattr(args, param.name, None)) is not None
+    }
+    rows = spec.run(seed=getattr(args, "seed", 0), **overrides)
+    csv_path: Path | None = getattr(args, "csv", None)
+    out_path: Path | None = getattr(args, "out", None)
+    fmt: str = getattr(args, "format", "table") or "table"
+    if csv_path is not None:
+        csv_path.parent.mkdir(parents=True, exist_ok=True)
+        csv_path.write_text(rows.to_csv())
+        print(f"wrote {csv_path} ({len(rows)} rows)")
+    if out_path is not None:
+        out_path.parent.mkdir(parents=True, exist_ok=True)
+        out_path.write_text(rows.render(fmt))
+        print(f"wrote {out_path} ({len(rows)} rows)")
+    if csv_path is None and out_path is None:
+        print(rows.render(fmt))
+    return 0
+
+
+def _run_all(args: argparse.Namespace) -> int:
+    out_dir: Path = getattr(args, "out_dir", Path("results"))
+    out_dir.mkdir(parents=True, exist_ok=True)
+    jobs = expand_grid(list(registry()), seeds=[getattr(args, "seed", 0)])
+    result = run_jobs(
+        jobs,
+        workers=getattr(args, "jobs", None),
+        cache=_cache_from(args),
+        progress=_progress,
+    )
+    for outcome in result.outcomes:
+        target = out_dir / _csv_name(outcome.record, multi=False)
+        target.write_text(outcome.rows.to_csv())
+        outcome.record.rows_path = str(target)
+        print(f"wrote {target} ({len(outcome.rows)} rows)")
+    manifest_path = out_dir / "manifest.json"
+    manifest_path.write_text(result.manifest.to_json() + "\n")
+    print(
+        f"wrote {manifest_path} "
+        f"({result.manifest.cache_hits} cached, "
+        f"{result.manifest.cache_misses} computed, "
+        f"{result.manifest.wall_time_s:.2f}s)"
+    )
+    return 0
+
+
+def _run_sweep(args: argparse.Namespace) -> int:
+    figures = getattr(args, "figure", None) or list(registry())
+    jobs = expand_grid(
+        figures,
+        seeds=parse_seeds(getattr(args, "seeds", "0")),
+        grid=parse_param_grid(getattr(args, "param", None)),
+    )
+    result = run_jobs(
+        jobs,
+        workers=getattr(args, "jobs", None),
+        cache=_cache_from(args),
+        progress=_progress,
+    )
+    out_dir: Path | None = getattr(args, "out_dir", None)
+    if out_dir is not None:
+        out_dir.mkdir(parents=True, exist_ok=True)
+        for outcome in result.outcomes:
+            target = out_dir / _csv_name(outcome.record, multi=True)
+            target.write_text(outcome.rows.to_csv())
+            outcome.record.rows_path = str(target)
+    manifest_path: Path | None = getattr(args, "manifest", None)
+    if manifest_path is not None:
+        manifest_path.parent.mkdir(parents=True, exist_ok=True)
+        manifest_path.write_text(result.manifest.to_json() + "\n")
+        print(f"wrote {manifest_path}", file=sys.stderr)
+    else:
+        print(result.manifest.to_json())
+    return 0
+
+
+def dispatch(args: argparse.Namespace) -> int:
+    """Execute a parsed (or hand-built) namespace.
+
+    Unlike raw ``FIGURES[args.command]``, unknown figure names get a
+    friendly error listing the available figures — this is the entry point
+    for callers that bypass ``argparse``.
+    """
+    command = getattr(args, "command", None)
+    if command == "list":
+        for name, spec in registry().items():
+            print(f"{name:12s} {spec.doc}")
+        return 0
+    try:
+        if command == "all":
+            return _run_all(args)
+        if command == "sweep":
+            return _run_sweep(args)
+        spec = get_spec(str(command))
+        return _run_figure_command(spec, args)
+    except (UnknownFigureError, ValueError) as exc:
+        print(f"repro: {exc}", file=sys.stderr)
+        return 2
 
 
 def main(argv: list[str] | None = None) -> int:
     """Entry point; returns the process exit code."""
-    args = build_parser().parse_args(argv)
-    if args.command == "list":
-        for name, fn in FIGURES.items():
-            summary = (fn.__doc__ or "").splitlines()[0]
-            print(f"{name:12s} {summary}")
-        return 0
-    if args.command == "all":
-        args.out_dir.mkdir(parents=True, exist_ok=True)
-        for name, fn in FIGURES.items():
-            rows = fn(seed=args.seed)
-            target = args.out_dir / f"{name.replace('-', '_')}.csv"
-            target.write_text(rows_to_csv(rows))
-            print(f"wrote {target} ({len(rows)} rows)")
-        return 0
-    rows = FIGURES[args.command](seed=args.seed)
-    if args.csv is not None:
-        args.csv.parent.mkdir(parents=True, exist_ok=True)
-        args.csv.write_text(rows_to_csv(rows))
-        print(f"wrote {args.csv} ({len(rows)} rows)")
-    else:
-        print(rows_to_table(rows))
-    return 0
+    return dispatch(build_parser().parse_args(argv))
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

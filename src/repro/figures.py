@@ -1,16 +1,34 @@
-"""Programmatic figure regeneration.
+"""Programmatic figure regeneration behind a declarative spec registry.
 
-Each ``fig*`` function reruns one of the paper's experiments with the same
-parameters the benchmark suite uses and returns plain rows (list of dicts)
-ready for CSV export or printing — the data behind the published plot.
-Used by the command-line interface (``python -m repro``).
+Each of the paper's artifacts is described by a :class:`FigureSpec` — name,
+one-line summary, parameter schema with defaults, and the callable that
+reruns the experiment.  Specs are the contract shared by the command-line
+interface (``python -m repro``), the parallel experiment engine
+(:mod:`repro.runner`), and the benchmark suite::
+
+    from repro.figures import registry
+
+    spec = registry()["fig5"]
+    rows = spec.run(seed=3)          # validated params, Rows result
+    print(rows.to_table())
+
+Figure functions return :class:`Rows` — a ``list`` of dicts with
+``to_csv()`` / ``to_json()`` / ``to_table()`` serialization helpers.
+
+The legacy module-level ``FIGURES`` dict and the free functions
+``rows_to_csv`` / ``rows_to_table`` still work but emit a
+``DeprecationWarning``; use :func:`registry` and the :class:`Rows` methods
+instead.
 """
 
 from __future__ import annotations
 
 import csv
 import io
-from typing import Any
+import json
+import warnings
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping
 
 from .corpus import PAPER_COUNTS, analyze_corpus, generate_corpus
 from .ebpf import paper_variants
@@ -22,28 +40,162 @@ from .mlnet import (
     run_point,
 )
 from .reflection import run_flow_scaling, run_variant_sweep
-from .simcore.units import MS, SEC
+from .simcore.units import MS
 
-Rows = list[dict[str, Any]]
+#: Render formats understood by :meth:`Rows.render` and the CLI ``--format``.
+FORMATS = ("table", "csv", "json")
+
+
+class Rows(list):
+    """A list of plain-dict rows with serialization helpers.
+
+    Subclasses ``list`` so every pre-existing consumer (CSV writers, row
+    comparisons, ``len``) keeps working unchanged.
+    """
+
+    def to_csv(self) -> str:
+        """Render as CSV text with a header row."""
+        if not self:
+            return ""
+        buffer = io.StringIO()
+        writer = csv.DictWriter(buffer, fieldnames=list(self[0].keys()))
+        writer.writeheader()
+        writer.writerows(self)
+        return buffer.getvalue()
+
+    def to_json(self, indent: int | None = None) -> str:
+        """Render as a JSON array of objects."""
+        return json.dumps(list(self), indent=indent)
+
+    def to_table(self) -> str:
+        """Render as an aligned text table."""
+        if not self:
+            return "(no data)"
+        headers = list(self[0].keys())
+        widths = [
+            max(len(str(header)), *(len(str(row[header])) for row in self))
+            for header in headers
+        ]
+        lines = [
+            "  ".join(str(h).ljust(w) for h, w in zip(headers, widths)),
+            "-" * (sum(widths) + 2 * (len(widths) - 1)),
+        ]
+        for row in self:
+            lines.append(
+                "  ".join(str(row[h]).ljust(w) for h, w in zip(headers, widths))
+            )
+        return "\n".join(lines)
+
+    def render(self, fmt: str) -> str:
+        """Render in one of :data:`FORMATS`."""
+        if fmt == "table":
+            return self.to_table()
+        if fmt == "csv":
+            return self.to_csv()
+        if fmt == "json":
+            return self.to_json(indent=2)
+        raise ValueError(
+            f"unknown format {fmt!r}; choose one of {', '.join(FORMATS)}"
+        )
+
+
+class UnknownFigureError(ValueError):
+    """Raised for a figure name not present in the registry."""
+
+    def __init__(self, name: str, available: tuple[str, ...]) -> None:
+        super().__init__(
+            f"unknown figure {name!r}; available: {', '.join(available)}"
+        )
+        self.name = name
+        self.available = available
+
+
+def parse_int_tuple(text: str) -> tuple[int, ...]:
+    """Parse ``"1,5,25"`` (or ``"1:5:25"``) into ``(1, 5, 25)``.
+
+    The ``:`` separator exists for ``--param`` grid values, where ``,``
+    already separates grid entries.
+    """
+    if isinstance(text, (tuple, list)):
+        return tuple(int(v) for v in text)
+    parts = str(text).replace(":", ",").split(",")
+    return tuple(int(part) for part in parts if part.strip())
+
+
+@dataclass(frozen=True)
+class ParamSpec:
+    """One tunable parameter of a figure experiment."""
+
+    name: str
+    default: Any
+    doc: str = ""
+    #: Parser applied to string values (CLI flags, ``--param`` grids).
+    parse: Callable[[str], Any] = int
+
+    def coerce(self, value: Any) -> Any:
+        """Convert ``value`` (possibly a string) to the parameter's type."""
+        if isinstance(value, str):
+            return self.parse(value)
+        if isinstance(self.default, tuple) and isinstance(value, list):
+            return tuple(value)
+        return value
+
+
+@dataclass(frozen=True)
+class FigureSpec:
+    """Declarative description of one reproducible figure."""
+
+    name: str
+    doc: str
+    fn: Callable[..., Rows]
+    params: tuple[ParamSpec, ...] = field(default_factory=tuple)
+
+    def defaults(self) -> dict[str, Any]:
+        """Default value for every parameter."""
+        return {p.name: p.default for p in self.params}
+
+    def resolve(self, overrides: Mapping[str, Any] | None = None) -> dict[str, Any]:
+        """Merge ``overrides`` into the defaults, rejecting unknown names."""
+        params = self.defaults()
+        for key, value in (overrides or {}).items():
+            if key not in params:
+                valid = ", ".join(p.name for p in self.params) or "(none)"
+                raise ValueError(
+                    f"figure {self.name!r} has no parameter {key!r}; "
+                    f"valid parameters: {valid}"
+                )
+            params[key] = self.param(key).coerce(value)
+        return params
+
+    def param(self, name: str) -> ParamSpec:
+        """Look up one :class:`ParamSpec` by name."""
+        for spec in self.params:
+            if spec.name == name:
+                return spec
+        raise KeyError(name)
+
+    def run(self, seed: int = 0, **overrides: Any) -> Rows:
+        """Execute the experiment with validated parameters."""
+        return self.fn(seed=seed, **self.resolve(overrides))
 
 
 def fig1(seed: int = 0) -> Rows:
     """Figure 1: term occurrences with permutations."""
     report = analyze_corpus(generate_corpus(seed=seed))
-    return [
+    return Rows(
         {
             "term_group": name,
             "occurrences": count,
             "paper": PAPER_COUNTS[name],
         }
         for name, count in sorted(report.counts.items(), key=lambda i: i[1])
-    ]
+    )
 
 
 def fig4_delay(cycles: int = 400, seed: int = 0) -> Rows:
     """Figure 4 left: delay quantiles per eBPF variant (µs)."""
     results = run_variant_sweep(paper_variants(), cycles=cycles, seed=seed)
-    rows = []
+    rows = Rows()
     for name, result in results.items():
         cdf = result.delay_cdf()
         rows.append(
@@ -66,7 +218,7 @@ def fig4_jitter(
     results = run_flow_scaling(
         paper_variants()[0], list(flow_counts), cycles=cycles, seed=seed
     )
-    rows = []
+    rows = Rows()
     for count, result in results.items():
         cdf = result.jitter_cdf()
         rows.append(
@@ -80,13 +232,15 @@ def fig4_jitter(
     return rows
 
 
-def fig5(seed: int = 0) -> Rows:
+def fig5(duration_ms: int = 3000, crash_ms: int = 1500, seed: int = 0) -> Rows:
     """Figure 5: packets per 50 ms around the switchover."""
-    result = run_fig5(duration_ns=3 * SEC, crash_ns=round(1.5 * SEC), seed=seed)
+    result = run_fig5(
+        duration_ns=duration_ms * MS, crash_ns=crash_ms * MS, seed=seed
+    )
     vplc1 = result.binned("vplc1").counts
     vplc2 = result.binned("vplc2").counts
     to_io = result.binned("to_io").counts
-    return [
+    return Rows(
         {
             "t_ms": index * 50,
             "from_vplc1": int(vplc1[index]),
@@ -94,12 +248,12 @@ def fig5(seed: int = 0) -> Rows:
             "to_io": int(to_io[index]),
         }
         for index in range(len(to_io))
-    ]
+    )
 
 
 def fig6(duration_ms: int = 400, seed: int = 0) -> Rows:
     """Figure 6: mean inference latency per app/topology/client count."""
-    rows = []
+    rows = Rows()
     for app in (OBJECT_IDENTIFICATION, DEFECT_DETECTION):
         for topology in ("ring", "leaf-spine", "ml-aware"):
             for clients in PAPER_CLIENT_COUNTS:
@@ -119,41 +273,105 @@ def fig6(duration_ms: int = 400, seed: int = 0) -> Rows:
     return rows
 
 
-FIGURES = {
-    "fig1": fig1,
-    "fig4-delay": fig4_delay,
-    "fig4-jitter": fig4_jitter,
-    "fig5": fig5,
-    "fig6": fig6,
+_SPECS: dict[str, FigureSpec] = {
+    spec.name: spec
+    for spec in (
+        FigureSpec(
+            name="fig1",
+            doc="Figure 1: term occurrences with permutations.",
+            fn=fig1,
+        ),
+        FigureSpec(
+            name="fig4-delay",
+            doc="Figure 4 left: delay quantiles per eBPF variant (µs).",
+            fn=fig4_delay,
+            params=(
+                ParamSpec("cycles", 400, "reflection cycles per variant"),
+            ),
+        ),
+        FigureSpec(
+            name="fig4-jitter",
+            doc="Figure 4 right: jitter quantiles vs concurrent flows (ns).",
+            fn=fig4_jitter,
+            params=(
+                ParamSpec(
+                    "flow_counts", (1, 5, 25),
+                    "concurrent flow counts (comma-separated)",
+                    parse=parse_int_tuple,
+                ),
+                ParamSpec("cycles", 400, "reflection cycles per flow count"),
+            ),
+        ),
+        FigureSpec(
+            name="fig5",
+            doc="Figure 5: packets per 50 ms around the switchover.",
+            fn=fig5,
+            params=(
+                ParamSpec("duration_ms", 3000, "simulated duration (ms)"),
+                ParamSpec("crash_ms", 1500, "vPLC1 crash instant (ms)"),
+            ),
+        ),
+        FigureSpec(
+            name="fig6",
+            doc="Figure 6: mean inference latency per app/topology/client count.",
+            fn=fig6,
+            params=(
+                ParamSpec("duration_ms", 400, "simulated duration (ms)"),
+            ),
+        ),
+    )
 }
 
 
-def rows_to_csv(rows: Rows) -> str:
-    """Render rows as CSV text."""
-    if not rows:
-        return ""
-    buffer = io.StringIO()
-    writer = csv.DictWriter(buffer, fieldnames=list(rows[0].keys()))
-    writer.writeheader()
-    writer.writerows(rows)
-    return buffer.getvalue()
+def registry() -> dict[str, FigureSpec]:
+    """A fresh name → :class:`FigureSpec` mapping of every known figure."""
+    return dict(_SPECS)
 
 
-def rows_to_table(rows: Rows) -> str:
-    """Render rows as an aligned text table."""
-    if not rows:
-        return "(no data)"
-    headers = list(rows[0].keys())
-    widths = [
-        max(len(str(header)), *(len(str(row[header])) for row in rows))
-        for header in headers
-    ]
-    lines = [
-        "  ".join(str(h).ljust(w) for h, w in zip(headers, widths)),
-        "-" * (sum(widths) + 2 * (len(widths) - 1)),
-    ]
-    for row in rows:
-        lines.append(
-            "  ".join(str(row[h]).ljust(w) for h, w in zip(headers, widths))
+def get_spec(name: str) -> FigureSpec:
+    """Resolve ``name``, raising :class:`UnknownFigureError` with the
+    available names on a miss."""
+    try:
+        return _SPECS[name]
+    except KeyError:
+        raise UnknownFigureError(name, tuple(_SPECS)) from None
+
+
+def run_figure(name: str, seed: int = 0, **overrides: Any) -> Rows:
+    """Validate ``name`` and parameters, then run the figure."""
+    return get_spec(name).run(seed=seed, **overrides)
+
+
+# -- deprecated aliases -------------------------------------------------------
+
+
+def __getattr__(name: str) -> Any:
+    if name == "FIGURES":
+        warnings.warn(
+            "repro.figures.FIGURES is deprecated; "
+            "use repro.figures.registry() instead",
+            DeprecationWarning,
+            stacklevel=2,
         )
-    return "\n".join(lines)
+        return {spec_name: spec.fn for spec_name, spec in _SPECS.items()}
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+def rows_to_csv(rows: list[dict[str, Any]]) -> str:
+    """Deprecated: use :meth:`Rows.to_csv`."""
+    warnings.warn(
+        "rows_to_csv is deprecated; use Rows.to_csv() instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return Rows(rows).to_csv()
+
+
+def rows_to_table(rows: list[dict[str, Any]]) -> str:
+    """Deprecated: use :meth:`Rows.to_table`."""
+    warnings.warn(
+        "rows_to_table is deprecated; use Rows.to_table() instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return Rows(rows).to_table()

@@ -1,0 +1,49 @@
+"""Parallel experiment engine with content-addressed result caching.
+
+Public API:
+
+- :func:`expand_grid` / :func:`make_job` — turn (figures × seeds × params)
+  into concrete :class:`Job` cells, validated against the
+  :class:`~repro.figures.FigureSpec` registry.
+- :func:`run_jobs` — execute jobs across a ``multiprocessing`` pool,
+  serving repeats from a :class:`ResultCache`, returning a
+  :class:`SweepResult` (rows per job + a :class:`RunManifest`).
+- :class:`ResultCache` / :func:`cache_key` — the on-disk cache.
+- :class:`RunManifest` / :class:`JobRecord` — the JSON run manifest
+  (schema :data:`MANIFEST_SCHEMA`).
+
+Example::
+
+    from repro.runner import ResultCache, expand_grid, run_jobs
+
+    jobs = expand_grid(["fig4-delay", "fig5"], seeds=[0, 1],
+                       grid={"cycles": [100, 400]})
+    result = run_jobs(jobs, workers=4, cache=ResultCache("/tmp/cache"))
+    print(result.manifest.to_json())
+"""
+
+from .cache import DEFAULT_CACHE_DIR, ResultCache, cache_key
+from .engine import (
+    Job,
+    JobOutcome,
+    SweepResult,
+    expand_grid,
+    make_job,
+    run_jobs,
+)
+from .manifest import MANIFEST_SCHEMA, JobRecord, RunManifest
+
+__all__ = [
+    "DEFAULT_CACHE_DIR",
+    "Job",
+    "JobOutcome",
+    "JobRecord",
+    "MANIFEST_SCHEMA",
+    "ResultCache",
+    "RunManifest",
+    "SweepResult",
+    "cache_key",
+    "expand_grid",
+    "make_job",
+    "run_jobs",
+]

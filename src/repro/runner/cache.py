@@ -1,0 +1,114 @@
+"""Content-addressed on-disk cache for figure results.
+
+A cache entry is keyed on the SHA-256 of the canonical JSON encoding of
+``{figure, params, seed, version}`` — so a change to the figure's
+parameters, the seed, or the package version produces a different key and
+a recomputation, while re-running an identical sweep hits the cache and
+skips the simulation entirely.
+
+Layout (two-level fan-out to keep directories small)::
+
+    <cache-dir>/
+        ab/
+            ab3f…9c.json     # {"key": …, "figure": …, "seed": …,
+                             #  "params": …, "version": …, "rows": […]}
+
+Entries are written atomically (temp file + ``os.replace``) so a crashed
+or parallel writer never leaves a truncated entry behind; readers treat
+undecodable entries as misses.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Any, Mapping
+
+from .. import __version__
+from ..figures import Rows
+
+#: Default cache location, relative to the current working directory.
+DEFAULT_CACHE_DIR = Path(".repro-cache")
+
+
+def cache_key(
+    figure: str,
+    seed: int,
+    params: Mapping[str, Any],
+    version: str = __version__,
+) -> str:
+    """The content address of one (figure, seed, params, version) cell."""
+    payload = json.dumps(
+        {
+            "figure": figure,
+            "params": {k: _canonical(v) for k, v in sorted(params.items())},
+            "seed": seed,
+            "version": version,
+        },
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def _canonical(value: Any) -> Any:
+    """JSON-stable form for param values (tuples become lists)."""
+    if isinstance(value, tuple):
+        return [_canonical(v) for v in value]
+    return value
+
+
+class ResultCache:
+    """Stores figure rows under their content address."""
+
+    def __init__(self, root: Path | str = DEFAULT_CACHE_DIR) -> None:
+        self.root = Path(root)
+
+    def _entry_path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> Rows | None:
+        """The cached rows for ``key``, or ``None`` on a miss."""
+        path = self._entry_path(key)
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            return None
+        if payload.get("key") != key:
+            return None
+        return Rows(payload["rows"])
+
+    def put(
+        self,
+        key: str,
+        rows: Rows,
+        *,
+        figure: str,
+        seed: int,
+        params: Mapping[str, Any],
+    ) -> Path:
+        """Atomically write ``rows`` under ``key``; returns the entry path."""
+        path = self._entry_path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = json.dumps(
+            {
+                "key": key,
+                "figure": figure,
+                "seed": seed,
+                "params": {k: _canonical(v) for k, v in sorted(params.items())},
+                "version": __version__,
+                "rows": list(rows),
+            }
+        )
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        tmp.write_text(payload)
+        os.replace(tmp, path)
+        return path
+
+    def __len__(self) -> int:
+        """Number of entries currently on disk."""
+        if not self.root.is_dir():
+            return 0
+        return sum(1 for _ in self.root.glob("??/*.json"))

@@ -1,0 +1,211 @@
+"""The parallel experiment engine.
+
+Expands a (figure × seed × param-grid) request into :class:`Job` cells,
+fans the uncached cells out over a ``multiprocessing`` pool, and returns a
+:class:`SweepResult` pairing each job's :class:`~repro.figures.Rows` with a
+:class:`~repro.runner.manifest.RunManifest` of cache and timing counters.
+
+Results are deterministic and independent of the worker count: every job
+is a pure function of ``(figure, seed, params, version)``, and rows are
+reassembled in job order.  Cache lookups happen *before* dispatch, so a
+warm-cache sweep performs zero figure recomputation.
+"""
+
+from __future__ import annotations
+
+import itertools
+import multiprocessing
+import os
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, Mapping, Sequence
+
+from ..figures import Rows, get_spec
+from ..simcore.stats import collect as collect_stats
+from .cache import ResultCache, cache_key
+from .manifest import JobRecord, RunManifest
+
+
+@dataclass(frozen=True)
+class Job:
+    """One (figure, seed, params) cell of a sweep.  Hashable."""
+
+    figure: str
+    seed: int
+    #: Sorted ``(name, value)`` pairs; tuples keep the job hashable.
+    params: tuple[tuple[str, Any], ...] = ()
+
+    @property
+    def params_dict(self) -> dict[str, Any]:
+        return dict(self.params)
+
+    def key(self) -> str:
+        """Content address of this cell in the result cache."""
+        return cache_key(self.figure, self.seed, self.params_dict)
+
+
+@dataclass
+class JobOutcome:
+    """A job plus its rows and manifest record."""
+
+    job: Job
+    rows: Rows
+    record: JobRecord
+
+
+@dataclass
+class SweepResult:
+    """Everything a sweep produced, in job order."""
+
+    outcomes: list[JobOutcome]
+    manifest: RunManifest
+
+    def rows_for(self, figure: str, seed: int | None = None) -> Rows:
+        """Rows of the first outcome matching ``figure`` (and ``seed``)."""
+        for outcome in self.outcomes:
+            if outcome.job.figure == figure and (
+                seed is None or outcome.job.seed == seed
+            ):
+                return outcome.rows
+        raise KeyError(f"no outcome for figure {figure!r}")
+
+
+def make_job(
+    figure: str, seed: int = 0, params: Mapping[str, Any] | None = None
+) -> Job:
+    """Validate ``figure``/``params`` against the spec and build a job."""
+    resolved = get_spec(figure).resolve(params)
+    return Job(
+        figure=figure,
+        seed=seed,
+        params=tuple(sorted(resolved.items())),
+    )
+
+
+def expand_grid(
+    figures: Sequence[str],
+    seeds: Iterable[int] = (0,),
+    grid: Mapping[str, Sequence[Any]] | None = None,
+) -> list[Job]:
+    """Expand figures × seeds × parameter grid into concrete jobs.
+
+    ``grid`` maps parameter names to lists of values.  A grid parameter is
+    applied to every selected figure that declares it; figures that do not
+    declare it run once with their defaults.  A parameter no selected
+    figure declares is an error (it would otherwise sweep nothing).
+    """
+    grid = dict(grid or {})
+    seeds = list(seeds)
+    specs = [get_spec(name) for name in figures]
+    if grid:
+        declared = {p.name for spec in specs for p in spec.params}
+        unknown = sorted(set(grid) - declared)
+        if unknown:
+            raise ValueError(
+                f"grid parameter(s) {', '.join(unknown)} not declared by any "
+                f"selected figure ({', '.join(s.name for s in specs)})"
+            )
+    jobs: list[Job] = []
+    for spec in specs:
+        names = [p.name for p in spec.params if p.name in grid]
+        values = [
+            [spec.param(name).coerce(v) for v in grid[name]] for name in names
+        ]
+        for seed in seeds:
+            for combo in itertools.product(*values) if names else [()]:
+                overrides = dict(zip(names, combo))
+                jobs.append(make_job(spec.name, seed=seed, params=overrides))
+    return jobs
+
+
+def _compute(payload: tuple[int, str, int, tuple[tuple[str, Any], ...]]):
+    """Pool worker: run one figure job and return (index, result dict)."""
+    index, figure, seed, params = payload
+    spec = get_spec(figure)
+    start = time.perf_counter()
+    with collect_stats() as stats:
+        rows = spec.run(seed=seed, **dict(params))
+    return index, {
+        "rows": list(rows),
+        "stats": stats.as_dict(),
+        "wall_time_s": time.perf_counter() - start,
+    }
+
+
+def run_jobs(
+    jobs: Sequence[Job],
+    workers: int | None = None,
+    cache: ResultCache | None = None,
+    progress: Callable[[JobRecord], None] | None = None,
+) -> SweepResult:
+    """Execute ``jobs``, serving repeats from ``cache`` when given.
+
+    ``workers`` defaults to ``os.cpu_count()``; values <= 1 (or a single
+    pending job) run inline, which keeps single-job invocations free of
+    pool overhead and easy to debug.
+    """
+    workers = workers if workers is not None else (os.cpu_count() or 1)
+    start = time.perf_counter()
+    keys = [job.key() for job in jobs]
+    outcomes: list[JobOutcome | None] = [None] * len(jobs)
+
+    pending: list[tuple[int, str, int, tuple[tuple[str, Any], ...]]] = []
+    for index, (job, key) in enumerate(zip(jobs, keys)):
+        rows = cache.get(key) if cache is not None else None
+        if rows is not None:
+            record = JobRecord(
+                figure=job.figure,
+                seed=job.seed,
+                params=job.params_dict,
+                key=key,
+                cached=True,
+                wall_time_s=0.0,
+                rows=len(rows),
+            )
+            outcomes[index] = JobOutcome(job=job, rows=rows, record=record)
+            if progress is not None:
+                progress(record)
+        else:
+            pending.append((index, job.figure, job.seed, job.params))
+
+    def _finish(index: int, result: dict[str, Any]) -> None:
+        job = jobs[index]
+        rows = Rows(result["rows"])
+        if cache is not None:
+            cache.put(
+                keys[index], rows,
+                figure=job.figure, seed=job.seed, params=job.params_dict,
+            )
+        record = JobRecord(
+            figure=job.figure,
+            seed=job.seed,
+            params=job.params_dict,
+            key=keys[index],
+            cached=False,
+            wall_time_s=result["wall_time_s"],
+            rows=len(rows),
+            stats=result["stats"],
+        )
+        outcomes[index] = JobOutcome(job=job, rows=rows, record=record)
+        if progress is not None:
+            progress(record)
+
+    if pending:
+        if min(workers, len(pending)) <= 1:
+            for payload in pending:
+                _finish(*_compute(payload))
+        else:
+            with multiprocessing.Pool(processes=workers) as pool:
+                for index, result in pool.imap_unordered(
+                    _compute, pending, chunksize=1
+                ):
+                    _finish(index, result)
+
+    done = [outcome for outcome in outcomes if outcome is not None]
+    manifest = RunManifest(
+        workers=workers,
+        cache_dir=str(cache.root) if cache is not None else None,
+        wall_time_s=time.perf_counter() - start,
+        records=[outcome.record for outcome in done],
+    )
+    return SweepResult(outcomes=done, manifest=manifest)

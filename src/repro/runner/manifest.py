@@ -1,0 +1,106 @@
+"""Machine-readable run manifest for experiment sweeps.
+
+Every :func:`repro.runner.run_jobs` call produces a :class:`RunManifest`
+summarizing what ran, what was served from cache, and what it cost.  The
+JSON schema (``repro.runner/manifest/v1``)::
+
+    {
+      "schema": "repro.runner/manifest/v1",
+      "version": "1.1.0",            // repro package version
+      "workers": 4,                  // pool size used
+      "cache_dir": ".repro-cache",   // null when caching was disabled
+      "cache_hits": 3,
+      "cache_misses": 5,
+      "wall_time_s": 12.81,          // whole-sweep wall clock
+      "jobs": [
+        {
+          "figure": "fig5",
+          "seed": 0,
+          "params": {"duration_ms": 3000, "crash_ms": 1500},
+          "key": "ab3f…9c",          // content address in the cache
+          "cached": false,
+          "wall_time_s": 0.52,       // 0.0 for cache hits
+          "rows": 60,
+          "stats": {                 // Simulator.stats totals; null if cached
+            "simulators": 1,
+            "events_scheduled": 241035,
+            "events_executed": 240911,
+            "processes_started": 12,
+            "sim_time_ns": 3000000000
+          },
+          "rows_path": "results/fig5.csv"   // when the caller exported rows
+        }
+      ]
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any
+
+from .. import __version__
+
+MANIFEST_SCHEMA = "repro.runner/manifest/v1"
+
+
+@dataclass
+class JobRecord:
+    """One (figure, seed, params) cell of a sweep."""
+
+    figure: str
+    seed: int
+    params: dict[str, Any]
+    key: str
+    cached: bool
+    wall_time_s: float
+    rows: int
+    stats: dict[str, int] | None = None
+    rows_path: str | None = None
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "figure": self.figure,
+            "seed": self.seed,
+            "params": self.params,
+            "key": self.key,
+            "cached": self.cached,
+            "wall_time_s": round(self.wall_time_s, 6),
+            "rows": self.rows,
+            "stats": self.stats,
+            "rows_path": self.rows_path,
+        }
+
+
+@dataclass
+class RunManifest:
+    """Summary of one sweep: job records plus cache/timing counters."""
+
+    workers: int
+    cache_dir: str | None
+    wall_time_s: float = 0.0
+    records: list[JobRecord] = field(default_factory=list)
+
+    @property
+    def cache_hits(self) -> int:
+        return sum(1 for record in self.records if record.cached)
+
+    @property
+    def cache_misses(self) -> int:
+        return sum(1 for record in self.records if not record.cached)
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "schema": MANIFEST_SCHEMA,
+            "version": __version__,
+            "workers": self.workers,
+            "cache_dir": self.cache_dir,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "wall_time_s": round(self.wall_time_s, 6),
+            "jobs": [record.as_dict() for record in self.records],
+        }
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return json.dumps(self.as_dict(), indent=indent)

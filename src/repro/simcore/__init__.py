@@ -7,6 +7,8 @@ Public API:
 - :class:`EventQueue` / :class:`Event` — the underlying queue.
 - :class:`RandomStreams` — named, independent random streams.
 - :class:`Clock`, :class:`PtpSyncModel`, :func:`tap_clock` — clock models.
+- :class:`SimStats` / :func:`collect_stats` — event-loop counters and a
+  context manager aggregating them across simulators.
 - :mod:`repro.simcore.units` — ``NS``/``US``/``MS``/``SEC`` constants.
 """
 
@@ -20,6 +22,7 @@ from .events import (
 )
 from .rng import RandomStreams
 from .simulator import Process, Signal, SimulationError, Simulator, every
+from .stats import SimStats, collect as collect_stats
 from .units import HOUR, MINUTE, MS, NS, SEC, US
 
 __all__ = [
@@ -38,9 +41,11 @@ __all__ = [
     "RandomStreams",
     "SEC",
     "Signal",
+    "SimStats",
     "SimulationError",
     "Simulator",
     "US",
+    "collect_stats",
     "every",
     "tap_clock",
 ]

@@ -18,6 +18,7 @@ from typing import Any, Callable, Generator, Iterable
 
 from .events import Event, EventQueue, PRIORITY_NORMAL
 from .rng import RandomStreams
+from .stats import SimStats, _register
 
 
 class SimulationError(RuntimeError):
@@ -134,6 +135,10 @@ class Simulator:
         self.streams = RandomStreams(seed=seed)
         self._running = False
         self._trace_hooks: list[Callable[[int, str], None]] = []
+        #: Event-loop counters; aggregated across simulators by
+        #: :func:`repro.simcore.stats.collect`.
+        self.stats = SimStats(simulators=1)
+        _register(self)
 
     @property
     def now(self) -> int:
@@ -151,6 +156,7 @@ class Simulator:
         """Run ``callback`` after ``delay`` nanoseconds."""
         if delay < 0:
             raise SimulationError(f"negative delay {delay}")
+        self.stats.events_scheduled += 1
         return self._queue.push(self._now + delay, callback, priority)
 
     def schedule_at(
@@ -164,12 +170,14 @@ class Simulator:
             raise SimulationError(
                 f"cannot schedule at {time}, current time is {self._now}"
             )
+        self.stats.events_scheduled += 1
         return self._queue.push(time, callback, priority)
 
     def process(
         self, generator: Generator[Any, Any, Any], name: str = ""
     ) -> Process:
         """Wrap ``generator`` as a :class:`Process` and start it."""
+        self.stats.processes_started += 1
         return Process(self, generator, name=name).start()
 
     def signal(self, name: str = "") -> Signal:
@@ -201,11 +209,13 @@ class Simulator:
                     break
                 event = self._queue.pop()
                 self._now = event.time
+                self.stats.events_executed += 1
                 event.callback()
             if until is not None:
                 self._now = max(self._now, until)
         finally:
             self._running = False
+            self.stats.sim_time_ns = self._now
         return self._now
 
     def step(self) -> bool:
@@ -215,6 +225,8 @@ class Simulator:
         except IndexError:
             return False
         self._now = event.time
+        self.stats.events_executed += 1
+        self.stats.sim_time_ns = self._now
         event.callback()
         return True
 

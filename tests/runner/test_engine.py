@@ -1,0 +1,155 @@
+"""The parallel experiment engine: grid expansion, determinism, caching."""
+
+import json
+
+import pytest
+
+from repro.runner import (
+    MANIFEST_SCHEMA,
+    ResultCache,
+    expand_grid,
+    make_job,
+    run_jobs,
+)
+
+#: A cheap two-figure workload used throughout (sub-second per job).
+CHEAP_FIGURES = ["fig1", "fig4-delay"]
+CHEAP_GRID = {"cycles": [30]}
+
+
+class TestGridExpansion:
+    def test_figures_times_seeds(self):
+        jobs = expand_grid(["fig1", "fig5"], seeds=[0, 1, 2])
+        assert len(jobs) == 6
+        assert {(j.figure, j.seed) for j in jobs} == {
+            (f, s) for f in ("fig1", "fig5") for s in (0, 1, 2)
+        }
+
+    def test_grid_applies_only_to_declaring_figures(self):
+        jobs = expand_grid(
+            ["fig1", "fig4-delay"], seeds=[0], grid={"cycles": [100, 200]}
+        )
+        by_figure = {}
+        for job in jobs:
+            by_figure.setdefault(job.figure, []).append(job)
+        assert len(by_figure["fig1"]) == 1  # fig1 has no 'cycles' param
+        assert len(by_figure["fig4-delay"]) == 2
+        assert {j.params_dict["cycles"] for j in by_figure["fig4-delay"]} == {
+            100, 200,
+        }
+
+    def test_cartesian_product_of_grid_params(self):
+        jobs = expand_grid(
+            ["fig4-jitter"], seeds=[0, 1],
+            grid={"cycles": [30, 60], "flow_counts": ["1:5", "1:25"]},
+        )
+        assert len(jobs) == 8  # 2 seeds x 2 cycles x 2 flow tuples
+        assert {j.params_dict["flow_counts"] for j in jobs} == {
+            (1, 5), (1, 25),
+        }
+
+    def test_unknown_grid_param_rejected(self):
+        with pytest.raises(ValueError, match="nonsense"):
+            expand_grid(["fig1"], grid={"nonsense": [1]})
+
+    def test_unknown_figure_rejected_with_available_names(self):
+        with pytest.raises(ValueError, match="fig5"):
+            expand_grid(["fig9"])
+
+    def test_make_job_validates_params(self):
+        job = make_job("fig4-delay", seed=2, params={"cycles": "30"})
+        assert job.params_dict == {"cycles": 30}
+        with pytest.raises(ValueError, match="cycles"):
+            make_job("fig4-delay", params={"cylces": 30})
+
+    def test_jobs_are_hashable_and_content_addressed(self):
+        a = make_job("fig4-delay", params={"cycles": 30})
+        b = make_job("fig4-delay", params={"cycles": 30})
+        assert a == b and hash(a) == hash(b)
+        assert a.key() == b.key()
+        assert a.key() != make_job("fig4-delay", params={"cycles": 31}).key()
+
+
+class TestRunJobs:
+    def test_results_independent_of_worker_count(self):
+        jobs = expand_grid(CHEAP_FIGURES, seeds=[0], grid=CHEAP_GRID)
+        serial = run_jobs(jobs, workers=1)
+        parallel = run_jobs(jobs, workers=2)
+        for left, right in zip(serial.outcomes, parallel.outcomes):
+            assert left.job == right.job
+            assert left.rows == right.rows
+            assert left.rows.to_csv() == right.rows.to_csv()
+
+    def test_outcomes_preserve_job_order(self):
+        jobs = expand_grid(CHEAP_FIGURES, seeds=[0, 1], grid=CHEAP_GRID)
+        result = run_jobs(jobs, workers=2)
+        assert [outcome.job for outcome in result.outcomes] == list(jobs)
+
+    def test_stats_collected_per_job(self):
+        jobs = [make_job("fig4-delay", params={"cycles": 30})]
+        result = run_jobs(jobs, workers=1)
+        stats = result.outcomes[0].record.stats
+        assert stats is not None
+        assert stats["events_executed"] > 0
+        assert stats["simulators"] >= 1
+        assert stats["sim_time_ns"] > 0
+
+    def test_cold_then_warm_cache(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        jobs = expand_grid(CHEAP_FIGURES, seeds=[0], grid=CHEAP_GRID)
+
+        cold = run_jobs(jobs, workers=1, cache=cache)
+        assert cold.manifest.cache_hits == 0
+        assert cold.manifest.cache_misses == len(jobs)
+
+        warm = run_jobs(jobs, workers=1, cache=cache)
+        assert warm.manifest.cache_hits == len(jobs)
+        assert warm.manifest.cache_misses == 0
+        # Zero recomputation: cached records carry no simulator stats.
+        assert all(r.cached and r.stats is None for r in warm.manifest.records)
+        for a, b in zip(cold.outcomes, warm.outcomes):
+            assert a.rows.to_csv() == b.rows.to_csv()
+
+    def test_changed_seed_misses_cache(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        run_jobs([make_job("fig1", seed=0)], workers=1, cache=cache)
+        result = run_jobs([make_job("fig1", seed=1)], workers=1, cache=cache)
+        assert result.manifest.cache_misses == 1
+
+    def test_no_cache_recomputes(self, tmp_path):
+        jobs = [make_job("fig1")]
+        first = run_jobs(jobs, workers=1)
+        second = run_jobs(jobs, workers=1)
+        assert not first.manifest.records[0].cached
+        assert not second.manifest.records[0].cached
+
+    def test_progress_callback_sees_every_job(self):
+        seen = []
+        jobs = expand_grid(["fig1"], seeds=[0, 1])
+        run_jobs(jobs, workers=1, progress=seen.append)
+        assert {(r.figure, r.seed) for r in seen} == {("fig1", 0), ("fig1", 1)}
+
+    def test_rows_for_lookup(self):
+        result = run_jobs(expand_grid(["fig1"], seeds=[0, 1]), workers=1)
+        assert result.rows_for("fig1", seed=1)
+        with pytest.raises(KeyError):
+            result.rows_for("fig5")
+
+
+class TestManifest:
+    def test_manifest_json_schema(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        jobs = [make_job("fig4-delay", params={"cycles": 30})]
+        result = run_jobs(jobs, workers=1, cache=cache)
+        payload = json.loads(result.manifest.to_json())
+        assert payload["schema"] == MANIFEST_SCHEMA
+        assert payload["workers"] == 1
+        assert payload["cache_dir"] == str(tmp_path / "cache")
+        assert payload["cache_hits"] == 0
+        assert payload["cache_misses"] == 1
+        assert payload["wall_time_s"] > 0
+        (job,) = payload["jobs"]
+        assert job["figure"] == "fig4-delay"
+        assert job["params"] == {"cycles": 30}
+        assert len(job["key"]) == 64
+        assert job["stats"]["events_executed"] > 0
