@@ -1,0 +1,94 @@
+"""E-obs — cost of the observability layer on the event loop.
+
+The design claim: with no capture scope open every observability call
+site degrades to a no-op (null registry / null tracer / one local
+``profiler is None`` check per event), so the disabled layer costs the
+event loop only a few percent.  Profiling is the expensive opt-in — it
+wraps every callback in two ``perf_counter_ns`` reads.
+
+The table reports event-loop throughput in three configurations:
+
+- **off** — no capture scope (the default for every figure run);
+- **capture** — metrics + tracing live (``obs.capture()``), which adds a
+  per-``run()`` span but nothing per event;
+- **profile** — ``obs.capture(profile=True)``, paying per-event timing.
+
+Thresholds are deliberately loose (this is a report, not a gate): the
+meaningful regression signal is the off-vs-capture gap, which must stay
+small because neither configuration touches the per-event fast path.
+"""
+
+import time
+
+from conftest import print_table
+
+from repro import obs
+from repro.simcore import Simulator
+
+#: Events per measured run: large enough to dominate setup, small enough
+#: to keep the whole benchmark under a few seconds.
+EVENTS = 200_000
+ROUNDS = 3
+
+
+def _pump(events: int) -> Simulator:
+    """Drain ``events`` self-rescheduling callbacks through one simulator."""
+    sim = Simulator()
+    remaining = [events]
+
+    def tick() -> None:
+        remaining[0] -= 1
+        if remaining[0]:
+            sim.schedule(1, tick)
+
+    sim.schedule(1, tick)
+    sim.run()
+    assert sim.stats.events_executed == events
+    return sim
+
+
+def _best_of(fn, rounds: int = ROUNDS) -> float:
+    best = float("inf")
+    for _ in range(rounds):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def test_bench_obs_overhead(benchmark):
+    off_s = benchmark.pedantic(
+        lambda: _best_of(lambda: _pump(EVENTS)), rounds=1, iterations=1
+    )
+
+    def capture_run():
+        with obs.capture():
+            _pump(EVENTS)
+
+    def profile_run():
+        with obs.capture(profile=True) as cap:
+            _pump(EVENTS)
+        assert sum(s.calls for s in cap.profiler.hotspots()) == EVENTS
+
+    capture_s = _best_of(capture_run)
+    profile_s = _best_of(profile_run)
+
+    rows = [
+        ["off", f"{off_s * 1e3:.1f}", f"{EVENTS / off_s / 1e6:.2f}", "1.00x"],
+        ["capture", f"{capture_s * 1e3:.1f}",
+         f"{EVENTS / capture_s / 1e6:.2f}", f"{capture_s / off_s:.2f}x"],
+        ["profile", f"{profile_s * 1e3:.1f}",
+         f"{EVENTS / profile_s / 1e6:.2f}", f"{profile_s / off_s:.2f}x"],
+    ]
+    print_table(
+        "Observability — event-loop overhead "
+        f"({EVENTS} events, best of {ROUNDS})",
+        ["config", "wall ms", "Mevents/s", "vs off"],
+        rows,
+    )
+
+    # Neither disabled nor metrics+tracing capture touches the per-event
+    # path; allow generous noise headroom so the report never flakes CI.
+    assert capture_s / off_s < 1.5
+    # Profiling pays two clock reads per event; it must still be usable.
+    assert profile_s / off_s < 10.0

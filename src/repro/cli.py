@@ -14,6 +14,17 @@ Usage::
 result cache (``--cache-dir``, default ``.repro-cache``; disable with
 ``--no-cache``).  ``sweep`` prints a JSON run manifest (see
 :mod:`repro.runner.manifest`) to stdout, with per-job progress on stderr.
+
+Observability (see :mod:`repro.obs`)::
+
+    python -m repro sweep --profile --trace-out traces/ fig5 \\
+        --manifest manifest.json
+    python -m repro obs manifest.json --top 10
+
+``--trace-out DIR`` writes one Chrome trace-event JSON per computed job
+(load in Perfetto or ``chrome://tracing``); ``--profile`` times every
+simulator event callback.  Both embed metrics snapshots in the manifest,
+which ``repro obs`` renders as a metrics / hot-spot summary.
 """
 
 from __future__ import annotations
@@ -31,10 +42,12 @@ from .figures import (
     get_spec,
     registry,
 )
+from .obs import hotspot_table
 from .runner import (
     DEFAULT_CACHE_DIR,
     JobRecord,
     ResultCache,
+    RunManifest,
     expand_grid,
     run_jobs,
 )
@@ -106,8 +119,12 @@ def build_parser() -> argparse.ArgumentParser:
         "sweep", help="run a (figure x seed x param) grid in parallel"
     )
     sub.add_argument(
+        "figures", nargs="*", default=[], metavar="FIGURE",
+        help="figures to sweep (default: all figures)",
+    )
+    sub.add_argument(
         "--figure", action="append", default=None, metavar="NAME",
-        help="figure to sweep (repeatable; default: all figures)",
+        help="figure to sweep (repeatable; same as the positional form)",
     )
     sub.add_argument(
         "--seeds", default="0", metavar="LIST",
@@ -128,7 +145,33 @@ def build_parser() -> argparse.ArgumentParser:
         "--manifest", type=Path, default=None,
         help="write the JSON run manifest here instead of stdout",
     )
+    sub.add_argument(
+        "--trace-out", type=Path, default=None, metavar="DIR",
+        help=(
+            "enable span tracing and write one Chrome trace-event JSON "
+            "(plus JSONL) per computed job into DIR"
+        ),
+    )
+    sub.add_argument(
+        "--profile", action="store_true",
+        help=(
+            "time every simulator event callback and attach per-job "
+            "hot-spot tables to the manifest"
+        ),
+    )
     _add_cache_args(sub)
+
+    sub = subparsers.add_parser(
+        "obs", help="render the observability summary of a run manifest"
+    )
+    sub.add_argument(
+        "manifest_path", type=Path, metavar="MANIFEST",
+        help="manifest JSON written by 'repro sweep' or 'repro all'",
+    )
+    sub.add_argument(
+        "--top", type=int, default=10, metavar="N",
+        help="hot-spot rows to show per job (default: 10)",
+    )
     return parser
 
 
@@ -229,7 +272,14 @@ def _run_all(args: argparse.Namespace) -> int:
 
 
 def _run_sweep(args: argparse.Namespace) -> int:
-    figures = getattr(args, "figure", None) or list(registry())
+    figures = list(getattr(args, "figures", None) or [])
+    figures += [
+        name
+        for name in getattr(args, "figure", None) or []
+        if name not in figures
+    ]
+    if not figures:
+        figures = list(registry())
     jobs = expand_grid(
         figures,
         seeds=parse_seeds(getattr(args, "seeds", "0")),
@@ -240,6 +290,8 @@ def _run_sweep(args: argparse.Namespace) -> int:
         workers=getattr(args, "jobs", None),
         cache=_cache_from(args),
         progress=_progress,
+        trace_dir=getattr(args, "trace_out", None),
+        profile=getattr(args, "profile", False),
     )
     out_dir: Path | None = getattr(args, "out_dir", None)
     if out_dir is not None:
@@ -255,6 +307,75 @@ def _run_sweep(args: argparse.Namespace) -> int:
         print(f"wrote {manifest_path}", file=sys.stderr)
     else:
         print(result.manifest.to_json())
+    return 0
+
+
+def _format_ns(value: float | None) -> str:
+    if value is None:
+        return "-"
+    if value >= 1e6:
+        return f"{value / 1e6:.2f}ms"
+    if value >= 1e3:
+        return f"{value / 1e3:.2f}us"
+    return f"{value:.0f}ns"
+
+
+def _job_label(record: JobRecord) -> str:
+    parts = [record.figure, f"seed={record.seed}"]
+    parts += [f"{k}={v}" for k, v in record.params.items()]
+    return " ".join(parts)
+
+
+def _run_obs(args: argparse.Namespace) -> int:
+    path: Path = args.manifest_path
+    try:
+        manifest = RunManifest.load(path)
+    except OSError as exc:
+        raise ValueError(f"cannot read manifest {path}: {exc}") from None
+    top: int = getattr(args, "top", 10)
+    observed = [record for record in manifest.records if record.metrics]
+    print(
+        f"{path}: {len(manifest.records)} job(s), "
+        f"{len(observed)} with observability data"
+    )
+    if not observed:
+        print(
+            "  (no metrics in this manifest; rerun the sweep with "
+            "--trace-out and/or --profile)"
+        )
+        return 0
+    for record in observed:
+        print(f"\n{_job_label(record)}  [{record.wall_time_s:.2f}s]")
+        if record.trace_path:
+            print(f"  trace: {record.trace_path}")
+        metrics = record.metrics or {}
+        counters = metrics.get("counters") or {}
+        gauges = metrics.get("gauges") or {}
+        histograms = metrics.get("histograms") or {}
+        if counters:
+            print("  counters:")
+            for key in sorted(counters):
+                print(f"    {key} = {counters[key]}")
+        if gauges:
+            print("  gauges:")
+            for key in sorted(gauges):
+                print(f"    {key} = {gauges[key]}")
+        if histograms:
+            print("  histograms:")
+            for key in sorted(histograms):
+                h = histograms[key]
+                count = h.get("count", 0)
+                mean = (h.get("sum", 0) / count) if count else 0.0
+                print(
+                    f"    {key}  count={count} "
+                    f"mean={_format_ns(mean)} "
+                    f"min={_format_ns(h.get('min'))} "
+                    f"max={_format_ns(h.get('max'))}"
+                )
+        if record.hotspots:
+            print("  hot spots:")
+            for line in hotspot_table(record.hotspots, top=top).splitlines():
+                print(f"    {line}")
     return 0
 
 
@@ -275,6 +396,8 @@ def dispatch(args: argparse.Namespace) -> int:
             return _run_all(args)
         if command == "sweep":
             return _run_sweep(args)
+        if command == "obs":
+            return _run_obs(args)
         spec = get_spec(str(command))
         return _run_figure_command(spec, args)
     except (UnknownFigureError, ValueError) as exc:

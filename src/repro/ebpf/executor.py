@@ -12,6 +12,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..obs import get_registry
 from .contention import CacheContentionModel
 from .program import XdpProgram
 
@@ -25,6 +26,11 @@ class ExecutionEnvironment:
     cache_model: CacheContentionModel = CacheContentionModel()
     #: extra multiplicative widening of *contended* op variance per flow
     contention_slope: float = 0.05
+
+    def __post_init__(self) -> None:
+        self._m_exec_ns = get_registry().histogram(
+            "ebpf.exec_ns", flows=self.active_flows
+        )
 
     def contention_scale(self) -> float:
         """Variance multiplier applied to memory-touching operations."""
@@ -40,6 +46,7 @@ class ExecutionEnvironment:
                 self.rng, contention_scale=scale
             )
         total += self.cache_model.sample_ns(self.active_flows, self.rng)
+        self._m_exec_ns.observe(total)
         return total
 
     def execute_many_ns(self, program: XdpProgram, count: int) -> np.ndarray:

@@ -39,6 +39,7 @@ from .mlnet import (
     PAPER_CLIENT_COUNTS,
     run_point,
 )
+from .obs import get_tracer
 from .reflection import run_flow_scaling, run_variant_sweep
 from .simcore.units import MS
 
@@ -176,7 +177,11 @@ class FigureSpec:
 
     def run(self, seed: int = 0, **overrides: Any) -> Rows:
         """Execute the experiment with validated parameters."""
-        return self.fn(seed=seed, **self.resolve(overrides))
+        params = self.resolve(overrides)
+        with get_tracer().span(
+            "figure.run", figure=self.name, seed=seed, **params
+        ):
+            return self.fn(seed=seed, **params)
 
 
 def fig1(seed: int = 0) -> Rows:

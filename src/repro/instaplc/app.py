@@ -22,6 +22,7 @@ from typing import Any
 
 from ..fieldbus import protocol
 from ..net.packet import Packet
+from ..obs import get_registry, get_tracer
 from ..p4.pipeline import MatchKind, PacketContext, Register, Table
 from ..p4.switch import P4Switch
 from ..simcore import Simulator
@@ -80,6 +81,13 @@ class InstaPlcApp:
         self.monitor_granularity_divisor = monitor_granularity_divisor
         self.bindings: dict[str, DeviceBinding] = {}
         self._next_index = 0
+        registry = get_registry()
+        self._m_switchovers = registry.counter(
+            "instaplc.switchovers", switch=switch.name
+        )
+        self._m_stall_ns = registry.histogram(
+            "instaplc.switchover.stall_ns", switch=switch.name
+        )
         self._build_pipeline()
         switch.on_digest(self._on_digest)
 
@@ -395,6 +403,18 @@ class InstaPlcApp:
             detected_ns=self.sim.now,
         )
         binding.switchovers.append(event)
+        # The switchover *window*: last observed primary activity to the
+        # data-plane table rewrite, rendered on the trace's sim-time track.
+        self._m_switchovers.inc()
+        self._m_stall_ns.observe(self.sim.now - binding.last_change_ns)
+        get_tracer().sim_span(
+            "instaplc.switchover",
+            start_ns=binding.last_change_ns,
+            end_ns=self.sim.now,
+            device=device,
+            old_primary=old_primary,
+            new_primary=new_primary,
+        )
 
         # Secondary becomes the sender toward the device, keeping the
         # original controller identity on the wire.

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from typing import Callable
 
+from ..obs import get_registry
 from ..simcore import Simulator
 from .device import Device
 from .link import Port
@@ -30,6 +31,9 @@ class Host(Device):
         self.record_received = False
         self.rx_count = 0
         self.tx_count = 0
+        registry = get_registry()
+        self._m_rx = registry.counter("net.host.frames", host=name, direction="rx")
+        self._m_tx = registry.counter("net.host.frames", host=name, direction="tx")
 
     def on_receive(self, handler: ReceiveHandler) -> None:
         """Register a handler for every frame addressed to this host."""
@@ -45,6 +49,7 @@ class Host(Device):
             # without promiscuous mode.
             return
         self.rx_count += 1
+        self._m_rx.inc()
         if self.record_received:
             self.received.append(packet)
         for handler in self._handlers:
@@ -76,6 +81,7 @@ class Host(Device):
             sequence=sequence,
         )
         self.tx_count += 1
+        self._m_tx.inc()
         self.ports[self._egress_port_for(dst, port_index)].send(packet)
         return packet
 

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Callable, Optional
 
+from ..obs import get_registry
 from ..simcore import Simulator
 from .packet import Packet
 from .queues import QueueDiscipline, StrictPriorityQueue
@@ -51,6 +52,9 @@ class Port:
         self.tx_bytes = 0
         self.rx_bytes = 0
         self.egress_drops = 0
+        # One shared per-frame serialization-time histogram across all
+        # ports (ns buckets); null and free when observability is off.
+        self._m_tx_ns = get_registry().histogram("net.port.tx_ns")
 
     @property
     def name(self) -> str:
@@ -93,6 +97,7 @@ class Port:
                 return
         self._transmitting = True
         tx_ns = packet.serialization_time_ns(self.link.bandwidth_bps)
+        self._m_tx_ns.observe(tx_ns)
         self.sim.schedule(tx_ns, lambda: self._finish_transmit(packet))
 
     def _finish_transmit(self, packet: Packet) -> None:

@@ -15,6 +15,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Iterable, Protocol
 
+from ..obs import get_registry
 from .packet import Packet
 
 
@@ -42,10 +43,13 @@ class FifoQueue:
         self.capacity = capacity
         self._queue: deque[Packet] = deque()
         self.drops = 0
+        # Queues carry no identity, so drops aggregate per discipline kind.
+        self._m_drops = get_registry().counter("net.queue.drops", kind="fifo")
 
     def enqueue(self, packet: Packet) -> bool:
         if len(self._queue) >= self.capacity:
             self.drops += 1
+            self._m_drops.inc()
             return False
         self._queue.append(packet)
         return True
@@ -76,12 +80,16 @@ class StrictPriorityQueue:
             deque() for _ in range(self.PCP_LEVELS)
         ]
         self.drops = 0
+        self._m_drops = get_registry().counter(
+            "net.queue.drops", kind="strict_priority"
+        )
 
     def enqueue(self, packet: Packet) -> bool:
         pcp = packet.traffic_class.pcp
         queue = self._queues[pcp]
         if len(queue) >= self.capacity_per_class:
             self.drops += 1
+            self._m_drops.inc()
             return False
         queue.append(packet)
         return True

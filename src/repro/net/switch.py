@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from typing import Callable
 
+from ..obs import get_registry
 from ..simcore import Simulator
 from .device import Device
 from .link import Port
@@ -43,6 +44,16 @@ class Switch(Device):
         self.filtered_frames = 0
         #: observers called on every received frame (monitoring hooks)
         self.taps: list[Callable[[Packet, Port], None]] = []
+        registry = get_registry()
+        self._m_forwarded = registry.counter(
+            "net.switch.frames", switch=name, outcome="forwarded"
+        )
+        self._m_flooded = registry.counter(
+            "net.switch.frames", switch=name, outcome="flooded"
+        )
+        self._m_filtered = registry.counter(
+            "net.switch.frames", switch=name, outcome="filtered"
+        )
 
     def add_port(self, queue: QueueDiscipline | None = None) -> Port:
         """Attach a port, defaulting to this switch's queue factory."""
@@ -81,12 +92,15 @@ class Switch(Device):
             # Destination is back where the frame came from: filter it, as a
             # real bridge would.
             self.filtered_frames += 1
+            self._m_filtered.inc()
             return
         self.forwarded_frames += 1
+        self._m_forwarded.inc()
         self.ports[out_index].send(packet)
 
     def _flood(self, packet: Packet, in_port: Port) -> None:
         self.flooded_frames += 1
+        self._m_flooded.inc()
         for port in self.ports:
             if port.index != in_port.index and port.link is not None:
                 port.send(packet.copy_for_replication())

@@ -56,6 +56,9 @@ class PacketTracer:
         self.max_records = max_records
         self.records: list[TraceRecord] = []
         self.dropped_records = 0
+        #: (flow_id, point) -> records in capture order; maintained on
+        #: capture so latency queries never rescan the whole trace.
+        self._by_flow_point: dict[tuple[str, str], list[TraceRecord]] = {}
 
     # -- capture ---------------------------------------------------------------
 
@@ -63,20 +66,25 @@ class PacketTracer:
         if len(self.records) >= self.max_records:
             self.dropped_records += 1
             return
-        self.records.append(
-            TraceRecord(
-                time_ns=self.sim.now,
-                point=point,
-                direction=direction,
-                src=packet.src,
-                dst=packet.dst,
-                flow_id=packet.flow_id,
-                sequence=packet.sequence,
-                payload_bytes=packet.payload_bytes,
-                traffic_class=packet.traffic_class.name,
-                packet_id=packet.packet_id,
-            )
+        record = TraceRecord(
+            time_ns=self.sim.now,
+            point=point,
+            direction=direction,
+            src=packet.src,
+            dst=packet.dst,
+            flow_id=packet.flow_id,
+            sequence=packet.sequence,
+            payload_bytes=packet.payload_bytes,
+            traffic_class=packet.traffic_class.name,
+            packet_id=packet.packet_id,
         )
+        self.records.append(record)
+        key = (record.flow_id, point)
+        bucket = self._by_flow_point.get(key)
+        if bucket is None:
+            self._by_flow_point[key] = [record]
+        else:
+            bucket.append(record)
 
     def attach_switch(self, switch: Switch) -> None:
         """Observe every frame a switch receives."""
@@ -118,27 +126,30 @@ class PacketTracer:
     def flow_latencies_ns(
         self, flow_id: str, from_point: str, to_point: str
     ) -> list[int]:
-        """One-way latency per sequence number between two points."""
+        """One-way latency per sequence number between two points.
+
+        Served from the per-``(flow, point)`` capture index, so the cost is
+        proportional to the two observation points' record counts, not the
+        whole trace.
+        """
         first: dict[int, int] = {}
-        for record in self.records:
-            if record.flow_id != flow_id or record.point != from_point:
-                continue
+        for record in self._by_flow_point.get((flow_id, from_point), ()):
             first.setdefault(record.sequence, record.time_ns)
         latencies = []
         seen: set[int] = set()
-        for record in self.records:
-            if (
-                record.flow_id == flow_id
-                and record.point == to_point
-                and record.sequence in first
-                and record.sequence not in seen
-            ):
+        for record in self._by_flow_point.get((flow_id, to_point), ()):
+            if record.sequence in first and record.sequence not in seen:
                 seen.add(record.sequence)
                 latencies.append(record.time_ns - first[record.sequence])
         return latencies
 
     def summary(self) -> dict[str, dict[str, int]]:
-        """Per-flow record and byte counts."""
+        """Per-flow record and byte counts.
+
+        When the capture cap truncated the trace, an extra ``"(dropped)"``
+        entry reports how many records were lost — a silently clipped trace
+        is otherwise indistinguishable from a quiet network.
+        """
         table: dict[str, dict[str, int]] = {}
         for record in self.records:
             entry = table.setdefault(
@@ -146,6 +157,8 @@ class PacketTracer:
             )
             entry["records"] += 1
             entry["bytes"] += record.payload_bytes
+        if self.dropped_records:
+            table["(dropped)"] = {"records": self.dropped_records, "bytes": 0}
         return table
 
     # -- persistence ---------------------------------------------------------------
@@ -172,4 +185,5 @@ class PacketTracer:
     def clear(self) -> None:
         """Drop everything captured so far."""
         self.records.clear()
+        self._by_flow_point.clear()
         self.dropped_records = 0

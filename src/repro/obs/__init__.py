@@ -1,0 +1,67 @@
+"""Unified observability: metrics registry, span tracing, profiling hooks.
+
+Three facets, one activation model:
+
+- **Metrics** — labelled :class:`Counter` / :class:`Gauge` /
+  :class:`Histogram` instruments in a :class:`MetricsRegistry`
+  (:mod:`repro.obs.metrics`).
+- **Tracing** — a :class:`Tracer` of spans and instants, exportable as
+  Chrome trace-event JSON (Perfetto / ``chrome://tracing``) and JSONL
+  (:mod:`repro.obs.tracing`).
+- **Profiling** — opt-in per-event-callback wall-time attribution in the
+  simulator event loop, aggregated into a hot-spot table
+  (:mod:`repro.obs.profiling`).
+
+Everything is off by default and scoped with :func:`capture`
+(:mod:`repro.obs.runtime`); disabled call sites reduce to no-ops.  The
+experiment runner activates a capture per job when asked
+(``repro sweep --profile --trace-out DIR``) and embeds the snapshots in the
+run manifest; ``repro obs manifest.json`` renders them back.
+"""
+
+from .metrics import (
+    DEFAULT_NS_EDGES,
+    NULL_REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+    fixed_width_edges,
+)
+from .profiling import HotSpot, Profiler, callback_name, hotspot_table
+from .runtime import (
+    ObsCapture,
+    capture,
+    enabled,
+    get_registry,
+    get_tracer,
+    profiler_for_new_sim,
+)
+from .tracing import NULL_TRACER, NullTracer, SIM_TRACK, Span, Tracer
+
+__all__ = [
+    "DEFAULT_NS_EDGES",
+    "NULL_REGISTRY",
+    "NULL_TRACER",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "HotSpot",
+    "MetricsRegistry",
+    "NullRegistry",
+    "NullTracer",
+    "ObsCapture",
+    "Profiler",
+    "SIM_TRACK",
+    "Span",
+    "Tracer",
+    "callback_name",
+    "capture",
+    "enabled",
+    "fixed_width_edges",
+    "get_registry",
+    "get_tracer",
+    "hotspot_table",
+    "profiler_for_new_sim",
+]

@@ -1,0 +1,108 @@
+"""Scoped activation of the observability layer.
+
+The rest of the codebase never holds a registry or tracer directly — it
+asks this module for the *active* one::
+
+    from repro.obs import get_registry, get_tracer
+
+    get_registry().counter("net.switch.frames", switch=name).inc()
+    with get_tracer().span("figure.compute", figure=name):
+        ...
+
+By default nothing is active: :func:`get_registry` returns the
+:class:`~repro.obs.metrics.NullRegistry` and :func:`get_tracer` the
+:class:`~repro.obs.tracing.NullTracer`, so every call site degrades to a
+no-op.  :func:`capture` installs live instances for the duration of a
+``with`` block (the experiment runner wraps each job in one)::
+
+    with capture(profile=True) as obs:
+        rows = spec.run(seed=0)
+    print(obs.registry.snapshot())
+    print(obs.profiler.to_table())
+    obs.tracer.write_chrome("job.trace.json")
+
+Captures nest: the innermost block wins, and the previous state is restored
+on exit.  ``profile=True`` additionally attaches a
+:class:`~repro.obs.profiling.Profiler` to every
+:class:`~repro.simcore.simulator.Simulator` constructed inside the block
+(the simulator constructor calls :func:`profiler_for_new_sim`).
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Iterator
+
+from .metrics import NULL_REGISTRY, MetricsRegistry
+from .profiling import Profiler
+from .tracing import NULL_TRACER, Tracer
+
+_registry_stack: list[MetricsRegistry] = []
+_tracer_stack: list[Tracer] = []
+_profiler_stack: list[Profiler] = []
+
+
+def enabled() -> bool:
+    """Whether any capture scope is currently active."""
+    return bool(_registry_stack or _tracer_stack or _profiler_stack)
+
+
+def get_registry():
+    """The active :class:`MetricsRegistry`, or the shared null registry."""
+    return _registry_stack[-1] if _registry_stack else NULL_REGISTRY
+
+
+def get_tracer():
+    """The active :class:`Tracer`, or the shared null tracer."""
+    return _tracer_stack[-1] if _tracer_stack else NULL_TRACER
+
+
+def profiler_for_new_sim() -> Profiler | None:
+    """Called by ``Simulator.__init__``: the profiler new sims attach to."""
+    return _profiler_stack[-1] if _profiler_stack else None
+
+
+@dataclass
+class ObsCapture:
+    """Handles to the instruments installed by one :func:`capture` scope."""
+
+    registry: MetricsRegistry
+    tracer: Tracer
+    profiler: Profiler | None = None
+
+
+@contextmanager
+def capture(
+    metrics: bool = True,
+    tracing: bool = True,
+    profile: bool = False,
+    registry: MetricsRegistry | None = None,
+    tracer: Tracer | None = None,
+) -> Iterator[ObsCapture]:
+    """Activate observability for the dynamic extent of the block.
+
+    ``metrics`` / ``tracing`` / ``profile`` select which facets go live;
+    pass an explicit ``registry`` or ``tracer`` to accumulate into an
+    existing instance (e.g. across several sweeps).
+    """
+    live_registry = registry if registry is not None else MetricsRegistry()
+    live_tracer = tracer if tracer is not None else Tracer()
+    profiler = Profiler() if profile else None
+    if metrics:
+        _registry_stack.append(live_registry)
+    if tracing:
+        _tracer_stack.append(live_tracer)
+    if profiler is not None:
+        _profiler_stack.append(profiler)
+    try:
+        yield ObsCapture(
+            registry=live_registry, tracer=live_tracer, profiler=profiler
+        )
+    finally:
+        if profiler is not None:
+            _profiler_stack.pop()
+        if tracing:
+            _tracer_stack.pop()
+        if metrics:
+            _registry_stack.pop()

@@ -16,6 +16,7 @@ from typing import Any, Callable
 from ..net.device import Device
 from ..net.link import Port
 from ..net.packet import Packet
+from ..obs import get_registry
 from ..simcore import Simulator
 from .pipeline import P4Pipeline, PacketContext, Register, Table
 
@@ -56,6 +57,13 @@ class P4Switch(Device):
         self._digest_listeners: list[DigestListener] = []
         self.processed_frames = 0
         self.dropped_frames = 0
+        registry = get_registry()
+        self._m_processed = registry.counter(
+            "p4.switch.frames", switch=name, outcome="processed"
+        )
+        self._m_dropped = registry.counter(
+            "p4.switch.frames", switch=name, outcome="dropped"
+        )
         #: observers called on (packet, ingress_port_index) for monitoring
         self.ingress_taps: list[Callable[[Packet, int], None]] = []
         #: observers called on (packet, egress_port_index)
@@ -95,6 +103,7 @@ class P4Switch(Device):
 
     def _process(self, packet: Packet, ingress_index: int) -> None:
         self.processed_frames += 1
+        self._m_processed.inc()
         ctx = self.pipeline.process(packet, ingress_index)
         for digest_data in ctx.digests:
             for listener in self._digest_listeners:
@@ -114,6 +123,7 @@ class P4Switch(Device):
         if ctx.dropped or not ctx.egress_ports:
             if not ctx.clones:
                 self.dropped_frames += 1
+                self._m_dropped.inc()
             return
         for egress_index in ctx.egress_ports:
             if not 0 <= egress_index < len(self.ports):

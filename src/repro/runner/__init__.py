@@ -27,11 +27,18 @@ from .engine import (
     Job,
     JobOutcome,
     SweepResult,
+    ensure_writable_dir,
     expand_grid,
     make_job,
     run_jobs,
 )
-from .manifest import MANIFEST_SCHEMA, JobRecord, RunManifest
+from .manifest import (
+    MANIFEST_SCHEMA,
+    MANIFEST_SCHEMA_V1,
+    READABLE_SCHEMAS,
+    JobRecord,
+    RunManifest,
+)
 
 __all__ = [
     "DEFAULT_CACHE_DIR",
@@ -39,10 +46,13 @@ __all__ = [
     "JobOutcome",
     "JobRecord",
     "MANIFEST_SCHEMA",
+    "MANIFEST_SCHEMA_V1",
+    "READABLE_SCHEMAS",
     "ResultCache",
     "RunManifest",
     "SweepResult",
     "cache_key",
+    "ensure_writable_dir",
     "expand_grid",
     "make_job",
     "run_jobs",

@@ -18,8 +18,10 @@ import multiprocessing
 import os
 import time
 from dataclasses import dataclass
+from pathlib import Path
 from typing import Any, Callable, Iterable, Mapping, Sequence
 
+from .. import obs
 from ..figures import Rows, get_spec
 from ..simcore.stats import collect as collect_stats
 from .cache import ResultCache, cache_key
@@ -118,18 +120,65 @@ def expand_grid(
     return jobs
 
 
-def _compute(payload: tuple[int, str, int, tuple[tuple[str, Any], ...]]):
+def ensure_writable_dir(path: Path | str, purpose: str) -> Path:
+    """Create ``path`` and prove it is writable, or raise a friendly error.
+
+    Probing up front keeps unwritable output locations from surfacing as a
+    raw ``OSError`` deep inside a pool worker halfway through a sweep.
+    """
+    directory = Path(path)
+    probe = directory / ".repro-write-probe"
+    try:
+        directory.mkdir(parents=True, exist_ok=True)
+        probe.write_text("")
+        probe.unlink()
+    except OSError as exc:
+        raise ValueError(
+            f"{purpose} directory {directory} is not writable ({exc}); "
+            f"choose a writable location"
+        ) from None
+    return directory
+
+
+def _trace_stem(figure: str, seed: int, index: int) -> str:
+    return f"{figure.replace('-', '_')}.seed{seed}.job{index}"
+
+
+def _compute(
+    payload: tuple[
+        int, str, int, tuple[tuple[str, Any], ...], str | None, bool
+    ]
+):
     """Pool worker: run one figure job and return (index, result dict)."""
-    index, figure, seed, params = payload
+    index, figure, seed, params, trace_dir, profile = payload
     spec = get_spec(figure)
+    observe = trace_dir is not None or profile
     start = time.perf_counter()
     with collect_stats() as stats:
-        rows = spec.run(seed=seed, **dict(params))
-    return index, {
+        if observe:
+            with obs.capture(profile=profile) as cap:
+                with cap.tracer.span(
+                    "runner.job", figure=figure, seed=seed, **dict(params)
+                ):
+                    rows = spec.run(seed=seed, **dict(params))
+        else:
+            rows = spec.run(seed=seed, **dict(params))
+    result: dict[str, Any] = {
         "rows": list(rows),
         "stats": stats.as_dict(),
         "wall_time_s": time.perf_counter() - start,
     }
+    if observe:
+        result["metrics"] = cap.registry.snapshot()
+        if cap.profiler is not None:
+            result["hotspots"] = cap.profiler.as_rows()
+        if trace_dir is not None:
+            stem = _trace_stem(figure, seed, index)
+            trace_path = Path(trace_dir) / f"{stem}.trace.json"
+            cap.tracer.write_chrome(trace_path)
+            cap.tracer.write_jsonl(Path(trace_dir) / f"{stem}.trace.jsonl")
+            result["trace_path"] = str(trace_path)
+    return index, result
 
 
 def run_jobs(
@@ -137,19 +186,32 @@ def run_jobs(
     workers: int | None = None,
     cache: ResultCache | None = None,
     progress: Callable[[JobRecord], None] | None = None,
+    trace_dir: Path | str | None = None,
+    profile: bool = False,
 ) -> SweepResult:
     """Execute ``jobs``, serving repeats from ``cache`` when given.
 
     ``workers`` defaults to ``os.cpu_count()``; values <= 1 (or a single
     pending job) run inline, which keeps single-job invocations free of
     pool overhead and easy to debug.
+
+    ``trace_dir`` enables span tracing per job and writes one Chrome
+    trace-event file (plus a JSONL twin) per computed job into it.
+    ``profile`` additionally times every simulator event callback and
+    attaches a hot-spot table to each job record.  Either flag also embeds
+    a ``repro.obs`` metrics snapshot in the manifest (schema v2).  Cached
+    jobs are *not* recomputed to obtain observability data.
     """
     workers = workers if workers is not None else (os.cpu_count() or 1)
     start = time.perf_counter()
+    if trace_dir is not None:
+        trace_dir = str(ensure_writable_dir(trace_dir, "trace output"))
     keys = [job.key() for job in jobs]
     outcomes: list[JobOutcome | None] = [None] * len(jobs)
 
-    pending: list[tuple[int, str, int, tuple[tuple[str, Any], ...]]] = []
+    pending: list[
+        tuple[int, str, int, tuple[tuple[str, Any], ...], str | None, bool]
+    ] = []
     for index, (job, key) in enumerate(zip(jobs, keys)):
         rows = cache.get(key) if cache is not None else None
         if rows is not None:
@@ -166,7 +228,9 @@ def run_jobs(
             if progress is not None:
                 progress(record)
         else:
-            pending.append((index, job.figure, job.seed, job.params))
+            pending.append(
+                (index, job.figure, job.seed, job.params, trace_dir, profile)
+            )
 
     def _finish(index: int, result: dict[str, Any]) -> None:
         job = jobs[index]
@@ -185,6 +249,9 @@ def run_jobs(
             wall_time_s=result["wall_time_s"],
             rows=len(rows),
             stats=result["stats"],
+            metrics=result.get("metrics"),
+            hotspots=result.get("hotspots"),
+            trace_path=result.get("trace_path"),
         )
         outcomes[index] = JobOutcome(job=job, rows=rows, record=record)
         if progress is not None:

@@ -2,11 +2,11 @@
 
 Every :func:`repro.runner.run_jobs` call produces a :class:`RunManifest`
 summarizing what ran, what was served from cache, and what it cost.  The
-JSON schema (``repro.runner/manifest/v1``)::
+JSON schema (``repro.runner/manifest/v2``)::
 
     {
-      "schema": "repro.runner/manifest/v1",
-      "version": "1.1.0",            // repro package version
+      "schema": "repro.runner/manifest/v2",
+      "version": "1.2.0",            // repro package version
       "workers": 4,                  // pool size used
       "cache_dir": ".repro-cache",   // null when caching was disabled
       "cache_hits": 3,
@@ -28,21 +28,45 @@ JSON schema (``repro.runner/manifest/v1``)::
             "processes_started": 12,
             "sim_time_ns": 3000000000
           },
-          "rows_path": "results/fig5.csv"   // when the caller exported rows
+          "rows_path": "results/fig5.csv",  // when the caller exported rows
+          // -- v2 observability fields (null unless the sweep ran with
+          //    tracing/profiling enabled; see repro.obs) -------------------
+          "metrics": {               // repro.obs MetricsRegistry.snapshot()
+            "counters": {"net.host.frames{direction=rx,host=io}": 401, ...},
+            "gauges": {},
+            "histograms": {"net.port.tx_ns": {"edges": [...], "counts": [...],
+                           "count": 1692, "sum": ..., "min": ..., "max": ...}}
+          },
+          "hotspots": [              // Profiler.as_rows(): hottest first
+            {"name": "P4Switch.receive.<locals>.<lambda>", "calls": 846,
+             "total_ns": 28610000, "max_ns": 865390, "mean_ns": 33814.4}
+          ],
+          "trace_path": "traces/fig5.seed0.job3.trace.json"
         }
       ]
     }
+
+**Backward compatibility:** v1 manifests (schema
+``repro.runner/manifest/v1``) are the same document minus the three
+observability fields; :meth:`RunManifest.from_dict` reads either version
+and fills the missing fields with ``None``, so tooling written against v2
+loads old manifests unchanged.
 """
 
 from __future__ import annotations
 
 import json
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Any
 
 from .. import __version__
 
-MANIFEST_SCHEMA = "repro.runner/manifest/v1"
+MANIFEST_SCHEMA_V1 = "repro.runner/manifest/v1"
+MANIFEST_SCHEMA = "repro.runner/manifest/v2"
+
+#: Schemas :meth:`RunManifest.from_dict` knows how to read.
+READABLE_SCHEMAS = (MANIFEST_SCHEMA_V1, MANIFEST_SCHEMA)
 
 
 @dataclass
@@ -58,6 +82,12 @@ class JobRecord:
     rows: int
     stats: dict[str, int] | None = None
     rows_path: str | None = None
+    #: ``repro.obs`` metrics snapshot (v2; ``None`` when obs was off).
+    metrics: dict[str, Any] | None = None
+    #: Profiler hot-spot rows, hottest first (v2; ``None`` when not profiled).
+    hotspots: list[dict[str, Any]] | None = None
+    #: Chrome trace-event file written for this job (v2).
+    trace_path: str | None = None
 
     def as_dict(self) -> dict[str, Any]:
         return {
@@ -70,7 +100,28 @@ class JobRecord:
             "rows": self.rows,
             "stats": self.stats,
             "rows_path": self.rows_path,
+            "metrics": self.metrics,
+            "hotspots": self.hotspots,
+            "trace_path": self.trace_path,
         }
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> "JobRecord":
+        """Rebuild a record from manifest JSON (v1 fields always present)."""
+        return cls(
+            figure=payload["figure"],
+            seed=payload["seed"],
+            params=dict(payload.get("params") or {}),
+            key=payload["key"],
+            cached=payload["cached"],
+            wall_time_s=payload.get("wall_time_s", 0.0),
+            rows=payload.get("rows", 0),
+            stats=payload.get("stats"),
+            rows_path=payload.get("rows_path"),
+            metrics=payload.get("metrics"),
+            hotspots=payload.get("hotspots"),
+            trace_path=payload.get("trace_path"),
+        )
 
 
 @dataclass
@@ -104,3 +155,30 @@ class RunManifest:
 
     def to_json(self, indent: int | None = 2) -> str:
         return json.dumps(self.as_dict(), indent=indent)
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> "RunManifest":
+        """Rebuild a manifest from its JSON form (schema v1 or v2)."""
+        schema = payload.get("schema")
+        if schema not in READABLE_SCHEMAS:
+            raise ValueError(
+                f"unsupported manifest schema {schema!r}; "
+                f"readable: {', '.join(READABLE_SCHEMAS)}"
+            )
+        return cls(
+            workers=payload.get("workers", 1),
+            cache_dir=payload.get("cache_dir"),
+            wall_time_s=payload.get("wall_time_s", 0.0),
+            records=[
+                JobRecord.from_dict(job) for job in payload.get("jobs", [])
+            ],
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "RunManifest":
+        return cls.from_dict(json.loads(text))
+
+    @classmethod
+    def load(cls, path: Path | str) -> "RunManifest":
+        """Read a manifest file written by ``repro sweep``/``repro all``."""
+        return cls.from_json(Path(path).read_text())

@@ -16,9 +16,22 @@ from __future__ import annotations
 
 from typing import Any, Callable, Generator, Iterable
 
+from ..obs import runtime as _obs
 from .events import Event, EventQueue, PRIORITY_NORMAL
 from .rng import RandomStreams
 from .stats import SimStats, _register
+
+
+def obs_trace_sink(time_ns: int, message: str) -> None:
+    """Forward a trace message to the active observability tracer.
+
+    This is the default :attr:`Simulator.default_sink`: with an
+    :func:`repro.obs.capture` scope open, messages become instant events on
+    the trace timeline; with observability off the active tracer is the
+    null tracer and the call is a no-op (the documented ``NullSink``
+    behaviour).
+    """
+    _obs.get_tracer().instant("sim.trace", message=message, sim_time_ns=time_ns)
 
 
 class SimulationError(RuntimeError):
@@ -129,6 +142,14 @@ class Process:
 class Simulator:
     """Deterministic discrete-event simulator with integer-ns time."""
 
+    #: Where :meth:`trace` messages go when *no* trace hook is registered.
+    #: Defaults to :func:`obs_trace_sink` (the active observability tracer,
+    #: a no-op null sink when observability is off).  Assign a
+    #: ``(time_ns, message)`` callable — on an instance or on the class —
+    #: to redirect unhooked trace output, e.g. ``sim.default_sink = print``
+    #: style debugging sinks.
+    default_sink: Callable[[int, str], None] = staticmethod(obs_trace_sink)
+
     def __init__(self, seed: int = 0) -> None:
         self._now = 0
         self._queue = EventQueue()
@@ -138,6 +159,11 @@ class Simulator:
         #: Event-loop counters; aggregated across simulators by
         #: :func:`repro.simcore.stats.collect`.
         self.stats = SimStats(simulators=1)
+        #: Per-callback wall-time attribution; ``None`` (the default)
+        #: keeps the event loop on the unwrapped fast path.  Set by
+        #: :meth:`repro.obs.Profiler.attach` or inherited from an open
+        #: ``obs.capture(profile=True)`` scope at construction.
+        self._profiler = _obs.profiler_for_new_sim()
         _register(self)
 
     @property
@@ -200,19 +226,31 @@ class Simulator:
                 f"cannot run until {until}, current time is {self._now}"
             )
         self._running = True
+        # Snapshot per-run observability state: `profiler` keeps the hot
+        # loop to one local-variable check per event (attaching mid-run
+        # takes effect on the next `run` call).
+        profiler = self._profiler
+        span = _obs.get_tracer().span(
+            "sim.run", start_ns=self._now, until_ns=until
+        )
         try:
-            while True:
-                next_time = self._queue.peek_time()
-                if next_time is None:
-                    break
-                if until is not None and next_time > until:
-                    break
-                event = self._queue.pop()
-                self._now = event.time
-                self.stats.events_executed += 1
-                event.callback()
-            if until is not None:
-                self._now = max(self._now, until)
+            with span:
+                while True:
+                    next_time = self._queue.peek_time()
+                    if next_time is None:
+                        break
+                    if until is not None and next_time > until:
+                        break
+                    event = self._queue.pop()
+                    self._now = event.time
+                    self.stats.events_executed += 1
+                    if profiler is None:
+                        event.callback()
+                    else:
+                        profiler.run_event(event.callback)
+                if until is not None:
+                    self._now = max(self._now, until)
+                span.set(end_ns=self._now, events=self.stats.events_executed)
         finally:
             self._running = False
             self.stats.sim_time_ns = self._now
@@ -227,7 +265,10 @@ class Simulator:
         self._now = event.time
         self.stats.events_executed += 1
         self.stats.sim_time_ns = self._now
-        event.callback()
+        if self._profiler is None:
+            event.callback()
+        else:
+            self._profiler.run_event(event.callback)
         return True
 
     @property
@@ -238,13 +279,28 @@ class Simulator:
     # -- tracing ------------------------------------------------------------
 
     def add_trace_hook(self, hook: Callable[[int, str], None]) -> None:
-        """Register a ``hook(time_ns, message)`` called by :meth:`trace`."""
+        """Register a ``hook(time_ns, message)`` called by :meth:`trace`.
+
+        Hooks are invoked in registration order.  While at least one hook
+        is registered, hooks replace :attr:`default_sink`.
+        """
         self._trace_hooks.append(hook)
 
     def trace(self, message: str) -> None:
-        """Emit a trace message to all registered hooks."""
-        for hook in self._trace_hooks:
-            hook(self._now, message)
+        """Emit a trace message.
+
+        With hooks registered, every hook receives ``(now, message)`` in
+        registration order.  With none, the message goes to
+        :attr:`default_sink` instead of being silently dropped — by default
+        that routes it into the observability layer (an instant event on
+        the active tracer; a no-op when observability is off).
+        """
+        hooks = self._trace_hooks
+        if hooks:
+            for hook in hooks:
+                hook(self._now, message)
+        else:
+            self.default_sink(self._now, message)
 
 
 def every(

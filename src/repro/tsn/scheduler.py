@@ -23,6 +23,7 @@ from ..net.packet import Packet
 from ..net.routing import shortest_path
 from ..net.switch import Switch
 from ..net.topology import Topology
+from ..obs import get_registry, get_tracer
 from .gcl import ALL_PCPS, GateControlEntry, GateControlList
 from .shaper import TimeAwareShaper
 
@@ -127,20 +128,25 @@ class ScheduleSynthesizer:
         # port name -> list of (start, end) busy intervals over the hyperperiod
         busy: dict[str, list[tuple[int, int]]] = {}
         scheduled: list[ScheduledFlow] = []
-        # Shortest periods first: they are the hardest to place.
-        for spec in sorted(specs, key=lambda s: (s.period_ns, s.flow_id)):
-            placement = self._place_flow(spec, hyperperiod, busy)
-            if placement is None:
-                raise InfeasibleScheduleError(
-                    f"no feasible offset for flow {spec.flow_id!r} "
-                    f"(period {spec.period_ns} ns) at granularity "
-                    f"{self.granularity_ns} ns"
+        placed = get_registry().counter("tsn.scheduler.flows_placed")
+        with get_tracer().span(
+            "tsn.synthesize", flows=len(specs), hyperperiod_ns=hyperperiod
+        ):
+            # Shortest periods first: they are the hardest to place.
+            for spec in sorted(specs, key=lambda s: (s.period_ns, s.flow_id)):
+                placement = self._place_flow(spec, hyperperiod, busy)
+                if placement is None:
+                    raise InfeasibleScheduleError(
+                        f"no feasible offset for flow {spec.flow_id!r} "
+                        f"(period {spec.period_ns} ns) at granularity "
+                        f"{self.granularity_ns} ns"
+                    )
+                offset, windows = placement
+                self._occupy(spec, windows, hyperperiod, busy)
+                scheduled.append(
+                    ScheduledFlow(spec=spec, offset_ns=offset, hops=windows)
                 )
-            offset, windows = placement
-            self._occupy(spec, windows, hyperperiod, busy)
-            scheduled.append(
-                ScheduledFlow(spec=spec, offset_ns=offset, hops=windows)
-            )
+                placed.inc()
         return TsnSchedule(
             flows=scheduled, hyperperiod_ns=hyperperiod, topo=self.topo
         )

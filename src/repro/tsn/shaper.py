@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from ..net.packet import Packet
 from ..net.queues import StrictPriorityQueue
+from ..obs import get_registry
 from .gcl import GateControlList
 
 
@@ -22,6 +23,13 @@ class TimeAwareShaper:
         self.gcl = gcl
         self.guard_band_blocks = 0
         self.gate_closed_blocks = 0
+        registry = get_registry()
+        self._m_guard_band = registry.counter(
+            "tsn.shaper.blocks", reason="guard_band"
+        )
+        self._m_gate_closed = registry.counter(
+            "tsn.shaper.blocks", reason="gate_closed"
+        )
 
     def select(
         self,
@@ -54,9 +62,11 @@ class TimeAwareShaper:
                 # Guard band: this frame cannot finish before its gate
                 # closes; hold it and consider lower-priority queues.
                 self.guard_band_blocks += 1
+                self._m_guard_band.inc()
                 any_blocked = True
                 continue
             return queue.dequeue_from([pcp]), None
         if not any_blocked:
             self.gate_closed_blocks += 1
+            self._m_gate_closed.inc()
         return None, until_change

@@ -90,3 +90,55 @@ class TestCli:
     def test_unknown_command_rejected(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["nonsense"])
+
+
+class TestCliObservability:
+    def test_sweep_positional_figures_with_trace_and_profile(
+        self, tmp_path, capsys
+    ):
+        trace_dir = tmp_path / "traces"
+        manifest = tmp_path / "manifest.json"
+        assert main([
+            "sweep", "--profile", "--trace-out", str(trace_dir),
+            "fig1", "--no-cache", "--jobs", "1",
+            "--manifest", str(manifest),
+        ]) == 0
+        assert list(trace_dir.glob("*.trace.json"))
+        assert manifest.exists()
+
+    def test_obs_renders_summary(self, tmp_path, capsys):
+        manifest = tmp_path / "manifest.json"
+        main([
+            "sweep", "--profile", "fig4-delay", "--param", "cycles=30",
+            "--no-cache", "--jobs", "1", "--manifest", str(manifest),
+        ])
+        capsys.readouterr()
+        assert main(["obs", str(manifest)]) == 0
+        out = capsys.readouterr().out
+        assert "fig4-delay seed=0" in out
+        assert "histograms:" in out
+        assert "hot spots:" in out
+
+    def test_obs_notes_plain_manifests(self, tmp_path, capsys):
+        manifest = tmp_path / "manifest.json"
+        main(["sweep", "fig1", "--no-cache", "--jobs", "1",
+              "--manifest", str(manifest)])
+        capsys.readouterr()
+        assert main(["obs", str(manifest)]) == 0
+        out = capsys.readouterr().out
+        assert "no metrics" in out
+
+    def test_obs_missing_manifest_is_friendly(self, tmp_path, capsys):
+        assert main(["obs", str(tmp_path / "nope.json")]) == 2
+        err = capsys.readouterr().err
+        assert "cannot read manifest" in err
+
+    def test_sweep_unwritable_trace_dir_is_friendly(self, tmp_path, capsys):
+        blocker = tmp_path / "file"
+        blocker.write_text("")
+        assert main([
+            "sweep", "fig1", "--no-cache", "--jobs", "1",
+            "--trace-out", str(blocker / "sub"),
+        ]) == 2
+        err = capsys.readouterr().err
+        assert "not writable" in err

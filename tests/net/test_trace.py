@@ -90,6 +90,40 @@ class TestQueries:
         summary = tracer.summary()
         assert summary["a"] == {"records": 2, "bytes": 100}
         assert summary["b"] == {"records": 2, "bytes": 140}
+        assert "(dropped)" not in summary
+
+    def test_summary_surfaces_dropped_records(self):
+        sim, topo, tracer = traced_star()
+        tracer.max_records = 2
+        for seq in range(4):
+            topo.devices["h0"].send("h1", payload_bytes=50, flow_id="a",
+                                    sequence=seq)
+        sim.run(until=1 * MS)
+        summary = tracer.summary()
+        assert summary["(dropped)"]["records"] == tracer.dropped_records
+        assert tracer.dropped_records > 0
+
+    def test_latency_index_matches_full_scan(self):
+        sim, topo, tracer = traced_star()
+        spec = FlowSpec("cyc", "h0", "h1", period_ns=1 * MS, payload_bytes=40)
+        sender = CyclicSender(sim, topo.devices["h0"], spec)
+        sender.start()
+        sim.run(until=5 * MS)
+        sender.stop()
+        sim.run(until=6 * MS)
+        # recompute latencies the slow way and compare
+        first = {}
+        for r in tracer.records:
+            if r.flow_id == "cyc" and r.point == "sw0":
+                first.setdefault(r.sequence, r.time_ns)
+        slow = []
+        seen = set()
+        for r in tracer.records:
+            if (r.flow_id == "cyc" and r.point == "h1"
+                    and r.sequence in first and r.sequence not in seen):
+                seen.add(r.sequence)
+                slow.append(r.time_ns - first[r.sequence])
+        assert tracer.flow_latencies_ns("cyc", "sw0", "h1") == slow
 
 
 class TestPersistence:
@@ -118,3 +152,20 @@ class TestPersistence:
         sim.run(until=1 * MS)
         tracer.clear()
         assert tracer.records == []
+
+    def test_clear_resets_latency_index_and_drop_count(self):
+        sim, topo, tracer = traced_star()
+        tracer.max_records = 1
+        topo.devices["h0"].send("h1", payload_bytes=50, flow_id="f",
+                                sequence=0)
+        sim.run(until=1 * MS)
+        assert tracer.dropped_records > 0
+        tracer.clear()
+        assert tracer.dropped_records == 0
+        assert tracer.flow_latencies_ns("f", "sw0", "h1") == []
+        # capture still works after clear and rebuilds the index
+        tracer.max_records = 100
+        topo.devices["h0"].send("h1", payload_bytes=50, flow_id="f",
+                                sequence=1)
+        sim.run(until=2 * MS)
+        assert len(tracer.flow_latencies_ns("f", "sw0", "h1")) == 1

@@ -1,0 +1,104 @@
+"""Scoped activation: capture(), nesting, null fallbacks, wiring."""
+
+from repro.obs import (
+    NULL_REGISTRY,
+    NULL_TRACER,
+    MetricsRegistry,
+    Tracer,
+    capture,
+    enabled,
+    get_registry,
+    get_tracer,
+)
+from repro.simcore import Simulator
+
+
+class TestDefaults:
+    def test_disabled_outside_any_capture(self):
+        assert not enabled()
+        assert get_registry() is NULL_REGISTRY
+        assert get_tracer() is NULL_TRACER
+
+    def test_new_simulator_has_no_profiler(self):
+        assert Simulator()._profiler is None
+
+
+class TestCapture:
+    def test_installs_and_restores(self):
+        with capture() as cap:
+            assert enabled()
+            assert get_registry() is cap.registry
+            assert get_tracer() is cap.tracer
+            assert cap.profiler is None
+        assert not enabled()
+        assert get_registry() is NULL_REGISTRY
+
+    def test_nesting_innermost_wins(self):
+        with capture() as outer:
+            with capture() as inner:
+                assert get_registry() is inner.registry
+            assert get_registry() is outer.registry
+
+    def test_restores_on_exception(self):
+        try:
+            with capture():
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert not enabled()
+
+    def test_facets_can_be_disabled(self):
+        with capture(metrics=False) as cap:
+            assert get_registry() is NULL_REGISTRY
+            assert get_tracer() is cap.tracer
+        with capture(tracing=False):
+            assert get_tracer() is NULL_TRACER
+
+    def test_explicit_instances_accumulate(self):
+        registry = MetricsRegistry()
+        tracer = Tracer()
+        with capture(registry=registry, tracer=tracer):
+            get_registry().counter("c").inc()
+        with capture(registry=registry, tracer=tracer):
+            get_registry().counter("c").inc()
+        assert registry.counter("c").value == 2
+
+    def test_profile_attaches_to_new_simulators(self):
+        with capture(profile=True) as cap:
+            sim = Simulator()
+            assert sim._profiler is cap.profiler
+            sim.schedule(1, lambda: None)
+            sim.run()
+        assert cap.profiler is not None
+        assert cap.profiler.total_ns > 0
+        # sims created afterwards are back on the fast path
+        assert Simulator()._profiler is None
+
+
+class TestSimulatorIntegration:
+    def test_run_emits_span(self):
+        with capture() as cap:
+            sim = Simulator()
+            sim.schedule(5, lambda: None)
+            sim.run()
+        spans = [e for e in cap.tracer.events if e.get("name") == "sim.run"]
+        assert len(spans) == 1
+        assert spans[0]["args"]["end_ns"] == 5
+        assert spans[0]["args"]["events"] == 1
+
+    def test_component_metrics_flow_into_capture(self):
+        from repro.net import build_star, install_shortest_path_routes
+        from repro.simcore import MS
+
+        with capture() as cap:
+            sim = Simulator(seed=0)
+            topo = build_star(sim, 3)
+            install_shortest_path_routes(topo)
+            topo.devices["h0"].send("h1", payload_bytes=50)
+            sim.run(until=1 * MS)
+        snap = cap.registry.snapshot()
+        forwarded = snap["counters"].get(
+            "net.switch.frames{outcome=forwarded,switch=sw0}"
+        )
+        assert forwarded == 1
+        assert snap["histograms"]["net.port.tx_ns"]["count"] > 0

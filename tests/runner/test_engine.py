@@ -6,7 +6,10 @@ import pytest
 
 from repro.runner import (
     MANIFEST_SCHEMA,
+    MANIFEST_SCHEMA_V1,
     ResultCache,
+    RunManifest,
+    ensure_writable_dir,
     expand_grid,
     make_job,
     run_jobs,
@@ -153,3 +156,123 @@ class TestManifest:
         assert job["params"] == {"cycles": 30}
         assert len(job["key"]) == 64
         assert job["stats"]["events_executed"] > 0
+        # observability fields exist but stay null without --trace/--profile
+        assert job["metrics"] is None
+        assert job["hotspots"] is None
+        assert job["trace_path"] is None
+
+    def test_v2_round_trip(self):
+        result = run_jobs([make_job("fig1")], workers=1, profile=True)
+        manifest = RunManifest.from_json(result.manifest.to_json())
+        assert manifest.workers == result.manifest.workers
+        (record,) = manifest.records
+        assert record.figure == "fig1"
+        assert record.metrics is not None
+        assert manifest.to_json() == result.manifest.to_json()
+
+    def test_reads_v1_payload(self):
+        v1 = {
+            "schema": MANIFEST_SCHEMA_V1,
+            "version": "1.1.0",
+            "workers": 2,
+            "cache_dir": None,
+            "cache_hits": 0,
+            "cache_misses": 1,
+            "wall_time_s": 0.5,
+            "jobs": [
+                {
+                    "figure": "fig1",
+                    "seed": 0,
+                    "params": {},
+                    "key": "ab" * 32,
+                    "cached": False,
+                    "wall_time_s": 0.5,
+                    "rows": 7,
+                    "stats": None,
+                    "rows_path": None,
+                }
+            ],
+        }
+        manifest = RunManifest.from_dict(v1)
+        (record,) = manifest.records
+        assert record.rows == 7
+        # missing v2 fields read back as None
+        assert record.metrics is None
+        assert record.hotspots is None
+        assert record.trace_path is None
+
+    def test_unknown_schema_rejected(self):
+        with pytest.raises(ValueError, match="schema"):
+            RunManifest.from_dict({"schema": "something/else", "jobs": []})
+
+    def test_load_from_file(self, tmp_path):
+        result = run_jobs([make_job("fig1")], workers=1)
+        target = tmp_path / "manifest.json"
+        target.write_text(result.manifest.to_json())
+        assert RunManifest.load(target).records[0].figure == "fig1"
+
+
+class TestObservability:
+    def test_trace_dir_writes_chrome_trace_per_job(self, tmp_path):
+        trace_dir = tmp_path / "traces"
+        result = run_jobs(
+            [make_job("fig4-delay", params={"cycles": 30})],
+            workers=1,
+            trace_dir=trace_dir,
+        )
+        (record,) = result.manifest.records
+        assert record.trace_path is not None
+        payload = json.loads((trace_dir / "fig4_delay.seed0.job0.trace.json"
+                              ).read_text())
+        names = {e["name"] for e in payload["traceEvents"]}
+        assert {"runner.job", "figure.run", "sim.run"} <= names
+        assert (trace_dir / "fig4_delay.seed0.job0.trace.jsonl").exists()
+        # tracing alone embeds metrics but no hot spots
+        assert record.metrics is not None
+        assert record.hotspots is None
+
+    def test_profile_embeds_hotspots_and_metrics(self):
+        result = run_jobs(
+            [make_job("fig4-delay", params={"cycles": 30})],
+            workers=1,
+            profile=True,
+        )
+        (record,) = result.manifest.records
+        assert record.trace_path is None
+        assert record.hotspots, "profiling must produce hot-spot rows"
+        top = record.hotspots[0]
+        assert top["calls"] > 0 and top["total_ns"] > 0
+        hists = record.metrics["histograms"]
+        assert any(h["count"] > 0 for h in hists.values())
+
+    def test_pool_workers_carry_observability(self, tmp_path):
+        trace_dir = tmp_path / "traces"
+        jobs = expand_grid(CHEAP_FIGURES, seeds=[0, 1], grid=CHEAP_GRID)
+        result = run_jobs(jobs, workers=2, trace_dir=trace_dir, profile=True)
+        assert all(r.trace_path for r in result.manifest.records)
+        assert len(list(trace_dir.glob("*.trace.json"))) == len(jobs)
+
+    def test_cached_jobs_skip_observability(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        jobs = [make_job("fig1")]
+        run_jobs(jobs, workers=1, cache=cache)
+        warm = run_jobs(
+            jobs, workers=1, cache=cache,
+            trace_dir=tmp_path / "traces", profile=True,
+        )
+        (record,) = warm.manifest.records
+        assert record.cached
+        assert record.metrics is None and record.trace_path is None
+
+    def test_unwritable_trace_dir_fails_fast(self, tmp_path):
+        blocker = tmp_path / "file"
+        blocker.write_text("")
+        with pytest.raises(ValueError, match="not writable"):
+            run_jobs([make_job("fig1")], workers=1,
+                     trace_dir=blocker / "sub")
+
+    def test_ensure_writable_dir_creates_and_probes(self, tmp_path):
+        target = tmp_path / "a" / "b"
+        assert ensure_writable_dir(target, "test") == target
+        assert target.is_dir()
+        assert list(target.iterdir()) == []  # probe file removed

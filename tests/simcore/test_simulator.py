@@ -245,3 +245,46 @@ def test_trace_hooks_receive_messages():
     sim.schedule(5, lambda: sim.trace("hello"))
     sim.run()
     assert seen == [(5, "hello")]
+
+
+def test_trace_hooks_called_in_registration_order():
+    sim = Simulator()
+    order = []
+    sim.add_trace_hook(lambda t, msg: order.append("first"))
+    sim.add_trace_hook(lambda t, msg: order.append("second"))
+    sim.add_trace_hook(lambda t, msg: order.append("third"))
+    sim.trace("x")
+    assert order == ["first", "second", "third"]
+
+
+def test_unhooked_trace_goes_to_default_sink():
+    sim = Simulator()
+    seen = []
+    sim.default_sink = lambda t, msg: seen.append((t, msg))
+    sim.schedule(3, lambda: sim.trace("lonely"))
+    sim.run()
+    assert seen == [(3, "lonely")]
+
+
+def test_hooks_replace_default_sink():
+    sim = Simulator()
+    sunk, hooked = [], []
+    sim.default_sink = lambda t, msg: sunk.append(msg)
+    sim.add_trace_hook(lambda t, msg: hooked.append(msg))
+    sim.trace("x")
+    assert hooked == ["x"] and sunk == []
+
+
+def test_unhooked_trace_routes_into_observability():
+    from repro.obs import capture
+
+    with capture() as cap:
+        sim = Simulator()
+        sim.trace("visible")
+    instants = [
+        e for e in cap.tracer.events if e.get("name") == "sim.trace"
+    ]
+    assert len(instants) == 1
+    assert instants[0]["args"]["message"] == "visible"
+    # with observability off, the default sink is a harmless no-op
+    Simulator().trace("dropped")
