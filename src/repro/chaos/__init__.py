@@ -1,0 +1,73 @@
+"""Chaos campaigns: systematic, deterministic, observable fault injection.
+
+The paper's availability claims (§2.2 classes, §4 switchover) are
+robustness claims; this package turns ad-hoc fault injection into a
+first-class subsystem:
+
+- :mod:`repro.chaos.scenario` — declarative
+  :class:`~repro.chaos.scenario.FaultScenario` descriptions (link flaps,
+  PLC crashes, host-wide virtualization incidents, correlated outages,
+  scheduled maintenance windows) with analytic availability predictions;
+- :mod:`repro.chaos.engine` — the campaign engine:
+  :func:`~repro.chaos.engine.run_campaign` executes a scenario with
+  per-component random streams, measures per-cell availability, judges it
+  against the §2 availability classes, and replays bit-identically from
+  ``(seed, scenario)``;
+- :mod:`repro.chaos.spec` — :class:`~repro.chaos.spec.ChaosSpec` projects
+  campaigns into the figure registry (``chaos-*``) so the parallel runner
+  sweeps them and records verdicts in the run manifest.
+
+CLI: ``repro chaos run|replay|report|list`` (see :mod:`repro.chaos.cli`).
+"""
+
+from .engine import (
+    CAMPAIGN_SCHEMA,
+    CampaignResult,
+    CellReport,
+    ReplayReport,
+    factory_binder,
+    intervals_fingerprint,
+    replay_campaign,
+    run_campaign,
+)
+from .scenario import (
+    KINDS,
+    SCENARIOS,
+    ComponentSpec,
+    FaultScenario,
+    MaintenanceSpec,
+    get_scenario,
+)
+from .spec import (
+    CHAOS_PARAMS,
+    CHAOS_PREFIX,
+    ChaosSpec,
+    campaign_verdict,
+    chaos_registry,
+    figure_specs,
+    get_chaos_spec,
+)
+
+__all__ = [
+    "CAMPAIGN_SCHEMA",
+    "CHAOS_PARAMS",
+    "CHAOS_PREFIX",
+    "CampaignResult",
+    "CellReport",
+    "ChaosSpec",
+    "ComponentSpec",
+    "FaultScenario",
+    "KINDS",
+    "MaintenanceSpec",
+    "ReplayReport",
+    "SCENARIOS",
+    "campaign_verdict",
+    "chaos_registry",
+    "factory_binder",
+    "figure_specs",
+    "get_chaos_spec",
+    "get_scenario",
+    "intervals_fingerprint",
+    "replay_campaign",
+    "run_campaign",
+]

@@ -1,0 +1,282 @@
+"""The ``repro chaos`` subcommand: run, replay, and report campaigns.
+
+Usage::
+
+    python -m repro chaos list
+    python -m repro chaos run link-flaps correlated --seeds 0..2 \\
+        --param mttr_scale=1,2,4 --jobs 4 --manifest chaos-manifest.json
+    python -m repro chaos run maintenance --campaign-dir campaigns/
+    python -m repro chaos replay --scenario link-flaps --seed 7
+    python -m repro chaos replay --campaign campaigns/chaos_link_flaps.seed7.*.json
+    python -m repro chaos report chaos-manifest.json
+
+``run`` fans campaigns out over the PR-1 runner (grid sweeps, result
+cache, manifest with per-job ``verdict`` entries).  ``replay`` re-executes
+a campaign from ``(seed, scenario)`` alone and verifies the per-cell
+outage intervals are byte-identical — against a saved campaign file when
+given, or against an independent second run otherwise.  ``report``
+renders the compliance summary of a run manifest or a campaign file.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from ..runner import RunManifest, expand_grid, run_jobs
+from .engine import CampaignResult, replay_campaign, run_campaign
+from .spec import chaos_registry, get_chaos_spec
+
+
+def add_chaos_parser(subparsers: argparse._SubParsersAction) -> None:
+    """Attach the ``chaos`` subcommand tree to the main parser."""
+    chaos = subparsers.add_parser(
+        "chaos", help="run / replay / report deterministic fault campaigns"
+    )
+    actions = chaos.add_subparsers(dest="chaos_command", required=True)
+
+    actions.add_parser("list", help="list shipped chaos scenarios")
+
+    sub = actions.add_parser(
+        "run", help="run campaigns over a (scenario x seed x param) grid"
+    )
+    sub.add_argument(
+        "scenarios", nargs="*", default=[], metavar="SCENARIO",
+        help="scenarios to run (default: all shipped scenarios)",
+    )
+    sub.add_argument(
+        "--seeds", default="0", metavar="LIST",
+        help="seeds: comma list '0,1,2' or inclusive range '0..4'",
+    )
+    sub.add_argument(
+        "--param", action="append", default=None, metavar="NAME=V1,V2",
+        help="grid values for cells/mtbf_scale/mttr_scale/horizon_s",
+    )
+    sub.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="worker processes (default: CPU count)",
+    )
+    sub.add_argument(
+        "--cache-dir", type=Path, default=None, metavar="DIR",
+        help="reuse the runner result cache in DIR (default: no cache)",
+    )
+    sub.add_argument(
+        "--manifest", type=Path, default=None,
+        help="write the JSON run manifest (with verdicts) here",
+    )
+    sub.add_argument(
+        "--campaign-dir", type=Path, default=None, metavar="DIR",
+        help="write one full replayable campaign JSON per job into DIR",
+    )
+    sub.add_argument(
+        "--strict", action="store_true",
+        help="exit non-zero when any campaign verdict is 'fail'",
+    )
+
+    sub = actions.add_parser(
+        "replay",
+        help="re-run a campaign from (seed, scenario) and verify intervals",
+    )
+    sub.add_argument(
+        "--scenario", default=None, metavar="NAME",
+        help="scenario to replay (required unless --campaign is given)",
+    )
+    sub.add_argument("--seed", type=int, default=0, help="campaign seed")
+    sub.add_argument(
+        "--param", action="append", default=None, metavar="NAME=V",
+        help="scenario parameter override (single values, repeatable)",
+    )
+    sub.add_argument(
+        "--campaign", type=Path, default=None, metavar="FILE",
+        help="saved campaign JSON to verify against (overrides the flags)",
+    )
+
+    sub = actions.add_parser(
+        "report", help="summarize a run manifest or campaign JSON"
+    )
+    sub.add_argument(
+        "path", type=Path, metavar="FILE",
+        help="manifest JSON from 'chaos run --manifest' or a campaign JSON",
+    )
+
+
+def dispatch_chaos(args: argparse.Namespace) -> int:
+    """Execute a parsed ``repro chaos ...`` namespace."""
+    command = getattr(args, "chaos_command", None)
+    if command == "list":
+        return _run_list()
+    if command == "run":
+        return _run_run(args)
+    if command == "replay":
+        return _run_replay(args)
+    if command == "report":
+        return _run_report(args)
+    raise ValueError(f"unknown chaos command {command!r}")
+
+
+def _run_list() -> int:
+    for name, spec in chaos_registry().items():
+        scenario = spec.build()
+        print(
+            f"{name:14s} {spec.doc}  "
+            f"[predicted mean availability "
+            f"{scenario.predicted_mean_availability():.6f}, "
+            f"requirement {scenario.requirement.name}]"
+        )
+    return 0
+
+
+def _job_label(record) -> str:
+    parts = [record.figure, f"seed={record.seed}"]
+    parts += [f"{k}={v}" for k, v in record.params.items()]
+    return " ".join(parts)
+
+
+def _run_run(args: argparse.Namespace) -> int:
+    from ..cli import parse_param_grid, parse_seeds
+    from ..runner import ResultCache
+
+    names = list(getattr(args, "scenarios", None) or [])
+    if not names:
+        names = list(chaos_registry())
+    figures = [get_chaos_spec(name).figure_name for name in names]
+    jobs = expand_grid(
+        figures,
+        seeds=parse_seeds(getattr(args, "seeds", "0")),
+        grid=parse_param_grid(getattr(args, "param", None)),
+    )
+    cache_dir = getattr(args, "cache_dir", None)
+    result = run_jobs(
+        jobs,
+        workers=getattr(args, "jobs", None),
+        cache=ResultCache(cache_dir) if cache_dir is not None else None,
+    )
+    campaign_dir: Path | None = getattr(args, "campaign_dir", None)
+    for outcome in result.outcomes:
+        record = outcome.record
+        verdict = (record.verdict or "?").upper()
+        print(f"  {_job_label(record)}: {verdict}")
+        if campaign_dir is not None:
+            # Recompute inline to obtain the full outage intervals (cheap;
+            # rows alone carry only per-cell fingerprints).
+            spec = get_chaos_spec(record.figure)
+            campaign = spec.run(seed=record.seed, **record.params)
+            stem = record.figure.replace("-", "_")
+            path = campaign.save(
+                campaign_dir
+                / f"{stem}.seed{record.seed}.{record.key[:8]}.json"
+            )
+            print(f"    wrote {path}")
+    manifest_path: Path | None = getattr(args, "manifest", None)
+    if manifest_path is not None:
+        manifest_path.parent.mkdir(parents=True, exist_ok=True)
+        manifest_path.write_text(result.manifest.to_json() + "\n")
+        print(f"wrote {manifest_path}")
+    failed = [
+        outcome.record
+        for outcome in result.outcomes
+        if outcome.record.verdict == "fail"
+    ]
+    print(
+        f"{len(result.outcomes)} campaign(s): "
+        f"{len(result.outcomes) - len(failed)} pass, {len(failed)} fail"
+    )
+    if failed and getattr(args, "strict", False):
+        return 1
+    return 0
+
+
+def _parse_single_params(specs: list[str] | None) -> dict[str, str]:
+    params: dict[str, str] = {}
+    for item in specs or []:
+        name, sep, value = item.partition("=")
+        if not sep or not name.strip() or not value.strip():
+            raise ValueError(f"bad --param {item!r}; expected NAME=VALUE")
+        params[name.strip()] = value.strip()
+    return params
+
+
+def _run_replay(args: argparse.Namespace) -> int:
+    campaign_path: Path | None = getattr(args, "campaign", None)
+    if campaign_path is not None:
+        reference = CampaignResult.load(campaign_path)
+        spec = get_chaos_spec(reference.scenario)
+        scenario = spec.build(**reference.params)
+    else:
+        name = getattr(args, "scenario", None)
+        if not name:
+            raise ValueError("replay needs --scenario NAME or --campaign FILE")
+        spec = get_chaos_spec(name)
+        params = _parse_single_params(getattr(args, "param", None))
+        scenario = spec.build(**params)
+        reference = run_campaign(
+            scenario, seed=getattr(args, "seed", 0), params=spec.resolve(params)
+        )
+    _, report = replay_campaign(scenario, reference)
+    print(report.describe())
+    return 0 if report.identical else 1
+
+
+def _format_availability(value: float) -> str:
+    return f"{value:.6f}"
+
+
+def _report_campaign(campaign: CampaignResult) -> int:
+    print(
+        f"{campaign.scenario} seed={campaign.seed} "
+        f"cells={campaign.cells} faults={campaign.faults_injected} "
+        f"verdict={campaign.verdict.upper()}"
+    )
+    print(
+        f"  requirement {campaign.requirement} "
+        f">= {_format_availability(campaign.required)}; "
+        f"analytic tolerance {campaign.tolerance:g}"
+    )
+    for report in campaign.reports:
+        marker = "ok " if report.ok else "FAIL"
+        print(
+            f"  cell {report.cell}: {marker} "
+            f"measured={_format_availability(report.availability)} "
+            f"predicted={_format_availability(report.predicted)} "
+            f"outages={report.outages} "
+            f"downtime={report.downtime_ns / 1e9:.3f}s"
+        )
+    print(f"  fingerprint {campaign.fingerprint()}")
+    return 0
+
+
+def _report_manifest(manifest: RunManifest, path: Path) -> int:
+    judged = [r for r in manifest.records if r.verdict is not None]
+    print(
+        f"{path}: {len(manifest.records)} job(s), "
+        f"{len(judged)} with verdicts"
+    )
+    for record in judged:
+        print(f"  {_job_label(record)}: {(record.verdict or '?').upper()}")
+    failed = sum(1 for r in judged if r.verdict == "fail")
+    print(f"{len(judged) - failed} pass, {failed} fail")
+    return 0
+
+
+def _run_report(args: argparse.Namespace) -> int:
+    path: Path = args.path
+    try:
+        payload = json.loads(path.read_text())
+    except OSError as exc:
+        raise ValueError(f"cannot read {path}: {exc}") from None
+    if payload.get("schema", "").startswith("repro.chaos/campaign"):
+        return _report_campaign(CampaignResult.from_dict(payload))
+    return _report_manifest(RunManifest.from_dict(payload), path)
+
+
+def main(argv: list[str] | None = None) -> int:  # pragma: no cover
+    parser = argparse.ArgumentParser(prog="repro-chaos")
+    subparsers = parser.add_subparsers(dest="command", required=True)
+    add_chaos_parser(subparsers)
+    return dispatch_chaos(parser.parse_args(argv))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,437 @@
+"""The chaos campaign engine: run, measure, judge, replay.
+
+A *campaign* executes one :class:`~repro.chaos.scenario.FaultScenario` on
+the discrete-event simulator: every stochastic component becomes an
+exponential renewal process on its **own** named random stream
+(``chaos/<scenario>/<component>``), every maintenance window becomes a
+deterministic periodic process, and a
+:class:`~repro.core.faults.CellDowntimeLog` tracks each cell's outage
+intervals.  The result is judged twice:
+
+- **compliance** — measured availability against the scenario's
+  :class:`~repro.core.requirements.AvailabilityRequirement` (the §2
+  availability classes), yielding the pass/fail *verdict*;
+- **validation** — measured against the analytic steady-state prediction,
+  within the scenario's documented tolerance (the model-vs-measurement
+  agreement contract).
+
+Determinism contract: a campaign is a pure function of
+``(scenario, seed)``.  Per-component streams mean the failure schedule of
+one component never depends on any other, so two runs produce
+byte-identical per-cell outage intervals — :meth:`CampaignResult.fingerprint`
+is the replay identity, and :func:`replay_campaign` re-executes and
+compares interval-by-interval.
+
+Faults can optionally touch live objects: pass a *binder* mapping each
+component spec to concrete ``(fail, repair)`` callables (see
+:func:`factory_binder`, which wires a
+:class:`~repro.core.convergence.ConvergedFactory`'s real links and vPLCs).
+Bookkeeping and measurement are identical either way.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable
+
+from .. import __version__
+from ..core.convergence import ConvergedFactory
+from ..core.faults import FaultInjector, FaultTarget, MaintenanceWindow
+from ..figures import Rows
+from ..obs import get_tracer
+from ..simcore import Simulator
+from ..simcore.units import SEC
+from .scenario import ComponentSpec, FaultScenario, MaintenanceSpec
+
+CAMPAIGN_SCHEMA = "repro.chaos/campaign/v1"
+
+#: A binder maps a scenario component to live ``(fail, repair)`` callables.
+Binder = Callable[[ComponentSpec | MaintenanceSpec], tuple[
+    Callable[[], None], Callable[[], None]
+]]
+
+
+def _noop() -> None:
+    return None
+
+
+@dataclass
+class CellReport:
+    """Measured vs required vs predicted availability for one cell."""
+
+    cell: int
+    outages: int
+    downtime_ns: int
+    availability: float
+    predicted: float
+    required: float
+    ok: bool
+    within_tolerance: bool
+    fingerprint: str
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "cell": self.cell,
+            "outages": self.outages,
+            "downtime_ns": self.downtime_ns,
+            "availability": self.availability,
+            "predicted": self.predicted,
+            "required": self.required,
+            "ok": self.ok,
+            "within_tolerance": self.within_tolerance,
+            "fingerprint": self.fingerprint,
+        }
+
+
+@dataclass
+class CampaignResult:
+    """Everything one campaign run produced, replayable from its header."""
+
+    scenario: str
+    seed: int
+    cells: int
+    horizon_ns: int
+    requirement: str
+    required: float
+    tolerance: float
+    faults_injected: int
+    params: dict[str, Any] = field(default_factory=dict)
+    reports: list[CellReport] = field(default_factory=list)
+    #: per-cell outage intervals — the bit-identical replay identity
+    intervals: dict[int, list[tuple[int, int]]] = field(default_factory=dict)
+
+    @property
+    def verdict(self) -> str:
+        """``pass`` when every cell meets the availability class."""
+        return "pass" if all(report.ok for report in self.reports) else "fail"
+
+    @property
+    def mean_availability(self) -> float:
+        return sum(r.availability for r in self.reports) / len(self.reports)
+
+    @property
+    def max_abs_error(self) -> float:
+        """Largest measured-vs-analytic disagreement across cells."""
+        return max(
+            abs(r.availability - r.predicted) for r in self.reports
+        )
+
+    def fingerprint(self) -> str:
+        """SHA-256 over the canonical JSON of all outage intervals."""
+        return intervals_fingerprint(self.intervals)
+
+    def rows(self) -> Rows:
+        """Per-cell verdict rows (the campaign's :class:`Rows` form)."""
+        return Rows(
+            {
+                "scenario": self.scenario,
+                "cell": report.cell,
+                "outages": report.outages,
+                "downtime_ns": report.downtime_ns,
+                "availability": round(report.availability, 9),
+                "predicted": round(report.predicted, 9),
+                "required": round(report.required, 9),
+                "ok": report.ok,
+                "within_tolerance": report.within_tolerance,
+                "fingerprint": report.fingerprint,
+            }
+            for report in self.reports
+        )
+
+    # -- serialization -------------------------------------------------------
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "schema": CAMPAIGN_SCHEMA,
+            "version": __version__,
+            "scenario": self.scenario,
+            "seed": self.seed,
+            "cells": self.cells,
+            "horizon_ns": self.horizon_ns,
+            "requirement": self.requirement,
+            "required": self.required,
+            "tolerance": self.tolerance,
+            "faults_injected": self.faults_injected,
+            "params": self.params,
+            "verdict": self.verdict,
+            "fingerprint": self.fingerprint(),
+            "cells_report": [report.as_dict() for report in self.reports],
+            "intervals": {
+                str(cell) : [list(pair) for pair in pairs]
+                for cell, pairs in self.intervals.items()
+            },
+        }
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return json.dumps(self.as_dict(), indent=indent)
+
+    def save(self, path: Path | str) -> Path:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(self.to_json() + "\n")
+        return path
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> "CampaignResult":
+        schema = payload.get("schema")
+        if schema != CAMPAIGN_SCHEMA:
+            raise ValueError(
+                f"unsupported campaign schema {schema!r}; "
+                f"expected {CAMPAIGN_SCHEMA}"
+            )
+        result = cls(
+            scenario=payload["scenario"],
+            seed=payload["seed"],
+            cells=payload["cells"],
+            horizon_ns=payload["horizon_ns"],
+            requirement=payload["requirement"],
+            required=payload["required"],
+            tolerance=payload["tolerance"],
+            faults_injected=payload["faults_injected"],
+            params=dict(payload.get("params") or {}),
+            reports=[
+                CellReport(**report)
+                for report in payload.get("cells_report", [])
+            ],
+            intervals={
+                int(cell): [tuple(pair) for pair in pairs]
+                for cell, pairs in payload.get("intervals", {}).items()
+            },
+        )
+        return result
+
+    @classmethod
+    def load(cls, path: Path | str) -> "CampaignResult":
+        return cls.from_dict(json.loads(Path(path).read_text()))
+
+
+def intervals_fingerprint(
+    intervals: dict[int, list[tuple[int, int]]]
+) -> str:
+    """Canonical SHA-256 of per-cell outage intervals."""
+    canonical = json.dumps(
+        {
+            str(cell): [list(pair) for pair in intervals[cell]]
+            for cell in sorted(intervals)
+        },
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def _cell_fingerprint(pairs: list[tuple[int, int]]) -> str:
+    canonical = json.dumps([list(pair) for pair in pairs],
+                           separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:12]
+
+
+def run_campaign(
+    scenario: FaultScenario,
+    seed: int = 0,
+    binder: Binder | None = None,
+    params: dict[str, Any] | None = None,
+) -> CampaignResult:
+    """Execute one chaos campaign; pure function of ``(scenario, seed)``.
+
+    ``binder``, when given, attaches each component's fail/repair to live
+    objects (e.g. real links and vPLCs of a
+    :class:`~repro.core.convergence.ConvergedFactory`); measurement is
+    unchanged.  ``params`` is recorded verbatim for provenance.
+    """
+    sim = Simulator(seed=seed)
+    injector = FaultInjector(
+        sim,
+        cells=scenario.cells,
+        per_target_streams=True,
+        stream_prefix=f"chaos/{scenario.name}",
+    )
+    for component in scenario.components:
+        fail, repair = binder(component) if binder else (_noop, _noop)
+        injector.register(
+            FaultTarget(
+                name=component.name,
+                component_class=_component_class(component),
+                fail=fail,
+                repair=repair,
+                affected_cells=component.affected_cells,
+            )
+        )
+    for window in scenario.maintenance:
+        fail, repair = binder(window) if binder else (_noop, _noop)
+        injector.register_maintenance(
+            MaintenanceWindow(
+                target=FaultTarget(
+                    name=window.name,
+                    component_class=_window_class(window),
+                    fail=fail,
+                    repair=repair,
+                    affected_cells=window.affected_cells,
+                ),
+                period_ns=int(window.period_s * SEC),
+                duration_ns=int(window.duration_s * SEC),
+                first_start_ns=int(window.first_start_s * SEC),
+            )
+        )
+
+    horizon_ns = scenario.horizon_ns
+    with get_tracer().span(
+        "chaos.campaign", scenario=scenario.name, seed=seed,
+        cells=scenario.cells, horizon_ns=horizon_ns,
+    ) as span:
+        injector.start()
+        sim.run(until=horizon_ns)
+        injector.stop()
+        span.set(faults=injector.failures_injected)
+
+    predicted = scenario.predicted_availability()
+    required = scenario.requirement.availability
+    intervals = injector.outage_intervals(horizon_ns)
+    reports = []
+    for log in injector.logs:
+        availability = log.availability(horizon_ns)
+        reports.append(
+            CellReport(
+                cell=log.cell,
+                outages=len(intervals[log.cell]),
+                downtime_ns=log.downtime_ns(horizon_ns),
+                availability=availability,
+                predicted=predicted[log.cell],
+                required=required,
+                ok=scenario.requirement.admits(availability),
+                within_tolerance=(
+                    abs(availability - predicted[log.cell])
+                    <= scenario.tolerance
+                ),
+                fingerprint=_cell_fingerprint(intervals[log.cell]),
+            )
+        )
+    return CampaignResult(
+        scenario=scenario.name,
+        seed=seed,
+        cells=scenario.cells,
+        horizon_ns=horizon_ns,
+        requirement=scenario.requirement.name,
+        required=required,
+        tolerance=scenario.tolerance,
+        faults_injected=injector.failures_injected,
+        params=dict(params or {}),
+        reports=reports,
+        intervals=intervals,
+    )
+
+
+def _component_class(component: ComponentSpec):
+    from ..core.availability_analysis import ComponentClass
+
+    return ComponentClass(
+        name=component.name,
+        mtbf_s=component.mtbf_s,
+        mttr_s=component.mttr_s,
+    )
+
+
+def _window_class(window: MaintenanceSpec):
+    from ..core.availability_analysis import ComponentClass
+
+    # MTBF/MTTR rendering of the deterministic schedule, for reporting.
+    return ComponentClass(
+        name=window.name,
+        mtbf_s=window.period_s - window.duration_s,
+        mttr_s=window.duration_s,
+    )
+
+
+@dataclass
+class ReplayReport:
+    """Outcome of replaying a campaign against a reference result."""
+
+    scenario: str
+    seed: int
+    identical: bool
+    fingerprint: str
+    reference_fingerprint: str
+    mismatched_cells: list[int] = field(default_factory=list)
+
+    def describe(self) -> str:
+        if self.identical:
+            return (
+                f"replay OK: {self.scenario} seed={self.seed} "
+                f"fingerprint={self.fingerprint[:12]}"
+            )
+        cells = ", ".join(str(cell) for cell in self.mismatched_cells)
+        return (
+            f"replay MISMATCH: {self.scenario} seed={self.seed} "
+            f"cells [{cells}] diverged "
+            f"({self.fingerprint[:12]} != {self.reference_fingerprint[:12]})"
+        )
+
+
+def replay_campaign(
+    scenario: FaultScenario,
+    reference: CampaignResult,
+) -> tuple[CampaignResult, ReplayReport]:
+    """Re-run ``(scenario, reference.seed)`` and compare intervals exactly."""
+    result = run_campaign(scenario, seed=reference.seed,
+                          params=reference.params)
+    mismatched = [
+        cell
+        for cell in sorted(reference.intervals)
+        if result.intervals.get(cell) != reference.intervals[cell]
+    ]
+    report = ReplayReport(
+        scenario=scenario.name,
+        seed=reference.seed,
+        identical=not mismatched
+        and result.fingerprint() == reference.fingerprint(),
+        fingerprint=result.fingerprint(),
+        reference_fingerprint=reference.fingerprint(),
+        mismatched_cells=mismatched,
+    )
+    return result, report
+
+
+def factory_binder(factory: ConvergedFactory) -> Binder:
+    """Bind scenario components onto a live converged factory.
+
+    - ``link-flap`` on cell *i* downs/restores the cell's backhaul link;
+    - ``plc-crash`` on cell *i* crash-stops/restarts the cell's vPLC;
+    - ``virt-incident`` / ``correlated-outage`` crash and restart every
+      vPLC at once (the host-wide incident);
+    - maintenance windows stop and restart the affected cells' vPLCs.
+
+    Component blast radii must fit the factory's cell count.
+    """
+
+    def bind(spec: ComponentSpec | MaintenanceSpec):
+        for cell in spec.affected_cells:
+            if cell >= len(factory.cells):
+                raise ValueError(
+                    f"component {spec.name!r} affects cell {cell}, but the "
+                    f"factory has only {len(factory.cells)} cells"
+                )
+        if isinstance(spec, MaintenanceSpec):
+            plcs = [factory.cells[c].vplc for c in spec.affected_cells]
+            return (
+                lambda: [plc.stop() for plc in plcs],
+                lambda: [plc.start() for plc in plcs],
+            )
+        if spec.kind == "link-flap":
+            (cell,) = spec.affected_cells[:1]
+            leaf = f"leaf{cell // factory.config.vplcs_per_leaf}"
+            link = factory.topo.link_between(f"cell{cell}", leaf)
+            return link.set_down, link.set_up
+        if spec.kind == "plc-crash":
+            (cell,) = spec.affected_cells[:1]
+            plc = factory.cells[cell].vplc
+            return plc.crash, plc.restart
+        # Host-wide incident: every affected vPLC crashes together.
+        plcs = [factory.cells[c].vplc for c in spec.affected_cells]
+        return (
+            lambda: [plc.crash() for plc in plcs],
+            lambda: [plc.restart() for plc in plcs],
+        )
+
+    return bind

@@ -1,0 +1,341 @@
+"""Declarative fault scenarios for chaos campaigns.
+
+A :class:`FaultScenario` is a pure data description of *what can break* in
+an N-cell plant: stochastic components (exponential MTBF/MTTR renewal
+processes, :class:`ComponentSpec`) and deterministic scheduled maintenance
+windows (:class:`MaintenanceSpec`).  Because the description is pure data,
+the analytic steady-state availability of every cell is computable up
+front (:meth:`FaultScenario.predicted_availability`), and every campaign
+run can be checked against it — the same measured-vs-analytic agreement
+contract the fault-injection integration tests establish, promoted to a
+first-class verdict.
+
+Time scale: scenario times are **compressed seconds**.  Real MTBFs are
+months; running campaigns at full scale would collect no statistics, so
+shipped scenarios state their profiles at a compressed scale that
+preserves every MTBF:MTTR ratio (and therefore every availability) while
+packing hundreds of failure cycles into a few simulated hours.  The
+``mtbf_scale`` / ``mttr_scale`` knobs sweep the profiles around their
+defaults without editing the scenario.
+
+Shipped scenarios (the §2.2 failure taxonomy):
+
+- ``link-flaps`` — each cell's backhaul link flaps independently;
+- ``plc-crashes`` — each cell's vPLC crash-stops and restarts;
+- ``virt-incident`` — one host-wide virtualization-stack incident takes
+  every cell down together (the consolidation blast radius);
+- ``correlated`` — per-cell links *and* shared fabric *and* shared
+  virtualization stack fail as independent processes whose outages
+  overlap;
+- ``maintenance`` — a deterministic, seed-independent maintenance window
+  recurs on a fixed period across all cells.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Callable
+
+from ..core.requirements import AvailabilityRequirement, DATACENTER_TYPICAL
+from ..simcore.units import SEC
+
+#: Fault kinds a scenario component may declare; bindings map these onto
+#: live objects (a real link, a real vPLC) when a campaign drives a factory.
+KINDS = ("link-flap", "plc-crash", "virt-incident", "correlated-outage")
+
+
+@dataclass(frozen=True)
+class ComponentSpec:
+    """One stochastic failure process: MTBF/MTTR plus its blast radius."""
+
+    name: str
+    kind: str
+    mtbf_s: float
+    mttr_s: float
+    affected_cells: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if self.kind not in KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r}; choose one of "
+                f"{', '.join(KINDS)}"
+            )
+        if self.mtbf_s <= 0 or self.mttr_s <= 0:
+            raise ValueError("MTBF and MTTR must be positive")
+        if not self.affected_cells:
+            raise ValueError(f"component {self.name!r} affects no cells")
+
+    @property
+    def availability(self) -> float:
+        """Steady-state availability of this component."""
+        return self.mtbf_s / (self.mtbf_s + self.mttr_s)
+
+
+@dataclass(frozen=True)
+class MaintenanceSpec:
+    """One deterministic periodic downtime window."""
+
+    name: str
+    period_s: float
+    duration_s: float
+    affected_cells: tuple[int, ...]
+    first_start_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.period_s <= 0 or self.duration_s <= 0:
+            raise ValueError("maintenance period and duration must be positive")
+        if self.duration_s >= self.period_s:
+            raise ValueError("maintenance window must be shorter than its period")
+        if not self.affected_cells:
+            raise ValueError(f"window {self.name!r} affects no cells")
+
+    @property
+    def availability(self) -> float:
+        """Long-run availability contributed by this window."""
+        return 1.0 - self.duration_s / self.period_s
+
+
+@dataclass(frozen=True)
+class FaultScenario:
+    """A named, fully declarative chaos scenario.
+
+    ``tolerance`` documents how closely a campaign's measured per-cell
+    availability must agree with :meth:`predicted_availability` at the
+    scenario's default horizon — the replay/validation contract the test
+    suite enforces for every shipped scenario.
+    """
+
+    name: str
+    doc: str
+    cells: int
+    components: tuple[ComponentSpec, ...] = ()
+    maintenance: tuple[MaintenanceSpec, ...] = ()
+    horizon_s: float = 3600.0
+    requirement: AvailabilityRequirement = DATACENTER_TYPICAL
+    #: documented measured-vs-analytic agreement bound (absolute)
+    tolerance: float = 3e-3
+
+    def __post_init__(self) -> None:
+        if self.cells < 1:
+            raise ValueError("need at least one cell")
+        if self.horizon_s <= 0:
+            raise ValueError("horizon must be positive")
+        for spec in self.components + self.maintenance:
+            for cell in spec.affected_cells:
+                if not 0 <= cell < self.cells:
+                    raise ValueError(
+                        f"component {spec.name!r} affects unknown cell {cell}"
+                    )
+
+    @property
+    def horizon_ns(self) -> int:
+        """Observation horizon in simulated nanoseconds."""
+        return int(self.horizon_s * SEC)
+
+    def predicted_availability(self) -> dict[int, float]:
+        """Analytic steady-state availability per cell.
+
+        Independent alternating renewal processes compose in series: a
+        cell is up exactly when every component affecting it is up, so its
+        availability is the product of the component availabilities
+        (stochastic and maintenance alike).
+        """
+        prediction = {}
+        for cell in range(self.cells):
+            availability = 1.0
+            for spec in self.components + self.maintenance:
+                if cell in spec.affected_cells:
+                    availability *= spec.availability
+            prediction[cell] = availability
+        return prediction
+
+    def predicted_mean_availability(self) -> float:
+        """Plant-mean analytic availability."""
+        values = self.predicted_availability().values()
+        return sum(values) / self.cells
+
+
+def _all_cells(cells: int) -> tuple[int, ...]:
+    return tuple(range(cells))
+
+
+def link_flaps(
+    cells: int = 4, mtbf_scale: float = 1.0, mttr_scale: float = 1.0,
+    horizon_s: float = 3600.0,
+) -> FaultScenario:
+    """Independent backhaul link flaps, one per cell."""
+    return FaultScenario(
+        name="link-flaps",
+        doc="Each cell's backhaul link flaps independently.",
+        cells=cells,
+        components=tuple(
+            ComponentSpec(
+                name=f"backhaul{cell}",
+                kind="link-flap",
+                mtbf_s=40.0 * mtbf_scale,
+                mttr_s=0.03 * mttr_scale,
+                affected_cells=(cell,),
+            )
+            for cell in range(cells)
+        ),
+        horizon_s=horizon_s,
+    )
+
+
+def plc_crashes(
+    cells: int = 4, mtbf_scale: float = 1.0, mttr_scale: float = 1.0,
+    horizon_s: float = 3600.0,
+) -> FaultScenario:
+    """Independent vPLC crash/restart cycles, one per cell."""
+    return FaultScenario(
+        name="plc-crashes",
+        doc="Each cell's vPLC crash-stops and is restarted.",
+        cells=cells,
+        components=tuple(
+            ComponentSpec(
+                name=f"vplc{cell}",
+                kind="plc-crash",
+                mtbf_s=25.0 * mtbf_scale,
+                mttr_s=0.008 * mttr_scale,
+                affected_cells=(cell,),
+            )
+            for cell in range(cells)
+        ),
+        horizon_s=horizon_s,
+    )
+
+
+def virt_incident(
+    cells: int = 4, mtbf_scale: float = 1.0, mttr_scale: float = 1.0,
+    horizon_s: float = 3600.0,
+) -> FaultScenario:
+    """One shared virtualization-stack incident downs every cell at once."""
+    return FaultScenario(
+        name="virt-incident",
+        doc=(
+            "Host-wide virtualization incidents take every consolidated "
+            "cell down together."
+        ),
+        cells=cells,
+        components=(
+            ComponentSpec(
+                name="virt-stack",
+                kind="virt-incident",
+                mtbf_s=15.0 * mtbf_scale,
+                mttr_s=0.09 * mttr_scale,
+                affected_cells=_all_cells(cells),
+            ),
+        ),
+        horizon_s=horizon_s,
+    )
+
+
+def correlated(
+    cells: int = 4, mtbf_scale: float = 1.0, mttr_scale: float = 1.0,
+    horizon_s: float = 3600.0,
+) -> FaultScenario:
+    """Per-cell links plus shared fabric plus shared virtualization stack."""
+    per_cell = tuple(
+        ComponentSpec(
+            name=f"backhaul{cell}",
+            kind="link-flap",
+            mtbf_s=40.0 * mtbf_scale,
+            mttr_s=0.03 * mttr_scale,
+            affected_cells=(cell,),
+        )
+        for cell in range(cells)
+    )
+    shared = (
+        ComponentSpec(
+            name="fabric",
+            kind="correlated-outage",
+            mtbf_s=30.0 * mtbf_scale,
+            mttr_s=0.05 * mttr_scale,
+            affected_cells=_all_cells(cells),
+        ),
+        ComponentSpec(
+            name="virt-stack",
+            kind="virt-incident",
+            mtbf_s=20.0 * mtbf_scale,
+            mttr_s=0.04 * mttr_scale,
+            affected_cells=_all_cells(cells),
+        ),
+    )
+    return FaultScenario(
+        name="correlated",
+        doc=(
+            "Correlated multi-component outages: independent per-cell and "
+            "shared failure processes whose downtime overlaps."
+        ),
+        cells=cells,
+        components=per_cell + shared,
+        horizon_s=horizon_s,
+    )
+
+
+def maintenance(
+    cells: int = 4, mtbf_scale: float = 1.0, mttr_scale: float = 1.0,
+    horizon_s: float = 3600.0,
+) -> FaultScenario:
+    """Deterministic plant-wide maintenance windows (seed-independent).
+
+    ``mtbf_scale`` stretches the period and ``mttr_scale`` the window
+    length, mirroring the stochastic scenarios' knobs.
+    """
+    return FaultScenario(
+        name="maintenance",
+        doc="A scheduled maintenance window recurs across all cells.",
+        cells=cells,
+        maintenance=(
+            MaintenanceSpec(
+                name="plant-maintenance",
+                period_s=600.0 * mtbf_scale,
+                duration_s=0.3 * mttr_scale,
+                first_start_s=300.0 * mtbf_scale,
+                affected_cells=_all_cells(cells),
+            ),
+        ),
+        horizon_s=horizon_s,
+        # Deterministic schedule: measured equals predicted up to interval
+        # clipping at the horizon.
+        tolerance=1e-6,
+    )
+
+
+#: Scenario name → factory.  Factories share one signature so the runner
+#: can sweep ``cells`` / ``mtbf_scale`` / ``mttr_scale`` / ``horizon_s``
+#: uniformly across scenarios.
+SCENARIOS: dict[str, Callable[..., FaultScenario]] = {
+    "link-flaps": link_flaps,
+    "plc-crashes": plc_crashes,
+    "virt-incident": virt_incident,
+    "correlated": correlated,
+    "maintenance": maintenance,
+}
+
+
+def get_scenario(
+    name: str,
+    cells: int = 4,
+    mtbf_scale: float = 1.0,
+    mttr_scale: float = 1.0,
+    horizon_s: float = 3600.0,
+) -> FaultScenario:
+    """Build a shipped scenario by name, raising with the valid names."""
+    try:
+        factory = SCENARIOS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown scenario {name!r}; available: {', '.join(SCENARIOS)}"
+        ) from None
+    return factory(
+        cells=cells,
+        mtbf_scale=mtbf_scale,
+        mttr_scale=mttr_scale,
+        horizon_s=horizon_s,
+    )
+
+
+def scaled(scenario: FaultScenario, horizon_s: float) -> FaultScenario:
+    """A copy of ``scenario`` observed over a different horizon."""
+    return replace(scenario, horizon_s=horizon_s)

@@ -25,6 +25,12 @@ Observability (see :mod:`repro.obs`)::
 (load in Perfetto or ``chrome://tracing``); ``--profile`` times every
 simulator event callback.  Both embed metrics snapshots in the manifest,
 which ``repro obs`` renders as a metrics / hot-spot summary.
+
+Chaos campaigns (see :mod:`repro.chaos`)::
+
+    python -m repro chaos list
+    python -m repro chaos run link-flaps --seeds 0..2 --param mttr_scale=1,2
+    python -m repro chaos replay --scenario link-flaps --seed 7
 """
 
 from __future__ import annotations
@@ -160,6 +166,10 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     _add_cache_args(sub)
+
+    from .chaos.cli import add_chaos_parser
+
+    add_chaos_parser(subparsers)
 
     sub = subparsers.add_parser(
         "obs", help="render the observability summary of a run manifest"
@@ -398,6 +408,10 @@ def dispatch(args: argparse.Namespace) -> int:
             return _run_sweep(args)
         if command == "obs":
             return _run_obs(args)
+        if command == "chaos":
+            from .chaos.cli import dispatch_chaos
+
+            return dispatch_chaos(args)
         spec = get_spec(str(command))
         return _run_figure_command(spec, args)
     except (UnknownFigureError, ValueError) as exc:

@@ -15,7 +15,12 @@ from .availability_analysis import (
     consolidated_vplc_plant,
     redundant_vplc_plant,
 )
-from .faults import CellDowntimeLog, FaultInjector, FaultTarget
+from .faults import (
+    CellDowntimeLog,
+    FaultInjector,
+    FaultTarget,
+    MaintenanceWindow,
+)
 from .compliance import (
     ComplianceResult,
     check_availability,
@@ -58,6 +63,7 @@ __all__ = [
     "FactoryConfig",
     "INDUSTRIAL_SIX_NINES",
     "ISOCHRONOUS_CLASS",
+    "MaintenanceWindow",
     "MACHINE_TOOLS",
     "MOTION_CONTROL",
     "PROCESS_AUTOMATION",

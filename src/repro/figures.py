@@ -150,6 +150,10 @@ class FigureSpec:
     doc: str
     fn: Callable[..., Rows]
     params: tuple[ParamSpec, ...] = field(default_factory=tuple)
+    #: Optional pass/fail judge over the produced rows; the experiment
+    #: runner records its result in the run manifest (chaos campaigns use
+    #: this to turn sweeps into compliance matrices).
+    verdict: Callable[[Rows], str | None] | None = None
 
     def defaults(self) -> dict[str, Any]:
         """Default value for every parameter."""
@@ -335,11 +339,27 @@ def registry() -> dict[str, FigureSpec]:
 
 def get_spec(name: str) -> FigureSpec:
     """Resolve ``name``, raising :class:`UnknownFigureError` with the
-    available names on a miss."""
+    available names on a miss.
+
+    Chaos campaigns (``chaos-*``, see :mod:`repro.chaos.spec`) resolve
+    here too, so the runner and CLI sweep them like any figure;
+    :func:`registry` itself stays figure-only (``repro all`` regenerates
+    the paper's artifacts, not fault campaigns).
+    """
     try:
         return _SPECS[name]
     except KeyError:
-        raise UnknownFigureError(name, tuple(_SPECS)) from None
+        pass
+    # Late import: repro.chaos builds on Rows/FigureSpec defined above.
+    from .chaos.spec import figure_specs
+
+    chaos_specs = figure_specs()
+    try:
+        return chaos_specs[name]
+    except KeyError:
+        raise UnknownFigureError(
+            name, tuple(_SPECS) + tuple(chaos_specs)
+        ) from None
 
 
 def run_figure(name: str, seed: int = 0, **overrides: Any) -> Rows:

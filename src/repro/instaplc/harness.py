@@ -80,6 +80,35 @@ class Fig5Result:
             return 0
         return int(np.max(np.diff(stamps)))
 
+    def io_outage_intervals(
+        self, gap_threshold_ns: int | None = None
+    ) -> list[tuple[int, int]]:
+        """Intervals where the I/O device went unserved beyond the watchdog.
+
+        A gap between consecutive cyclic frames longer than
+        ``gap_threshold_ns`` (default: three cycles, the watchdog
+        convention) counts as a control outage from the last good frame to
+        the frame that ended the gap.  This is the packet-level analogue of
+        :meth:`repro.core.CellDowntimeLog.intervals`, letting the chaos
+        report treat a switchover study and a fault campaign uniformly.
+        """
+        threshold = (
+            gap_threshold_ns if gap_threshold_ns is not None
+            else 3 * self.cycle_ns
+        )
+        intervals: list[tuple[int, int]] = []
+        for previous, current in zip(self.to_io_ns, self.to_io_ns[1:]):
+            if current - previous > threshold:
+                intervals.append((previous, current))
+        return intervals
+
+    def io_downtime_ns(self, gap_threshold_ns: int | None = None) -> int:
+        """Total control downtime toward the I/O device (see above)."""
+        return sum(
+            end - start
+            for start, end in self.io_outage_intervals(gap_threshold_ns)
+        )
+
 
 def run_fig5(
     cycle_ns: int = DEFAULT_CYCLE_NS,

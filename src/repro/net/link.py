@@ -142,8 +142,19 @@ class Link:
         self.loss_model = loss_model
         self.up = True
         self.lost_frames = 0
+        #: administrative down transitions (fault injection bookkeeping)
+        self.downs = 0
         port_a.link = self
         port_b.link = self
+        # One transition counter per link; null and free when obs is off.
+        self._m_transitions = get_registry().counter(
+            "net.link.state_changes", link=self.name
+        )
+
+    @property
+    def name(self) -> str:
+        """Human-readable link name, e.g. ``cell0[0]<->leaf0[2]``."""
+        return f"{self.port_a.name}<->{self.port_b.name}"
 
     def other_end(self, port: Port) -> Port:
         """The port opposite ``port`` on this link."""
@@ -168,12 +179,17 @@ class Link:
 
     def set_up(self) -> None:
         """Restore the link and restart any stalled transmissions."""
+        if not self.up:
+            self._m_transitions.inc()
         self.up = True
         self.port_a.try_transmit()
         self.port_b.try_transmit()
 
     def set_down(self) -> None:
         """Fail the link: in-queue frames stall, in-flight frames are lost."""
+        if self.up:
+            self.downs += 1
+            self._m_transitions.inc()
         self.up = False
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid

@@ -20,6 +20,7 @@ import numpy as np
 from ..fieldbus.controller import CyclicConnection
 from ..fieldbus.protocol import ArState, ConnectionParams
 from ..net.host import Host
+from ..obs import get_registry
 from ..simcore import Process, Simulator
 from .platform import PlatformModel, HARDWARE_PLC
 from .program import FunctionBlockProgram
@@ -66,6 +67,7 @@ class PlcRuntime:
         self.crashed = False
         self._scan_process: Process | None = None
         self.on_crash: list[Callable[[], None]] = []
+        self._m_crashes = get_registry().counter("plc.crashes", plc=self.name)
 
     # -- configuration -------------------------------------------------------
 
@@ -119,6 +121,7 @@ class PlcRuntime:
             return
         self.running = False
         self.crashed = True
+        self._m_crashes.inc()
         if self._scan_process is not None:
             self._scan_process.stop()
             self._scan_process = None
@@ -127,6 +130,18 @@ class PlcRuntime:
         for callback in self.on_crash:
             callback()
         self.sim.trace(f"plc:{self.name} crashed")
+
+    def restart(self) -> None:
+        """Recover from a crash: release dead connections, start scanning.
+
+        The fault-injection repair path: equivalent to the operator power
+        cycling a crashed (v)PLC.  A running instance is left untouched.
+        """
+        if self.running:
+            return
+        self.crashed = False
+        self.stop()  # release any connections the crash left half-open
+        self.start()
 
     # -- the scan loop -------------------------------------------------------
 

@@ -78,7 +78,14 @@ class ResultCache:
             return None
         if payload.get("key") != key:
             return None
-        return Rows(payload["rows"])
+        rows = payload.get("rows")
+        if not isinstance(rows, list) or not all(
+            isinstance(row, dict) for row in rows
+        ):
+            # A decodable but malformed entry (hand-edited, or a schema
+            # from some future version) is a miss, never a crash.
+            return None
+        return Rows(rows)
 
     def put(
         self,

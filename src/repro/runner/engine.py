@@ -167,6 +167,7 @@ def _compute(
         "rows": list(rows),
         "stats": stats.as_dict(),
         "wall_time_s": time.perf_counter() - start,
+        "verdict": spec.verdict(rows) if spec.verdict is not None else None,
     }
     if observe:
         result["metrics"] = cap.registry.snapshot()
@@ -215,6 +216,9 @@ def run_jobs(
     for index, (job, key) in enumerate(zip(jobs, keys)):
         rows = cache.get(key) if cache is not None else None
         if rows is not None:
+            # Verdicts are a pure function of the rows, so cache hits are
+            # re-judged rather than recomputed.
+            judge = get_spec(job.figure).verdict
             record = JobRecord(
                 figure=job.figure,
                 seed=job.seed,
@@ -223,6 +227,7 @@ def run_jobs(
                 cached=True,
                 wall_time_s=0.0,
                 rows=len(rows),
+                verdict=judge(rows) if judge is not None else None,
             )
             outcomes[index] = JobOutcome(job=job, rows=rows, record=record)
             if progress is not None:
@@ -252,6 +257,7 @@ def run_jobs(
             metrics=result.get("metrics"),
             hotspots=result.get("hotspots"),
             trace_path=result.get("trace_path"),
+            verdict=result.get("verdict"),
         )
         outcomes[index] = JobOutcome(job=job, rows=rows, record=record)
         if progress is not None:

@@ -6,7 +6,7 @@ JSON schema (``repro.runner/manifest/v2``)::
 
     {
       "schema": "repro.runner/manifest/v2",
-      "version": "1.2.0",            // repro package version
+      "version": "1.3.0",            // repro package version
       "workers": 4,                  // pool size used
       "cache_dir": ".repro-cache",   // null when caching was disabled
       "cache_hits": 3,
@@ -41,16 +41,19 @@ JSON schema (``repro.runner/manifest/v2``)::
             {"name": "P4Switch.receive.<locals>.<lambda>", "calls": 846,
              "total_ns": 28610000, "max_ns": 865390, "mean_ns": 33814.4}
           ],
-          "trace_path": "traces/fig5.seed0.job3.trace.json"
+          "trace_path": "traces/fig5.seed0.job3.trace.json",
+          // -- verdict (null unless the spec declares a verdict function;
+          //    chaos campaigns record "pass"/"fail" compliance here) ------
+          "verdict": "pass"
         }
       ]
     }
 
 **Backward compatibility:** v1 manifests (schema
 ``repro.runner/manifest/v1``) are the same document minus the three
-observability fields; :meth:`RunManifest.from_dict` reads either version
-and fills the missing fields with ``None``, so tooling written against v2
-loads old manifests unchanged.
+observability fields and ``verdict``; :meth:`RunManifest.from_dict` reads
+either version and fills the missing fields with ``None``, so tooling
+written against v2 loads old manifests unchanged.
 """
 
 from __future__ import annotations
@@ -88,6 +91,8 @@ class JobRecord:
     hotspots: list[dict[str, Any]] | None = None
     #: Chrome trace-event file written for this job (v2).
     trace_path: str | None = None
+    #: Spec verdict over the rows (v2; chaos campaigns: "pass"/"fail").
+    verdict: str | None = None
 
     def as_dict(self) -> dict[str, Any]:
         return {
@@ -103,6 +108,7 @@ class JobRecord:
             "metrics": self.metrics,
             "hotspots": self.hotspots,
             "trace_path": self.trace_path,
+            "verdict": self.verdict,
         }
 
     @classmethod
@@ -121,6 +127,7 @@ class JobRecord:
             metrics=payload.get("metrics"),
             hotspots=payload.get("hotspots"),
             trace_path=payload.get("trace_path"),
+            verdict=payload.get("verdict"),
         )
 
 

@@ -1,0 +1,1 @@
+"""Chaos campaign engine tests."""

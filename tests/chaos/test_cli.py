@@ -1,0 +1,131 @@
+"""The ``repro chaos`` CLI: list, run, replay, report."""
+
+import json
+
+import pytest
+
+from repro.chaos import CampaignResult, get_scenario, run_campaign
+from repro.cli import main
+from repro.runner import RunManifest
+
+
+def run_cli(*argv):
+    return main(list(argv))
+
+
+class TestList:
+    def test_lists_every_scenario_with_predictions(self, capsys):
+        assert run_cli("chaos", "list") == 0
+        out = capsys.readouterr().out
+        for name in (
+            "link-flaps", "plc-crashes", "virt-incident",
+            "correlated", "maintenance",
+        ):
+            assert name in out
+        assert "predicted mean availability" in out
+
+
+class TestRun:
+    def test_writes_manifest_and_campaign_files(self, tmp_path, capsys):
+        manifest_path = tmp_path / "manifest.json"
+        campaign_dir = tmp_path / "campaigns"
+        code = run_cli(
+            "chaos", "run", "maintenance",
+            "--seeds", "0,1",
+            "--param", "horizon_s=1200",
+            "--jobs", "1",
+            "--manifest", str(manifest_path),
+            "--campaign-dir", str(campaign_dir),
+        )
+        assert code == 0
+        manifest = RunManifest.load(manifest_path)
+        assert len(manifest.records) == 2
+        assert all(r.verdict == "pass" for r in manifest.records)
+        campaign_files = sorted(campaign_dir.glob("*.json"))
+        assert len(campaign_files) == 2
+        loaded = CampaignResult.load(campaign_files[0])
+        assert loaded.scenario == "maintenance"
+        out = capsys.readouterr().out
+        assert "2 pass, 0 fail" in out
+
+    def test_strict_fails_on_failing_campaigns(self, tmp_path):
+        code = run_cli(
+            "chaos", "run", "virt-incident",
+            "--param", "horizon_s=600", "--jobs", "1", "--strict",
+        )
+        assert code == 1
+
+    def test_without_strict_failures_are_results(self, capsys):
+        code = run_cli(
+            "chaos", "run", "virt-incident",
+            "--param", "horizon_s=600", "--jobs", "1",
+        )
+        assert code == 0
+        assert "0 pass, 1 fail" in capsys.readouterr().out
+
+    def test_unknown_scenario_is_a_friendly_error(self, capsys):
+        assert run_cli("chaos", "run", "meteor") == 2
+        assert "unknown chaos scenario" in capsys.readouterr().err
+
+
+class TestReplay:
+    def test_replay_from_flags_is_self_consistent(self, capsys):
+        code = run_cli(
+            "chaos", "replay", "--scenario", "link-flaps", "--seed", "7",
+            "--param", "horizon_s=600",
+        )
+        assert code == 0
+        assert "replay OK" in capsys.readouterr().out
+
+    def test_replay_from_campaign_file(self, tmp_path, capsys):
+        scenario = get_scenario("plc-crashes", horizon_s=600.0)
+        reference = run_campaign(
+            scenario, seed=3, params={"horizon_s": 600.0}
+        )
+        path = reference.save(tmp_path / "reference.json")
+        assert run_cli("chaos", "replay", "--campaign", str(path)) == 0
+        assert "replay OK" in capsys.readouterr().out
+
+    def test_replay_flags_divergence(self, tmp_path, capsys):
+        scenario = get_scenario("plc-crashes", horizon_s=600.0)
+        reference = run_campaign(
+            scenario, seed=3, params={"horizon_s": 600.0}
+        )
+        payload = reference.as_dict()
+        payload["intervals"]["1"][0][1] += 1  # tamper with one outage
+        path = tmp_path / "tampered.json"
+        path.write_text(json.dumps(payload))
+        assert run_cli("chaos", "replay", "--campaign", str(path)) == 1
+        assert "replay MISMATCH" in capsys.readouterr().out
+
+    def test_replay_without_scenario_or_campaign_errors(self, capsys):
+        assert run_cli("chaos", "replay") == 2
+        assert "needs --scenario" in capsys.readouterr().err
+
+
+class TestReport:
+    def test_reports_a_manifest(self, tmp_path, capsys):
+        manifest_path = tmp_path / "manifest.json"
+        run_cli(
+            "chaos", "run", "maintenance", "virt-incident",
+            "--param", "horizon_s=600", "--jobs", "1",
+            "--manifest", str(manifest_path),
+        )
+        capsys.readouterr()
+        assert run_cli("chaos", "report", str(manifest_path)) == 0
+        out = capsys.readouterr().out
+        assert "2 with verdicts" in out
+        assert "1 pass, 1 fail" in out
+
+    def test_reports_a_campaign_file(self, tmp_path, capsys):
+        result = run_campaign(get_scenario("maintenance", horizon_s=1200.0))
+        path = result.save(tmp_path / "campaign.json")
+        assert run_cli("chaos", "report", str(path)) == 0
+        out = capsys.readouterr().out
+        assert "verdict=PASS" in out
+        assert "cell 0" in out
+        assert result.fingerprint() in out
+
+    def test_missing_file_is_a_friendly_error(self, tmp_path, capsys):
+        assert run_cli("chaos", "report", str(tmp_path / "nope.json")) == 2
+        assert "cannot read" in capsys.readouterr().err

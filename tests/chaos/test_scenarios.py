@@ -1,0 +1,138 @@
+"""Scenario declarations: validation, analytic predictions, factories."""
+
+import pytest
+
+from repro.chaos import (
+    KINDS,
+    SCENARIOS,
+    ComponentSpec,
+    FaultScenario,
+    MaintenanceSpec,
+    get_scenario,
+)
+from repro.chaos.scenario import scaled
+from repro.core.requirements import DATACENTER_TYPICAL
+
+
+def one_component(**overrides):
+    base = dict(
+        name="c0", kind="link-flap", mtbf_s=10.0, mttr_s=0.1,
+        affected_cells=(0,),
+    )
+    base.update(overrides)
+    return ComponentSpec(**base)
+
+
+class TestValidation:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            one_component(kind="gremlin")
+
+    @pytest.mark.parametrize("field", ["mtbf_s", "mttr_s"])
+    def test_nonpositive_times_rejected(self, field):
+        with pytest.raises(ValueError, match="positive"):
+            one_component(**{field: 0.0})
+
+    def test_component_must_affect_cells(self):
+        with pytest.raises(ValueError, match="affects no cells"):
+            one_component(affected_cells=())
+
+    def test_maintenance_window_shorter_than_period(self):
+        with pytest.raises(ValueError, match="shorter than its period"):
+            MaintenanceSpec(
+                name="m", period_s=10.0, duration_s=10.0, affected_cells=(0,)
+            )
+
+    def test_scenario_rejects_out_of_range_cells(self):
+        with pytest.raises(ValueError, match="unknown cell"):
+            FaultScenario(
+                name="bad", doc="", cells=2,
+                components=(one_component(affected_cells=(5,)),),
+            )
+
+    def test_scenario_needs_positive_horizon(self):
+        with pytest.raises(ValueError, match="horizon"):
+            FaultScenario(name="bad", doc="", cells=1, horizon_s=0.0)
+
+    def test_get_scenario_unknown_name_lists_choices(self):
+        with pytest.raises(ValueError, match="link-flaps"):
+            get_scenario("asteroid-strike")
+
+
+class TestPredictions:
+    def test_component_availability_is_mtbf_over_cycle(self):
+        spec = one_component(mtbf_s=40.0, mttr_s=0.03)
+        assert spec.availability == pytest.approx(40.0 / 40.03)
+
+    def test_maintenance_availability_is_duty_cycle(self):
+        window = MaintenanceSpec(
+            name="m", period_s=600.0, duration_s=0.3, affected_cells=(0,)
+        )
+        assert window.availability == pytest.approx(1.0 - 0.3 / 600.0)
+
+    def test_independent_components_compose_in_series(self):
+        scenario = get_scenario("correlated", cells=2)
+        per_cell = 40.0 / 40.03          # this cell's backhaul
+        fabric = 30.0 / 30.05            # shared
+        virt = 20.0 / 20.04              # shared
+        predicted = scenario.predicted_availability()
+        assert predicted[0] == pytest.approx(per_cell * fabric * virt)
+        assert predicted[1] == pytest.approx(predicted[0])
+
+    def test_unaffected_cells_stay_perfect(self):
+        scenario = FaultScenario(
+            name="partial", doc="", cells=3,
+            components=(one_component(affected_cells=(1,)),),
+        )
+        predicted = scenario.predicted_availability()
+        assert predicted[0] == 1.0
+        assert predicted[1] < 1.0
+        assert predicted[2] == 1.0
+
+    def test_mean_availability_averages_cells(self):
+        scenario = get_scenario("link-flaps")
+        predicted = scenario.predicted_availability()
+        assert scenario.predicted_mean_availability() == pytest.approx(
+            sum(predicted.values()) / scenario.cells
+        )
+
+
+class TestShippedScenarios:
+    def test_all_factories_build_with_defaults(self):
+        for name in SCENARIOS:
+            scenario = get_scenario(name)
+            assert scenario.name == name
+            assert scenario.cells == 4
+            assert scenario.requirement is DATACENTER_TYPICAL
+            assert scenario.components or scenario.maintenance
+
+    def test_scale_knobs_preserve_availability(self):
+        # Scaling MTBF and MTTR together preserves every duty cycle.
+        base = get_scenario("link-flaps")
+        scaled_up = get_scenario("link-flaps", mtbf_scale=3.0, mttr_scale=3.0)
+        assert scaled_up.predicted_availability() == pytest.approx(
+            base.predicted_availability()
+        )
+
+    def test_mttr_scale_degrades_availability(self):
+        base = get_scenario("virt-incident")
+        slower = get_scenario("virt-incident", mttr_scale=4.0)
+        assert (
+            slower.predicted_mean_availability()
+            < base.predicted_mean_availability()
+        )
+
+    def test_kinds_cover_the_taxonomy(self):
+        used = {
+            component.kind
+            for name in SCENARIOS
+            for component in get_scenario(name).components
+        }
+        assert used == set(KINDS)
+
+    def test_scaled_changes_only_the_horizon(self):
+        base = get_scenario("plc-crashes")
+        shorter = scaled(base, horizon_s=60.0)
+        assert shorter.horizon_s == 60.0
+        assert shorter.components == base.components
+        assert shorter.tolerance == base.tolerance

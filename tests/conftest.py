@@ -1,0 +1,21 @@
+"""Shared pytest configuration: the golden-file workflow."""
+
+import pytest
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-golden",
+        action="store_true",
+        default=False,
+        help=(
+            "rewrite the golden JSON snapshots under tests/golden/ from "
+            "the current implementation instead of comparing against them"
+        ),
+    )
+
+
+@pytest.fixture
+def update_golden(request):
+    """True when the run should rewrite golden files, not compare."""
+    return request.config.getoption("--update-golden")

@@ -1,0 +1,1 @@
+"""Golden regression snapshots of figure summary statistics."""

@@ -1,0 +1,1 @@
+"""Property-based (randomized, stdlib-driven) determinism tests."""

@@ -58,6 +58,55 @@ class TestResultCache:
         path.write_text(json.dumps(payload))
         assert cache.get(key) is None
 
+    def test_truncated_entry_is_a_miss(self, tmp_path):
+        # A writer killed mid-write (or a full disk) must cost one
+        # recomputation, never a crash.
+        cache = ResultCache(tmp_path / "cache")
+        key = cache_key("fig1", 0, {})
+        path = cache.put(key, Rows([{"a": 1}] * 50), figure="fig1",
+                         seed=0, params={})
+        text = path.read_text()
+        path.write_text(text[: len(text) // 2])
+        assert cache.get(key) is None
+
+    def test_rows_field_missing_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        key = cache_key("fig1", 0, {})
+        path = cache.put(key, Rows([{"a": 1}]), figure="fig1", seed=0,
+                         params={})
+        payload = json.loads(path.read_text())
+        del payload["rows"]
+        path.write_text(json.dumps(payload))
+        assert cache.get(key) is None
+
+    def test_rows_field_of_wrong_shape_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        key = cache_key("fig1", 0, {})
+        path = cache.put(key, Rows([{"a": 1}]), figure="fig1", seed=0,
+                         params={})
+        for bad_rows in ("not-a-list", [1, 2, 3], [{"a": 1}, "oops"]):
+            payload = json.loads(path.read_text())
+            payload["rows"] = bad_rows
+            path.write_text(json.dumps(payload))
+            assert cache.get(key) is None
+
+    def test_run_jobs_recomputes_through_a_corrupted_cache(self, tmp_path):
+        # End to end: a sweep over a poisoned cache silently recomputes.
+        from repro.runner import expand_grid, run_jobs
+
+        cache = ResultCache(tmp_path / "cache")
+        jobs = expand_grid(["fig1"], seeds=[0])
+        first = run_jobs(jobs, workers=1, cache=cache)
+        (entry,) = list((tmp_path / "cache").glob("??/*.json"))
+        entry.write_text(entry.read_text()[:10])
+        second = run_jobs(jobs, workers=1, cache=cache)
+        (record,) = second.manifest.records
+        assert not record.cached
+        assert second.rows_for("fig1") == first.rows_for("fig1")
+        # The recomputation healed the entry; the next sweep hits again.
+        third = run_jobs(jobs, workers=1, cache=cache)
+        assert third.manifest.records[0].cached
+
     def test_entry_records_provenance(self, tmp_path):
         cache = ResultCache(tmp_path / "cache")
         key = cache_key("fig4-delay", 3, {"cycles": 60})

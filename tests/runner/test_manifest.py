@@ -1,0 +1,138 @@
+"""RunManifest schema: v2 round-trips, v1 compatibility, rejection."""
+
+import json
+
+import pytest
+
+from repro import __version__
+from repro.runner import (
+    MANIFEST_SCHEMA,
+    MANIFEST_SCHEMA_V1,
+    JobRecord,
+    RunManifest,
+)
+
+
+def v2_record(**overrides):
+    base = dict(
+        figure="fig5",
+        seed=3,
+        params={"duration_ms": 1000, "crash_ms": 500},
+        key="ab" * 32,
+        cached=False,
+        wall_time_s=0.52,
+        rows=20,
+        stats={"events_executed": 1000, "sim_time_ns": 10**9},
+        rows_path="results/fig5.csv",
+        metrics={"counters": {"net.host.frames{host=io}": 4}},
+        hotspots=[{"name": "cb", "calls": 2, "total_ns": 10}],
+        trace_path="traces/fig5.trace.json",
+        verdict="pass",
+    )
+    base.update(overrides)
+    return JobRecord(**base)
+
+
+def v1_job_payload():
+    """A job dict as a v1-era manifest stored it (no obs, no verdict)."""
+    return {
+        "figure": "fig1",
+        "seed": 0,
+        "params": {},
+        "key": "cd" * 32,
+        "cached": True,
+        "wall_time_s": 0.0,
+        "rows": 12,
+        "stats": None,
+        "rows_path": None,
+    }
+
+
+class TestRoundTrip:
+    def test_v2_record_survives_dict_round_trip(self):
+        record = v2_record()
+        clone = JobRecord.from_dict(record.as_dict())
+        assert clone == record
+
+    def test_v2_manifest_survives_json_round_trip(self, tmp_path):
+        manifest = RunManifest(
+            workers=4,
+            cache_dir=".repro-cache",
+            wall_time_s=12.81,
+            records=[v2_record(), v2_record(seed=4, cached=True,
+                                            verdict="fail")],
+        )
+        path = tmp_path / "manifest.json"
+        path.write_text(manifest.to_json())
+        loaded = RunManifest.load(path)
+        assert loaded.records == manifest.records
+        assert loaded.workers == manifest.workers
+        assert loaded.cache_dir == manifest.cache_dir
+        assert loaded.cache_hits == 1
+        assert loaded.cache_misses == 1
+
+    def test_round_trip_preserves_verdicts(self):
+        records = [v2_record(verdict=v) for v in ("pass", "fail", None)]
+        manifest = RunManifest(workers=1, cache_dir=None, records=records)
+        loaded = RunManifest.from_json(manifest.to_json())
+        assert [r.verdict for r in loaded.records] == ["pass", "fail", None]
+
+    def test_serialized_schema_and_version_are_current(self):
+        payload = json.loads(
+            RunManifest(workers=1, cache_dir=None).to_json()
+        )
+        assert payload["schema"] == MANIFEST_SCHEMA
+        assert payload["version"] == __version__
+
+
+class TestV1Compatibility:
+    def test_v1_manifest_loads_with_null_v2_fields(self):
+        payload = {
+            "schema": MANIFEST_SCHEMA_V1,
+            "version": "1.0.0",
+            "workers": 2,
+            "cache_dir": None,
+            "cache_hits": 1,
+            "cache_misses": 0,
+            "wall_time_s": 1.0,
+            "jobs": [v1_job_payload()],
+        }
+        manifest = RunManifest.from_dict(payload)
+        (record,) = manifest.records
+        assert record.figure == "fig1"
+        assert record.metrics is None
+        assert record.hotspots is None
+        assert record.trace_path is None
+        assert record.verdict is None
+
+    def test_v1_record_rewrites_as_v2(self):
+        # Upgrading on load then saving must produce a valid v2 document.
+        record = JobRecord.from_dict(v1_job_payload())
+        manifest = RunManifest(workers=2, cache_dir=None, records=[record])
+        rewritten = json.loads(manifest.to_json())
+        assert rewritten["schema"] == MANIFEST_SCHEMA
+        assert rewritten["jobs"][0]["verdict"] is None
+        assert RunManifest.from_dict(rewritten).records == [record]
+
+    def test_minimal_v1_fields_get_defaults(self):
+        record = JobRecord.from_dict(
+            {"figure": "fig1", "seed": 0, "key": "k", "cached": False}
+        )
+        assert record.params == {}
+        assert record.wall_time_s == 0.0
+        assert record.rows == 0
+
+
+class TestRejection:
+    @pytest.mark.parametrize(
+        "schema", [None, "", "repro.runner/manifest/v0",
+                   "repro.runner/manifest/v3", "something-else"]
+    )
+    def test_unknown_schemas_rejected_with_readable_list(self, schema):
+        payload = {"schema": schema, "jobs": []}
+        with pytest.raises(ValueError, match="unsupported manifest schema"):
+            RunManifest.from_dict(payload)
+
+    def test_rejection_names_the_readable_schemas(self):
+        with pytest.raises(ValueError, match="manifest/v1.*manifest/v2"):
+            RunManifest.from_dict({"schema": "bogus"})
