@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Resilient sweeps: crash isolation, retries, checkpoint/resume.
+
+Registers a deliberately flaky figure alongside a real one, sweeps both
+with a checkpoint, and shows that (1) the flaky cell becomes a failed
+manifest record instead of aborting the sweep, and (2) resuming from the
+checkpoint recomputes only the failed cell — the healthy one is served
+from the result cache.
+
+Run:  python examples/resilient_sweep.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro import figures
+from repro.figures import FigureSpec, ParamSpec, Rows
+from repro.runner import ResultCache, make_job, run_jobs
+
+
+def flaky_figure(seed: int = 0, marker: str = "") -> Rows:
+    """Fails until its marker file exists ("the bug got fixed")."""
+    if not Path(marker).exists():
+        raise RuntimeError("flaky-figure: not fixed yet")
+    return Rows([{"seed": seed, "status": "recovered"}])
+
+
+FLAKY = FigureSpec(
+    name="flaky-figure",
+    doc="Demo: raises until its marker file exists.",
+    fn=flaky_figure,
+    params=(ParamSpec("marker", "", "path that fixes the figure", parse=str),),
+)
+
+
+def main() -> None:
+    figures._SPECS[FLAKY.name] = FLAKY
+    try:
+        with tempfile.TemporaryDirectory() as tmp:
+            workdir = Path(tmp)
+            marker = workdir / "fixed"
+            checkpoint = workdir / "manifest.json"
+            cache = ResultCache(workdir / "cache")
+            jobs = [
+                make_job("flaky-figure", params={"marker": str(marker)}),
+                make_job("fig1"),
+            ]
+
+            print("--- first sweep (flaky figure is broken) ---")
+            result = run_jobs(
+                jobs, workers=2, cache=cache,
+                retries=1, checkpoint=checkpoint,
+            )
+            for outcome in result.outcomes:
+                record = outcome.record
+                detail = record.error or f"{record.rows} rows"
+                print(f"  {record.figure}: {record.status} "
+                      f"(attempts={record.attempts}) {detail}")
+            print(f"  degraded: {not result.ok}; "
+                  f"checkpoint has {len(result.manifest.records)} records")
+
+            print("--- fix the figure, resume from the checkpoint ---")
+            marker.write_text("")
+            resumed = run_jobs(
+                jobs, workers=2, cache=cache, resume_from=checkpoint,
+            )
+            for outcome in resumed.outcomes:
+                record = outcome.record
+                print(f"  {record.figure}: {record.status}")
+            print(f"  degraded: {not resumed.ok}")
+            print(f"  flaky rows: {list(resumed.rows_for('flaky-figure'))}")
+    finally:
+        figures._SPECS.pop(FLAKY.name, None)
+
+
+if __name__ == "__main__":
+    main()

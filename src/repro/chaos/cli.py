@@ -10,8 +10,11 @@ Usage::
     python -m repro chaos replay --campaign campaigns/chaos_link_flaps.seed7.*.json
     python -m repro chaos report chaos-manifest.json
 
-``run`` fans campaigns out over the PR-1 runner (grid sweeps, result
-cache, manifest with per-job ``verdict`` entries).  ``replay`` re-executes
+``run`` fans campaigns out over the supervised runner (grid sweeps,
+result cache, manifest with per-job ``verdict`` entries, plus
+``--timeout/--retries/--resume`` fault tolerance; a crashed or hung
+campaign job becomes a failed manifest record and exit code 3 instead of
+aborting the sweep).  ``replay`` re-executes
 a campaign from ``(seed, scenario)`` alone and verifies the per-cell
 outage intervals are byte-identical — against a saved campaign file when
 given, or against an independent second run otherwise.  ``report``
@@ -74,6 +77,9 @@ def add_chaos_parser(subparsers: argparse._SubParsersAction) -> None:
         "--strict", action="store_true",
         help="exit non-zero when any campaign verdict is 'fail'",
     )
+    from ..cli import _add_resilience_args
+
+    _add_resilience_args(sub)
 
     sub = actions.add_parser(
         "replay",
@@ -135,7 +141,13 @@ def _job_label(record) -> str:
 
 
 def _run_run(args: argparse.Namespace) -> int:
-    from ..cli import parse_param_grid, parse_seeds
+    from ..cli import (
+        EXIT_DEGRADED,
+        _report_degraded,
+        _resilience_kwargs,
+        parse_param_grid,
+        parse_seeds,
+    )
     from ..runner import ResultCache
 
     names = list(getattr(args, "scenarios", None) or [])
@@ -148,14 +160,25 @@ def _run_run(args: argparse.Namespace) -> int:
         grid=parse_param_grid(getattr(args, "param", None)),
     )
     cache_dir = getattr(args, "cache_dir", None)
+    manifest_path: Path | None = getattr(args, "manifest", None)
+    if manifest_path is not None:
+        manifest_path.parent.mkdir(parents=True, exist_ok=True)
     result = run_jobs(
         jobs,
         workers=getattr(args, "jobs", None),
         cache=ResultCache(cache_dir) if cache_dir is not None else None,
+        checkpoint=manifest_path,
+        **_resilience_kwargs(args),
     )
     campaign_dir: Path | None = getattr(args, "campaign_dir", None)
     for outcome in result.outcomes:
         record = outcome.record
+        if not record.ok:
+            print(
+                f"  {_job_label(record)}: {record.status.upper()} "
+                f"({record.error})"
+            )
+            continue
         verdict = (record.verdict or "?").upper()
         print(f"  {_job_label(record)}: {verdict}")
         if campaign_dir is not None:
@@ -169,20 +192,29 @@ def _run_run(args: argparse.Namespace) -> int:
                 / f"{stem}.seed{record.seed}.{record.key[:8]}.json"
             )
             print(f"    wrote {path}")
-    manifest_path: Path | None = getattr(args, "manifest", None)
     if manifest_path is not None:
-        manifest_path.parent.mkdir(parents=True, exist_ok=True)
         manifest_path.write_text(result.manifest.to_json() + "\n")
         print(f"wrote {manifest_path}")
     failed = [
         outcome.record
         for outcome in result.outcomes
-        if outcome.record.verdict == "fail"
+        if outcome.record.ok and outcome.record.verdict == "fail"
     ]
+    crashed = result.failures
     print(
         f"{len(result.outcomes)} campaign(s): "
-        f"{len(result.outcomes) - len(failed)} pass, {len(failed)} fail"
+        f"{len(result.outcomes) - len(failed) - len(crashed)} pass, "
+        f"{len(failed)} fail"
+        + (f", {len(crashed)} crashed" if crashed else "")
     )
+    if crashed:
+        hint = (
+            f"resume with: repro chaos run ... --resume {manifest_path}"
+            if manifest_path is not None
+            else "rerun with --manifest to enable --resume"
+        )
+        _report_degraded(result, hint)
+        return EXIT_DEGRADED
     if failed and getattr(args, "strict", False):
         return 1
     return 0

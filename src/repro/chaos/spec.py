@@ -54,7 +54,14 @@ CHAOS_PARAMS: tuple[ParamSpec, ...] = (
 
 
 def campaign_verdict(rows: Rows) -> str:
-    """Manifest verdict for campaign rows: every cell must comply."""
+    """Manifest verdict for campaign rows: every cell must comply.
+
+    Empty rows are a ``fail``: a campaign always produces at least one
+    cell row, so an empty result (e.g. a failed or truncated sweep cell)
+    cannot demonstrate compliance.
+    """
+    if not rows:
+        return "fail"
     return "pass" if all(row.get("ok") for row in rows) else "fail"
 
 

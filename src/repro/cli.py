@@ -31,6 +31,21 @@ Chaos campaigns (see :mod:`repro.chaos`)::
     python -m repro chaos list
     python -m repro chaos run link-flaps --seeds 0..2 --param mttr_scale=1,2
     python -m repro chaos replay --scenario link-flaps --seed 7
+
+Resilient sweeps (see :mod:`repro.runner.supervisor`)::
+
+    python -m repro sweep fig5 fig6 --seeds 0..4 \\
+        --timeout 300 --retries 1 --manifest sweep.json
+    # ... a cell crashed / the box rebooted?  Rerun only what's missing:
+    python -m repro sweep fig5 fig6 --seeds 0..4 \\
+        --timeout 300 --retries 1 --resume sweep.json --manifest sweep.json
+
+``--manifest`` is flushed after every completed job, so an interrupted
+sweep leaves a valid (partial) manifest behind.  Failed cells render a
+``(failed)`` marker row instead of aborting the sweep.
+
+Exit codes: 0 success, 2 usage/argument errors, 3 sweep completed
+*degraded* (some jobs failed or timed out; resume with ``--resume``).
 """
 
 from __future__ import annotations
@@ -45,6 +60,7 @@ from .figures import (
     FORMATS,
     FigureSpec,
     UnknownFigureError,
+    failure_rows,
     get_spec,
     registry,
 )
@@ -57,6 +73,31 @@ from .runner import (
     expand_grid,
     run_jobs,
 )
+
+#: Exit code for a sweep that completed but with failed/timed-out jobs.
+EXIT_DEGRADED = 3
+
+
+def _add_resilience_args(sub: argparse.ArgumentParser) -> None:
+    sub.add_argument(
+        "--timeout", type=float, default=None, metavar="SEC",
+        help="per-job timeout in seconds (default: none)",
+    )
+    sub.add_argument(
+        "--retries", type=int, default=0, metavar="N",
+        help="extra attempts per failed job (default: 0)",
+    )
+    sub.add_argument(
+        "--backoff", type=float, default=None, metavar="SEC",
+        help="base retry backoff in seconds (default: 0.05, deterministic)",
+    )
+    sub.add_argument(
+        "--resume", type=Path, default=None, metavar="MANIFEST",
+        help=(
+            "skip cells this earlier run manifest already completed "
+            "(their rows are re-served from the cache)"
+        ),
+    )
 
 
 def _add_cache_args(sub: argparse.ArgumentParser) -> None:
@@ -120,6 +161,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="directory receiving one CSV per figure plus manifest.json",
     )
     _add_cache_args(sub)
+    _add_resilience_args(sub)
 
     sub = subparsers.add_parser(
         "sweep", help="run a (figure x seed x param) grid in parallel"
@@ -166,6 +208,7 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     _add_cache_args(sub)
+    _add_resilience_args(sub)
 
     from .chaos.cli import add_chaos_parser
 
@@ -221,8 +264,34 @@ def _progress(record: JobRecord) -> None:
         [record.figure, f"seed={record.seed}"]
         + [f"{k}={v}" for k, v in record.params.items()]
     )
+    if not record.ok:
+        print(
+            f"  {label}: {record.status.upper()} after "
+            f"{record.attempts} attempt(s): {record.error}",
+            file=sys.stderr,
+        )
+        return
     state = "cached" if record.cached else f"{record.wall_time_s:.2f}s"
     print(f"  {label}: {state} ({record.rows} rows)", file=sys.stderr)
+
+
+def _resilience_kwargs(args: argparse.Namespace) -> dict[str, Any]:
+    resume = getattr(args, "resume", None)
+    return {
+        "timeout_s": getattr(args, "timeout", None),
+        "retries": getattr(args, "retries", 0),
+        "backoff": getattr(args, "backoff", None),
+        "resume_from": RunManifest.load(resume) if resume else None,
+    }
+
+
+def _report_degraded(result, resume_hint: str) -> None:
+    failures = result.failures
+    print(
+        f"repro: {len(failures)} of {len(result.outcomes)} job(s) "
+        f"failed; completed cells are kept ({resume_hint})",
+        file=sys.stderr,
+    )
 
 
 def _csv_name(record: JobRecord, multi: bool) -> str:
@@ -258,26 +327,44 @@ def _run_figure_command(spec: FigureSpec, args: argparse.Namespace) -> int:
 def _run_all(args: argparse.Namespace) -> int:
     out_dir: Path = getattr(args, "out_dir", Path("results"))
     out_dir.mkdir(parents=True, exist_ok=True)
+    manifest_path = out_dir / "manifest.json"
     jobs = expand_grid(list(registry()), seeds=[getattr(args, "seed", 0)])
     result = run_jobs(
         jobs,
         workers=getattr(args, "jobs", None),
         cache=_cache_from(args),
         progress=_progress,
+        checkpoint=manifest_path,
+        **_resilience_kwargs(args),
     )
     for outcome in result.outcomes:
         target = out_dir / _csv_name(outcome.record, multi=False)
-        target.write_text(outcome.rows.to_csv())
+        if outcome.record.ok:
+            target.write_text(outcome.rows.to_csv())
+            print(f"wrote {target} ({len(outcome.rows)} rows)")
+        else:
+            # Partial-figure rendering: a failed cell still exports a
+            # placeholder CSV so downstream tooling sees every figure.
+            target.write_text(
+                failure_rows(
+                    outcome.record.figure, outcome.record.error
+                ).to_csv()
+            )
+            print(f"wrote {target} ((failed) marker row)")
         outcome.record.rows_path = str(target)
-        print(f"wrote {target} ({len(outcome.rows)} rows)")
-    manifest_path = out_dir / "manifest.json"
     manifest_path.write_text(result.manifest.to_json() + "\n")
     print(
         f"wrote {manifest_path} "
         f"({result.manifest.cache_hits} cached, "
         f"{result.manifest.cache_misses} computed, "
+        f"{result.manifest.failed} failed, "
         f"{result.manifest.wall_time_s:.2f}s)"
     )
+    if not result.ok:
+        _report_degraded(
+            result, f"resume with: repro all --resume {manifest_path}"
+        )
+        return EXIT_DEGRADED
     return 0
 
 
@@ -295,6 +382,9 @@ def _run_sweep(args: argparse.Namespace) -> int:
         seeds=parse_seeds(getattr(args, "seeds", "0")),
         grid=parse_param_grid(getattr(args, "param", None)),
     )
+    manifest_path: Path | None = getattr(args, "manifest", None)
+    if manifest_path is not None:
+        manifest_path.parent.mkdir(parents=True, exist_ok=True)
     result = run_jobs(
         jobs,
         workers=getattr(args, "jobs", None),
@@ -302,21 +392,36 @@ def _run_sweep(args: argparse.Namespace) -> int:
         progress=_progress,
         trace_dir=getattr(args, "trace_out", None),
         profile=getattr(args, "profile", False),
+        checkpoint=manifest_path,
+        **_resilience_kwargs(args),
     )
     out_dir: Path | None = getattr(args, "out_dir", None)
     if out_dir is not None:
         out_dir.mkdir(parents=True, exist_ok=True)
         for outcome in result.outcomes:
             target = out_dir / _csv_name(outcome.record, multi=True)
-            target.write_text(outcome.rows.to_csv())
+            rows = (
+                outcome.rows
+                if outcome.record.ok
+                else failure_rows(
+                    outcome.record.figure, outcome.record.error
+                )
+            )
+            target.write_text(rows.to_csv())
             outcome.record.rows_path = str(target)
-    manifest_path: Path | None = getattr(args, "manifest", None)
     if manifest_path is not None:
-        manifest_path.parent.mkdir(parents=True, exist_ok=True)
         manifest_path.write_text(result.manifest.to_json() + "\n")
         print(f"wrote {manifest_path}", file=sys.stderr)
     else:
         print(result.manifest.to_json())
+    if not result.ok:
+        hint = (
+            f"resume with: repro sweep ... --resume {manifest_path}"
+            if manifest_path is not None
+            else "rerun with --manifest to enable --resume"
+        )
+        _report_degraded(result, hint)
+        return EXIT_DEGRADED
     return 0
 
 

@@ -1,0 +1,98 @@
+"""Intentionally faulty demo figures for the fault-tolerant runner.
+
+The chaos engine (PR 3) injects faults into the *simulated* plant; this
+module injects them into the *runner itself*, so the supervised sweep
+path — crash isolation, timeouts, retries, resume — can be exercised
+end-to-end from the CLI without touching real figures.
+
+The specs are invisible unless ``REPRO_DEMO_FAULTS`` is set in the
+environment: ``repro list`` / ``repro all`` never see them, but with the
+flag set they resolve through :func:`repro.figures.get_spec` like any
+figure, so ``repro sweep faulty-demo`` works::
+
+    REPRO_DEMO_FAULTS=1 python -m repro sweep faulty-demo fig1 \\
+        --param marker=/tmp/fixed --retries 1 --manifest m.json
+    touch /tmp/fixed
+    REPRO_DEMO_FAULTS=1 python -m repro sweep faulty-demo fig1 \\
+        --param marker=/tmp/fixed --resume m.json --manifest m.json
+
+- ``faulty-demo`` raises until its ``marker`` file exists ("the figure
+  got fixed"), then succeeds — the checkpoint/resume demo.
+- ``hang-demo`` sleeps ``sleep_s`` seconds — the timeout demo.
+- ``exit-demo`` kills its worker process with ``os._exit`` — the
+  dead-worker demo.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from .figures import FigureSpec, ParamSpec, Rows
+
+#: Environment flag gating the demo specs into the figure registry.
+ENV_FLAG = "REPRO_DEMO_FAULTS"
+
+
+def demo_faults_enabled() -> bool:
+    """Whether the faulty demo figures are visible to ``get_spec``."""
+    return bool(os.environ.get(ENV_FLAG))
+
+
+def faulty_demo(seed: int = 0, marker: str = "") -> Rows:
+    """Raise until ``marker`` exists on disk, then return one row."""
+    if marker and os.path.exists(marker):
+        return Rows([{"seed": seed, "status": "recovered"}])
+    raise RuntimeError(
+        f"faulty-demo: induced failure (marker file {marker!r} absent)"
+    )
+
+
+def hang_demo(seed: int = 0, sleep_s: float = 60.0) -> Rows:
+    """Sleep past any reasonable per-job timeout."""
+    time.sleep(sleep_s)
+    return Rows([{"seed": seed, "slept_s": sleep_s}])
+
+
+def exit_demo(seed: int = 0, code: int = 17) -> Rows:
+    """Kill the worker process outright (no exception to catch)."""
+    os._exit(code)
+
+
+_DEMO_SPECS: dict[str, FigureSpec] = {
+    spec.name: spec
+    for spec in (
+        FigureSpec(
+            name="faulty-demo",
+            doc="Demo: raises until its marker file exists.",
+            fn=faulty_demo,
+            params=(
+                ParamSpec(
+                    "marker", "", "path that, once created, fixes the figure",
+                    parse=str,
+                ),
+            ),
+        ),
+        FigureSpec(
+            name="hang-demo",
+            doc="Demo: sleeps sleep_s seconds (exercises timeouts).",
+            fn=hang_demo,
+            params=(
+                ParamSpec("sleep_s", 60.0, "sleep duration (s)", parse=float),
+            ),
+        ),
+        FigureSpec(
+            name="exit-demo",
+            doc="Demo: kills its worker process via os._exit.",
+            fn=exit_demo,
+            params=(ParamSpec("code", 17, "process exit code"),),
+        ),
+    )
+}
+
+
+def demo_fault_specs() -> dict[str, FigureSpec]:
+    """The demo specs when enabled, else an empty mapping."""
+    if not demo_faults_enabled():
+        return {}
+    return dict(_DEMO_SPECS)

@@ -46,6 +46,23 @@ from .simcore.units import MS
 #: Render formats understood by :meth:`Rows.render` and the CLI ``--format``.
 FORMATS = ("table", "csv", "json")
 
+#: Status marker rendered for cells that produced no data (see
+#: :func:`failure_rows`); mirrors the PacketTracer ``(dropped)`` row.
+FAILED_MARKER = "(failed)"
+
+
+def failure_rows(figure: str, error: str | None = None) -> Rows:
+    """Placeholder rows for a sweep cell that failed to produce data.
+
+    Degraded sweeps still render and export every requested figure; cells
+    that crashed or timed out contribute one marker row instead of
+    silently vanishing from the output.
+    """
+    return Rows(
+        [{"figure": figure, "status": FAILED_MARKER,
+          "error": error or "unknown error"}]
+    )
+
 
 class Rows(list):
     """A list of plain-dict rows with serialization helpers.
@@ -352,13 +369,21 @@ def get_spec(name: str) -> FigureSpec:
         pass
     # Late import: repro.chaos builds on Rows/FigureSpec defined above.
     from .chaos.spec import figure_specs
+    from .faultdemo import demo_fault_specs
 
     chaos_specs = figure_specs()
     try:
         return chaos_specs[name]
     except KeyError:
+        pass
+    # Intentionally faulty demo figures (runner fault-tolerance smoke
+    # tests); empty unless REPRO_DEMO_FAULTS is set in the environment.
+    demo_specs = demo_fault_specs()
+    try:
+        return demo_specs[name]
+    except KeyError:
         raise UnknownFigureError(
-            name, tuple(_SPECS) + tuple(chaos_specs)
+            name, tuple(_SPECS) + tuple(chaos_specs) + tuple(demo_specs)
         ) from None
 
 

@@ -5,12 +5,16 @@ Public API:
 - :func:`expand_grid` / :func:`make_job` — turn (figures × seeds × params)
   into concrete :class:`Job` cells, validated against the
   :class:`~repro.figures.FigureSpec` registry.
-- :func:`run_jobs` — execute jobs across a ``multiprocessing`` pool,
+- :func:`run_jobs` — execute jobs across a supervised process pool,
   serving repeats from a :class:`ResultCache`, returning a
-  :class:`SweepResult` (rows per job + a :class:`RunManifest`).
+  :class:`SweepResult` (rows per job + a :class:`RunManifest`); supports
+  per-job timeouts, bounded deterministic retries, incremental manifest
+  checkpointing, and resuming an interrupted or degraded sweep.
+- :class:`RetryPolicy` — timeout/retry/backoff knobs for
+  :func:`run_jobs` (see :mod:`repro.runner.supervisor`).
 - :class:`ResultCache` / :func:`cache_key` — the on-disk cache.
 - :class:`RunManifest` / :class:`JobRecord` — the JSON run manifest
-  (schema :data:`MANIFEST_SCHEMA`).
+  (schema :data:`MANIFEST_SCHEMA`, with per-job ``status``).
 
 Example::
 
@@ -18,8 +22,15 @@ Example::
 
     jobs = expand_grid(["fig4-delay", "fig5"], seeds=[0, 1],
                        grid={"cycles": [100, 400]})
-    result = run_jobs(jobs, workers=4, cache=ResultCache("/tmp/cache"))
-    print(result.manifest.to_json())
+    result = run_jobs(jobs, workers=4, cache=ResultCache("/tmp/cache"),
+                      timeout_s=120.0, retries=1,
+                      checkpoint="sweep-manifest.json")
+    if not result.ok:
+        for outcome in result.failures:
+            print(outcome.job, outcome.record.error)
+    # Later: rerun only what failed.
+    result = run_jobs(jobs, cache=ResultCache("/tmp/cache"),
+                      resume_from="sweep-manifest.json")
 """
 
 from .cache import DEFAULT_CACHE_DIR, ResultCache, cache_key
@@ -35,9 +46,19 @@ from .engine import (
 from .manifest import (
     MANIFEST_SCHEMA,
     MANIFEST_SCHEMA_V1,
+    MANIFEST_SCHEMA_V2,
     READABLE_SCHEMAS,
     JobRecord,
     RunManifest,
+)
+from .supervisor import (
+    OK_STATUSES,
+    RETRIES_COUNTER,
+    STATUS_CACHED,
+    STATUS_FAILED,
+    STATUS_OK,
+    STATUS_TIMEOUT,
+    RetryPolicy,
 )
 
 __all__ = [
@@ -47,9 +68,17 @@ __all__ = [
     "JobRecord",
     "MANIFEST_SCHEMA",
     "MANIFEST_SCHEMA_V1",
+    "MANIFEST_SCHEMA_V2",
+    "OK_STATUSES",
     "READABLE_SCHEMAS",
+    "RETRIES_COUNTER",
     "ResultCache",
+    "RetryPolicy",
     "RunManifest",
+    "STATUS_CACHED",
+    "STATUS_FAILED",
+    "STATUS_OK",
+    "STATUS_TIMEOUT",
     "SweepResult",
     "cache_key",
     "ensure_writable_dir",

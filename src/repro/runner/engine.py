@@ -1,7 +1,8 @@
 """The parallel experiment engine.
 
 Expands a (figure × seed × param-grid) request into :class:`Job` cells,
-fans the uncached cells out over a ``multiprocessing`` pool, and returns a
+fans the uncached cells out over a supervised
+:class:`~concurrent.futures.ProcessPoolExecutor`, and returns a
 :class:`SweepResult` pairing each job's :class:`~repro.figures.Rows` with a
 :class:`~repro.runner.manifest.RunManifest` of cache and timing counters.
 
@@ -9,23 +10,39 @@ Results are deterministic and independent of the worker count: every job
 is a pure function of ``(figure, seed, params, version)``, and rows are
 reassembled in job order.  Cache lookups happen *before* dispatch, so a
 warm-cache sweep performs zero figure recomputation.
+
+Execution is fault tolerant (see :mod:`repro.runner.supervisor`): a
+raising figure, a hung job, or a dying worker process becomes a
+``failed``/``timeout`` :class:`~repro.runner.manifest.JobRecord` instead
+of aborting the sweep, bounded retries rerun failed cells after a
+deterministic backoff, the manifest can be checkpointed after every
+completed job, and ``resume_from=`` skips cells an earlier (possibly
+interrupted or degraded) run already completed.
 """
 
 from __future__ import annotations
 
 import itertools
-import multiprocessing
 import os
 import time
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Callable, Iterable, Mapping, Sequence
 
-from .. import obs
 from ..figures import Rows, get_spec
 from ..simcore.stats import collect as collect_stats
+from .. import obs
 from .cache import ResultCache, cache_key
 from .manifest import JobRecord, RunManifest
+from .supervisor import (
+    OK_STATUSES,
+    STATUS_CACHED,
+    STATUS_OK,
+    RetryPolicy,
+    Task,
+    run_inline,
+    run_supervised,
+)
 
 
 @dataclass(frozen=True)
@@ -57,19 +74,54 @@ class JobOutcome:
 
 @dataclass
 class SweepResult:
-    """Everything a sweep produced, in job order."""
+    """Everything a sweep produced, in job order.
+
+    Failed cells are *included*: their outcomes carry empty rows and a
+    record with ``status`` ``"failed"``/``"timeout"`` plus the error.  Use
+    :attr:`failures` (or ``manifest.degraded``) to detect partial results.
+    """
 
     outcomes: list[JobOutcome]
     manifest: RunManifest
 
+    @property
+    def failures(self) -> list[JobOutcome]:
+        """Outcomes whose job failed or timed out, in job order."""
+        return [o for o in self.outcomes if not o.record.ok]
+
+    @property
+    def ok(self) -> bool:
+        """Whether every cell completed (computed or cached)."""
+        return not self.failures
+
     def rows_for(self, figure: str, seed: int | None = None) -> Rows:
-        """Rows of the first outcome matching ``figure`` (and ``seed``)."""
+        """Rows of the first *completed* outcome matching ``figure``
+        (and ``seed``); failed cells raise with their recorded error."""
+        failed: JobOutcome | None = None
         for outcome in self.outcomes:
             if outcome.job.figure == figure and (
                 seed is None or outcome.job.seed == seed
             ):
-                return outcome.rows
-        raise KeyError(f"no outcome for figure {figure!r}")
+                if outcome.record.ok:
+                    return outcome.rows
+                failed = failed or outcome
+        requested = (
+            f"figure {figure!r}"
+            if seed is None
+            else f"figure {figure!r} seed {seed}"
+        )
+        if failed is not None:
+            raise KeyError(
+                f"outcome for {requested} is {failed.record.status}: "
+                f"{failed.record.error or 'unknown error'}"
+            )
+        available = sorted(
+            {(o.job.figure, o.job.seed) for o in self.outcomes}
+        )
+        listing = ", ".join(f"{f} (seed {s})" for f, s in available) or "none"
+        raise KeyError(
+            f"no outcome for {requested}; available: {listing}"
+        )
 
 
 def make_job(
@@ -120,14 +172,22 @@ def expand_grid(
     return jobs
 
 
+#: Monotonic suffix keeping concurrent probes in one process distinct.
+_PROBE_COUNTER = itertools.count()
+
+
 def ensure_writable_dir(path: Path | str, purpose: str) -> Path:
     """Create ``path`` and prove it is writable, or raise a friendly error.
 
     Probing up front keeps unwritable output locations from surfacing as a
     raw ``OSError`` deep inside a pool worker halfway through a sweep.
+    The probe name is PID+counter-unique so two sweeps probing the same
+    directory concurrently cannot unlink each other's probe file.
     """
     directory = Path(path)
-    probe = directory / ".repro-write-probe"
+    probe = directory / (
+        f".repro-write-probe.{os.getpid()}.{next(_PROBE_COUNTER)}"
+    )
     try:
         directory.mkdir(parents=True, exist_ok=True)
         probe.write_text("")
@@ -182,6 +242,15 @@ def _compute(
     return index, result
 
 
+def _resumable_keys(resume_from: RunManifest | Path | str | None) -> set[str]:
+    """Cache keys an earlier run completed (status ok/cached)."""
+    if resume_from is None:
+        return set()
+    if not isinstance(resume_from, RunManifest):
+        resume_from = RunManifest.load(resume_from)
+    return {record.key for record in resume_from.records if record.ok}
+
+
 def run_jobs(
     jobs: Sequence[Job],
     workers: int | None = None,
@@ -189,32 +258,92 @@ def run_jobs(
     progress: Callable[[JobRecord], None] | None = None,
     trace_dir: Path | str | None = None,
     profile: bool = False,
+    *,
+    timeout_s: float | None = None,
+    retries: int = 0,
+    backoff: RetryPolicy | float | None = None,
+    resume_from: RunManifest | Path | str | None = None,
+    checkpoint: Path | str | None = None,
 ) -> SweepResult:
     """Execute ``jobs``, serving repeats from ``cache`` when given.
 
     ``workers`` defaults to ``os.cpu_count()``; values <= 1 (or a single
     pending job) run inline, which keeps single-job invocations free of
-    pool overhead and easy to debug.
+    pool overhead and easy to debug.  Setting ``timeout_s`` forces the
+    supervised pool path even for one job — a hung job can only be killed
+    from outside its process.
+
+    **Fault tolerance** (see :mod:`repro.runner.supervisor`): a raising
+    figure, a job exceeding ``timeout_s``, or a worker process dying
+    yields a record with ``status`` ``"failed"``/``"timeout"`` (plus
+    ``error``/``traceback``) instead of aborting the sweep.  ``retries``
+    grants each job that many additional attempts, spaced by a
+    deterministic exponential backoff (``backoff`` is either a base delay
+    in seconds or a full :class:`RetryPolicy`); retries rerun the exact
+    same payload, so simulation seeds and results are never perturbed.
+
+    **Checkpoint/resume:** ``checkpoint`` names a manifest file flushed
+    atomically after *every* completed job, so an interrupted sweep loses
+    at most the in-flight work.  ``resume_from`` takes a manifest (object
+    or path) from an earlier run and skips every cell it already
+    completed, re-serving its rows from ``cache`` — cells whose rows are
+    not cached are recomputed, and failed cells always rerun.
 
     ``trace_dir`` enables span tracing per job and writes one Chrome
     trace-event file (plus a JSONL twin) per computed job into it.
     ``profile`` additionally times every simulator event callback and
     attaches a hot-spot table to each job record.  Either flag also embeds
-    a ``repro.obs`` metrics snapshot in the manifest (schema v2).  Cached
-    jobs are *not* recomputed to obtain observability data.
+    a ``repro.obs`` metrics snapshot in the manifest.  Cached jobs are
+    *not* recomputed to obtain observability data.
     """
     workers = workers if workers is not None else (os.cpu_count() or 1)
     start = time.perf_counter()
     if trace_dir is not None:
         trace_dir = str(ensure_writable_dir(trace_dir, "trace output"))
+    if checkpoint is not None:
+        checkpoint = Path(checkpoint)
+        ensure_writable_dir(checkpoint.parent, "manifest checkpoint")
+    if isinstance(backoff, RetryPolicy):
+        policy = backoff
+    else:
+        policy = RetryPolicy(
+            retries=retries,
+            timeout_s=timeout_s,
+            **({"backoff_base_s": backoff} if backoff is not None else {}),
+        )
+    resume_keys = _resumable_keys(resume_from)
     keys = [job.key() for job in jobs]
     outcomes: list[JobOutcome | None] = [None] * len(jobs)
+
+    def _flush_checkpoint() -> None:
+        if checkpoint is None:
+            return
+        manifest = RunManifest(
+            workers=workers,
+            cache_dir=str(cache.root) if cache is not None else None,
+            wall_time_s=time.perf_counter() - start,
+            records=[o.record for o in outcomes if o is not None],
+        )
+        tmp = checkpoint.with_suffix(f".tmp.{os.getpid()}")
+        tmp.write_text(manifest.to_json() + "\n")
+        os.replace(tmp, checkpoint)
+
+    def _complete(index: int, outcome: JobOutcome) -> None:
+        outcomes[index] = outcome
+        _flush_checkpoint()
+        if progress is not None:
+            progress(outcome.record)
 
     pending: list[
         tuple[int, str, int, tuple[tuple[str, Any], ...], str | None, bool]
     ] = []
     for index, (job, key) in enumerate(zip(jobs, keys)):
-        rows = cache.get(key) if cache is not None else None
+        rows = None
+        if cache is not None and (resume_from is None or key in resume_keys):
+            # On resume only previously-completed cells may be served from
+            # cache; failed cells must recompute even if some stale entry
+            # exists under their key.
+            rows = cache.get(key)
         if rows is not None:
             # Verdicts are a pure function of the rows, so cache hits are
             # re-judged rather than recomputed.
@@ -228,10 +357,9 @@ def run_jobs(
                 wall_time_s=0.0,
                 rows=len(rows),
                 verdict=judge(rows) if judge is not None else None,
+                status=STATUS_CACHED,
             )
-            outcomes[index] = JobOutcome(job=job, rows=rows, record=record)
-            if progress is not None:
-                progress(record)
+            _complete(index, JobOutcome(job=job, rows=rows, record=record))
         else:
             pending.append(
                 (index, job.figure, job.seed, job.params, trace_dir, profile)
@@ -239,40 +367,66 @@ def run_jobs(
 
     def _finish(index: int, result: dict[str, Any]) -> None:
         job = jobs[index]
-        rows = Rows(result["rows"])
-        if cache is not None:
-            cache.put(
-                keys[index], rows,
-                figure=job.figure, seed=job.seed, params=job.params_dict,
+        status = result.get("status", STATUS_OK)
+        if status in OK_STATUSES:
+            rows = Rows(result["rows"])
+            if cache is not None:
+                cache.put(
+                    keys[index], rows,
+                    figure=job.figure, seed=job.seed, params=job.params_dict,
+                )
+            record = JobRecord(
+                figure=job.figure,
+                seed=job.seed,
+                params=job.params_dict,
+                key=keys[index],
+                cached=False,
+                wall_time_s=result["wall_time_s"],
+                rows=len(rows),
+                stats=result["stats"],
+                metrics=result.get("metrics"),
+                hotspots=result.get("hotspots"),
+                trace_path=result.get("trace_path"),
+                verdict=result.get("verdict"),
+                attempts=result.get("attempts", 1),
             )
-        record = JobRecord(
-            figure=job.figure,
-            seed=job.seed,
-            params=job.params_dict,
-            key=keys[index],
-            cached=False,
-            wall_time_s=result["wall_time_s"],
-            rows=len(rows),
-            stats=result["stats"],
-            metrics=result.get("metrics"),
-            hotspots=result.get("hotspots"),
-            trace_path=result.get("trace_path"),
-            verdict=result.get("verdict"),
-        )
-        outcomes[index] = JobOutcome(job=job, rows=rows, record=record)
-        if progress is not None:
-            progress(record)
+        else:
+            # Failed or timed out after exhausting the retry budget: the
+            # cell contributes an empty Rows and a diagnostic record, and
+            # the sweep carries on.
+            record = JobRecord(
+                figure=job.figure,
+                seed=job.seed,
+                params=job.params_dict,
+                key=keys[index],
+                cached=False,
+                wall_time_s=result.get("wall_time_s", 0.0),
+                rows=0,
+                status=status,
+                error=result.get("error"),
+                traceback=result.get("traceback"),
+                attempts=result.get("attempts", 1),
+            )
+            rows = Rows()
+        _complete(index, JobOutcome(job=job, rows=rows, record=record))
 
     if pending:
-        if min(workers, len(pending)) <= 1:
-            for payload in pending:
-                _finish(*_compute(payload))
+        tasks = [
+            Task(
+                index=payload[0],
+                payload=payload,
+                key=keys[payload[0]],
+                figure=payload[1],
+            )
+            for payload in pending
+        ]
+        inline = min(workers, len(pending)) <= 1 and policy.timeout_s is None
+        if inline:
+            run_inline(tasks, _compute, policy, _finish)
         else:
-            with multiprocessing.Pool(processes=workers) as pool:
-                for index, result in pool.imap_unordered(
-                    _compute, pending, chunksize=1
-                ):
-                    _finish(index, result)
+            run_supervised(
+                tasks, _compute, max(workers, 1), policy, _finish
+            )
 
     done = [outcome for outcome in outcomes if outcome is not None]
     manifest = RunManifest(
@@ -281,4 +435,7 @@ def run_jobs(
         wall_time_s=time.perf_counter() - start,
         records=[outcome.record for outcome in done],
     )
-    return SweepResult(outcomes=done, manifest=manifest)
+    result = SweepResult(outcomes=done, manifest=manifest)
+    if checkpoint is not None:
+        _flush_checkpoint()
+    return result

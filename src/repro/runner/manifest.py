@@ -1,16 +1,17 @@
 """Machine-readable run manifest for experiment sweeps.
 
 Every :func:`repro.runner.run_jobs` call produces a :class:`RunManifest`
-summarizing what ran, what was served from cache, and what it cost.  The
-JSON schema (``repro.runner/manifest/v2``)::
+summarizing what ran, what failed, what was served from cache, and what
+it cost.  The JSON schema (``repro.runner/manifest/v3``)::
 
     {
-      "schema": "repro.runner/manifest/v2",
-      "version": "1.3.0",            // repro package version
+      "schema": "repro.runner/manifest/v3",
+      "version": "1.4.0",            // repro package version
       "workers": 4,                  // pool size used
       "cache_dir": ".repro-cache",   // null when caching was disabled
       "cache_hits": 3,
       "cache_misses": 5,
+      "failed": 1,                   // jobs with status failed/timeout
       "wall_time_s": 12.81,          // whole-sweep wall clock
       "jobs": [
         {
@@ -21,6 +22,11 @@ JSON schema (``repro.runner/manifest/v2``)::
           "cached": false,
           "wall_time_s": 0.52,       // 0.0 for cache hits
           "rows": 60,
+          // -- v3 supervision fields (see repro.runner.supervisor) ---------
+          "status": "ok",            // "ok" | "failed" | "timeout" | "cached"
+          "error": null,             // one-line error for failed/timeout jobs
+          "traceback": null,         // worker traceback when one was caught
+          "attempts": 1,             // executions incl. retries
           "stats": {                 // Simulator.stats totals; null if cached
             "simulators": 1,
             "events_scheduled": 241035,
@@ -49,11 +55,14 @@ JSON schema (``repro.runner/manifest/v2``)::
       ]
     }
 
-**Backward compatibility:** v1 manifests (schema
-``repro.runner/manifest/v1``) are the same document minus the three
-observability fields and ``verdict``; :meth:`RunManifest.from_dict` reads
-either version and fills the missing fields with ``None``, so tooling
-written against v2 loads old manifests unchanged.
+**Backward compatibility:** v2 manifests (schema
+``repro.runner/manifest/v2``) are the same document minus the four
+supervision fields, and v1 manifests additionally lack the observability
+fields and ``verdict``; :meth:`RunManifest.from_dict` reads all three
+versions, fills missing optional fields with ``None``, and derives
+``status`` for pre-v3 records (``"cached"`` when the job was a cache hit,
+``"ok"`` otherwise — pre-v3 sweeps aborted instead of recording
+failures), so tooling written against v3 loads old manifests unchanged.
 """
 
 from __future__ import annotations
@@ -66,10 +75,15 @@ from typing import Any
 from .. import __version__
 
 MANIFEST_SCHEMA_V1 = "repro.runner/manifest/v1"
-MANIFEST_SCHEMA = "repro.runner/manifest/v2"
+MANIFEST_SCHEMA_V2 = "repro.runner/manifest/v2"
+MANIFEST_SCHEMA = "repro.runner/manifest/v3"
 
 #: Schemas :meth:`RunManifest.from_dict` knows how to read.
-READABLE_SCHEMAS = (MANIFEST_SCHEMA_V1, MANIFEST_SCHEMA)
+READABLE_SCHEMAS = (MANIFEST_SCHEMA_V1, MANIFEST_SCHEMA_V2, MANIFEST_SCHEMA)
+
+#: Job statuses that carry usable rows (mirrors ``supervisor.OK_STATUSES``
+#: without importing it: the manifest layer stays dependency-free).
+_OK_STATUSES = ("ok", "cached")
 
 
 @dataclass
@@ -93,6 +107,19 @@ class JobRecord:
     trace_path: str | None = None
     #: Spec verdict over the rows (v2; chaos campaigns: "pass"/"fail").
     verdict: str | None = None
+    #: Terminal state (v3): "ok", "failed", "timeout", or "cached".
+    status: str = "ok"
+    #: One-line error description for failed/timeout jobs (v3).
+    error: str | None = None
+    #: Worker traceback, when the failure raised inside the figure (v3).
+    traceback: str | None = None
+    #: Number of executions, including retries (v3).
+    attempts: int = 1
+
+    @property
+    def ok(self) -> bool:
+        """Whether this record's rows are usable (status ok/cached)."""
+        return self.status in _OK_STATUSES
 
     def as_dict(self) -> dict[str, Any]:
         return {
@@ -109,17 +136,27 @@ class JobRecord:
             "hotspots": self.hotspots,
             "trace_path": self.trace_path,
             "verdict": self.verdict,
+            "status": self.status,
+            "error": self.error,
+            "traceback": self.traceback,
+            "attempts": self.attempts,
         }
 
     @classmethod
     def from_dict(cls, payload: dict[str, Any]) -> "JobRecord":
-        """Rebuild a record from manifest JSON (v1 fields always present)."""
+        """Rebuild a record from manifest JSON (v1 fields always present).
+
+        Pre-v3 records carry no ``status``; it is derived from ``cached``
+        (pre-v3 sweeps aborted on the first failure, so every recorded
+        job either computed or hit the cache).
+        """
+        cached = payload["cached"]
         return cls(
             figure=payload["figure"],
             seed=payload["seed"],
             params=dict(payload.get("params") or {}),
             key=payload["key"],
-            cached=payload["cached"],
+            cached=cached,
             wall_time_s=payload.get("wall_time_s", 0.0),
             rows=payload.get("rows", 0),
             stats=payload.get("stats"),
@@ -128,6 +165,10 @@ class JobRecord:
             hotspots=payload.get("hotspots"),
             trace_path=payload.get("trace_path"),
             verdict=payload.get("verdict"),
+            status=payload.get("status") or ("cached" if cached else "ok"),
+            error=payload.get("error"),
+            traceback=payload.get("traceback"),
+            attempts=payload.get("attempts", 1),
         )
 
 
@@ -148,6 +189,20 @@ class RunManifest:
     def cache_misses(self) -> int:
         return sum(1 for record in self.records if not record.cached)
 
+    @property
+    def failed(self) -> int:
+        """Jobs that ended failed or timed out after exhausting retries."""
+        return sum(1 for record in self.records if not record.ok)
+
+    @property
+    def degraded(self) -> bool:
+        """Whether the sweep completed with at least one failed job."""
+        return self.failed > 0
+
+    def failures(self) -> list[JobRecord]:
+        """The failed/timeout records, in job order."""
+        return [record for record in self.records if not record.ok]
+
     def as_dict(self) -> dict[str, Any]:
         return {
             "schema": MANIFEST_SCHEMA,
@@ -156,6 +211,7 @@ class RunManifest:
             "cache_dir": self.cache_dir,
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
+            "failed": self.failed,
             "wall_time_s": round(self.wall_time_s, 6),
             "jobs": [record.as_dict() for record in self.records],
         }

@@ -1,0 +1,346 @@
+"""Supervised job execution: crash isolation, timeouts, bounded retries.
+
+The PR-1 engine dispatched jobs over a bare ``multiprocessing.Pool``: one
+raising figure, one hung worker, or one OOM-killed process aborted the
+whole sweep with no manifest and no way to resume.  This module is the
+supervision layer underneath :func:`repro.runner.run_jobs` that turns
+those events into *data* instead of aborts:
+
+- a worker exception becomes a structured failure result (error string +
+  traceback) and the sweep continues;
+- a worker that dies outright (``os._exit``, OOM kill, segfault) is
+  detected through the broken-pool machinery of
+  :class:`concurrent.futures.ProcessPoolExecutor` and the pool is
+  rebuilt.  A dead worker breaks *every* in-flight future, so when more
+  than one job was in flight the suspects are **quarantined**: rerun one
+  at a time (uncharged) until the guilty job breaks the pool alone and
+  can be charged precisely — innocent bystanders never lose an attempt
+  to a sibling's crash;
+- a job that exceeds ``RetryPolicy.timeout_s`` has its worker terminated
+  and is recorded with status ``"timeout"``; in-flight bystanders are
+  resubmitted without being charged an attempt;
+- every failed attempt with retry budget left is rescheduled after a
+  *deterministic* exponential backoff (seeded jitter, no wall-clock
+  randomness) and counted on the ``chaos.runner.retries`` obs counter.
+
+Retries rerun the identical payload — same figure, same seed, same
+params — so backoff can never perturb simulation results; only wall
+time and the ``attempts`` field change.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import heapq
+import itertools
+import multiprocessing
+import time
+import traceback
+from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from typing import Any, Callable, Sequence
+
+from .. import obs
+
+#: Obs counter incremented (with a ``figure`` label) on every retry.
+RETRIES_COUNTER = "chaos.runner.retries"
+
+#: Job statuses recorded in the manifest (see ``JobRecord.status``).
+STATUS_OK = "ok"
+STATUS_FAILED = "failed"
+STATUS_TIMEOUT = "timeout"
+STATUS_CACHED = "cached"
+
+#: Statuses that carry usable rows; anything else is a failure.
+OK_STATUSES = (STATUS_OK, STATUS_CACHED)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Timeout, retry budget, and deterministic backoff for one sweep.
+
+    ``retries`` is the number of *additional* attempts after the first
+    (``retries=2`` → at most 3 executions).  Backoff after attempt *n*
+    is ``backoff_base_s * backoff_factor**(n-1)``, scaled by a jitter in
+    ``[0.5, 1.5)`` derived from ``sha256(seed, job key, attempt)`` — the
+    same sweep retries on the same schedule every run, with no
+    wall-clock randomness to make campaign fingerprints flaky.
+    """
+
+    retries: int = 0
+    timeout_s: float | None = None
+    backoff_base_s: float = 0.05
+    backoff_factor: float = 2.0
+    backoff_max_s: float = 5.0
+    seed: int = 0
+
+    def backoff_s(self, key: str, attempt: int) -> float:
+        """Delay before re-running ``key`` after failed attempt ``attempt``."""
+        base = self.backoff_base_s * self.backoff_factor ** max(attempt - 1, 0)
+        digest = hashlib.sha256(
+            f"{self.seed}:{key}:{attempt}".encode("utf-8")
+        ).digest()
+        jitter = 0.5 + int.from_bytes(digest[:8], "big") / 2**64
+        return min(base * jitter, self.backoff_max_s)
+
+
+@dataclass(eq=False)
+class Task:
+    """One supervised unit of work: a pickled payload plus retry state."""
+
+    index: int
+    payload: Any
+    key: str
+    figure: str
+    #: Attempts charged against the retry budget (uncharged reruns after
+    #: a sibling broke the pool are not counted).
+    attempts: int = 0
+    started_at: float = field(default=0.0, repr=False)
+
+
+def guard(compute: Callable[[Any], tuple[int, dict]], payload: Any):
+    """Run ``compute`` in a worker, converting exceptions to failure dicts.
+
+    Keeping the try/except *inside* the worker means a future that raises
+    can only mean the worker process itself died — which is exactly the
+    classification the supervisor needs.  ``KeyboardInterrupt`` is
+    re-raised so Ctrl-C still tears the pool down promptly.
+    """
+    start = time.perf_counter()
+    try:
+        return compute(payload)
+    except KeyboardInterrupt:
+        raise
+    except BaseException as exc:  # noqa: BLE001 - isolation is the point
+        return payload[0], {
+            "error": f"{type(exc).__name__}: {exc}",
+            "traceback": traceback.format_exc(),
+            "wall_time_s": time.perf_counter() - start,
+        }
+
+
+def _fork_context():
+    """Prefer the ``fork`` start method where available.
+
+    Forked workers inherit the parent's figure registry (including specs
+    registered at runtime, e.g. by tests or plugins), matching the
+    semantics of the PR-1 ``multiprocessing.Pool`` path.
+    """
+    methods = multiprocessing.get_all_start_methods()
+    if "fork" in methods:
+        return multiprocessing.get_context("fork")
+    return None
+
+
+def _terminate(executor: ProcessPoolExecutor) -> None:
+    """Shut an executor down *now*, killing any still-running workers."""
+    processes = list(getattr(executor, "_processes", {}).values())
+    executor.shutdown(wait=False, cancel_futures=True)
+    for process in processes:
+        if process.is_alive():
+            process.terminate()
+    for process in processes:
+        process.join(timeout=2.0)
+
+
+def run_inline(
+    tasks: Sequence[Task],
+    compute: Callable[[Any], tuple[int, dict]],
+    policy: RetryPolicy,
+    finish: Callable[[int, dict], None],
+) -> None:
+    """Sequential supervised execution (no pool, no timeout enforcement).
+
+    Used for single-worker / single-job sweeps where pool overhead is not
+    worth paying.  Exceptions are isolated and retried exactly like the
+    pool path; timeouts require a pool (you cannot kill your own frame)
+    and are enforced by :func:`run_supervised` instead.
+    """
+    for task in tasks:
+        while True:
+            task.attempts += 1
+            index, result = guard(compute, task.payload)
+            if "error" not in result:
+                result["attempts"] = task.attempts
+                finish(index, result)
+                break
+            if task.attempts <= policy.retries:
+                obs.get_registry().counter(
+                    RETRIES_COUNTER, figure=task.figure
+                ).inc()
+                time.sleep(policy.backoff_s(task.key, task.attempts))
+                continue
+            result["status"] = STATUS_FAILED
+            result["attempts"] = task.attempts
+            finish(index, result)
+            break
+
+
+def run_supervised(
+    tasks: Sequence[Task],
+    compute: Callable[[Any], tuple[int, dict]],
+    workers: int,
+    policy: RetryPolicy,
+    finish: Callable[[int, dict], None],
+) -> None:
+    """Run ``tasks`` over a supervised :class:`ProcessPoolExecutor`.
+
+    Calls ``finish(index, result)`` exactly once per task, in completion
+    order.  ``result`` is either the worker's success dict or a failure
+    dict carrying ``status`` (``"failed"``/``"timeout"``), ``error``,
+    ``traceback`` (when available), ``wall_time_s``, and ``attempts``.
+
+    **Attribution on worker death:** a dead worker breaks every in-flight
+    future, so the guilty job cannot be told apart from bystanders in the
+    moment.  All suspects are *quarantined*: rerun one at a time, with
+    exclusive use of the pool, and without being charged an attempt.  A
+    quarantined job that breaks the pool alone is guilty beyond doubt and
+    charged; one that completes is released.  This terminates — every
+    pool break either charges exactly one job (bounded by the retry
+    budget) or shrinks the set of unquarantined jobs.
+    """
+    queue: list[Task] = list(tasks)
+    sleeping: list[tuple[float, int, Task]] = []  # (due, tiebreak, task)
+    inflight: dict[Future, Task] = {}
+    quarantined: set[int] = set()  # task indices under solo suspicion
+    tick = itertools.count()
+    executor = ProcessPoolExecutor(
+        max_workers=workers, mp_context=_fork_context()
+    )
+
+    def fail(task: Task, result: dict, status: str) -> None:
+        """Charge a failed attempt: reschedule or finalize the task."""
+        if task.attempts <= policy.retries:
+            obs.get_registry().counter(
+                RETRIES_COUNTER, figure=task.figure
+            ).inc()
+            due = time.monotonic() + policy.backoff_s(task.key, task.attempts)
+            heapq.heappush(sleeping, (due, next(tick), task))
+            return
+        quarantined.discard(task.index)
+        result.setdefault("wall_time_s", time.monotonic() - task.started_at)
+        result["status"] = status
+        result["attempts"] = task.attempts
+        finish(task.index, result)
+
+    def submit(task: Task, charged: bool = True) -> None:
+        if charged:
+            task.attempts += 1
+        task.started_at = time.monotonic()
+        inflight[executor.submit(guard, compute, task.payload)] = task
+
+    def rebuild_pool() -> None:
+        nonlocal executor
+        _terminate(executor)
+        executor = ProcessPoolExecutor(
+            max_workers=workers, mp_context=_fork_context()
+        )
+
+    try:
+        while queue or sleeping or inflight:
+            now = time.monotonic()
+            while sleeping and sleeping[0][0] <= now:
+                queue.append(heapq.heappop(sleeping)[2])
+
+            # Submission, under the quarantine discipline: a quarantined
+            # task only runs alone, and nothing joins it mid-flight.
+            solo = any(t.index in quarantined for t in inflight.values())
+            if not solo:
+                ready = [t for t in queue if t.index in quarantined]
+                if ready:
+                    if not inflight:
+                        task = ready[0]
+                        queue.remove(task)
+                        submit(task)
+                    # else: drain the pool before the suspect runs solo.
+                else:
+                    while queue and len(inflight) < workers:
+                        submit(queue.pop(0))
+
+            if not inflight:
+                # Every task is in backoff: sleep until the first is due.
+                time.sleep(max(sleeping[0][0] - time.monotonic(), 0.0))
+                continue
+
+            wait_s: float | None = None
+            if policy.timeout_s is not None:
+                deadlines = [
+                    t.started_at + policy.timeout_s - now
+                    for t in inflight.values()
+                ]
+                wait_s = max(min(deadlines), 0.01)
+            if sleeping:
+                until_due = max(sleeping[0][0] - now, 0.01)
+                wait_s = until_due if wait_s is None else min(wait_s, until_due)
+            done, _ = wait(inflight, timeout=wait_s, return_when=FIRST_COMPLETED)
+
+            suspects: list[Task] = []
+            for future in done:
+                task = inflight.pop(future)
+                exc = future.exception()
+                if exc is None:
+                    index, result = future.result()
+                    if "error" in result:
+                        fail(task, result, STATUS_FAILED)
+                    else:
+                        quarantined.discard(task.index)
+                        result["attempts"] = task.attempts
+                        finish(index, result)
+                elif isinstance(exc, BrokenProcessPool):
+                    suspects.append(task)
+                else:
+                    fail(
+                        task,
+                        {"error": f"{type(exc).__name__}: {exc}"},
+                        STATUS_FAILED,
+                    )
+
+            if suspects:
+                # The pool broke: every remaining in-flight future is
+                # doomed too.  One suspect → guilty, charge it.  Several →
+                # quarantine them all, uncharged, for solo reruns.
+                suspects.extend(inflight.values())
+                inflight.clear()
+                if len(suspects) == 1:
+                    quarantined.add(suspects[0].index)
+                    fail(
+                        suspects[0],
+                        {"error": "worker process died before returning a "
+                                  "result (killed, crashed, or exited)"},
+                        STATUS_FAILED,
+                    )
+                else:
+                    for task in suspects:
+                        task.attempts -= 1
+                        quarantined.add(task.index)
+                        queue.append(task)
+                rebuild_pool()
+                continue
+
+            if policy.timeout_s is not None:
+                now = time.monotonic()
+                timed_out = [
+                    (future, task)
+                    for future, task in inflight.items()
+                    if now - task.started_at >= policy.timeout_s
+                ]
+                if timed_out:
+                    # A hung worker cannot be killed selectively: tear the
+                    # pool down, charge the timed-out jobs, and resubmit
+                    # the in-flight bystanders without charging them.
+                    for future, task in timed_out:
+                        del inflight[future]
+                        fail(
+                            task,
+                            {"error": f"job exceeded timeout of "
+                                      f"{policy.timeout_s:g}s"},
+                            STATUS_TIMEOUT,
+                        )
+                    for task in inflight.values():
+                        task.attempts -= 1
+                        queue.append(task)
+                    inflight.clear()
+                    rebuild_pool()
+    finally:
+        _terminate(executor)

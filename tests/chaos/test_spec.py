@@ -54,6 +54,11 @@ class TestVerdict:
         rows[1]["ok"] = False
         assert campaign_verdict(rows) == "fail"
 
+    def test_empty_rows_cannot_demonstrate_compliance(self):
+        # A failed or truncated sweep cell yields no rows; vacuous truth
+        # must not turn that into a "pass".
+        assert campaign_verdict([]) == "fail"
+
     def test_figure_spec_rows_match_direct_campaign(self):
         spec = get_chaos_spec("maintenance")
         via_figure = get_spec("chaos-maintenance").run(seed=3)

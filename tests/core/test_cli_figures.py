@@ -2,6 +2,7 @@
 
 import csv
 import io
+import json
 
 import pytest
 
@@ -142,3 +143,59 @@ class TestCliObservability:
         ]) == 2
         err = capsys.readouterr().err
         assert "not writable" in err
+
+
+class TestCliResilience:
+    """Degraded sweeps: exit code 3, failure markers, and --resume."""
+
+    @pytest.fixture(autouse=True)
+    def demo_faults(self, monkeypatch):
+        monkeypatch.setenv("REPRO_DEMO_FAULTS", "1")
+
+    def test_degraded_sweep_exits_3_then_resumes_green(
+        self, tmp_path, capsys
+    ):
+        manifest_path = tmp_path / "manifest.json"
+        marker = tmp_path / "fixed"
+        argv = [
+            "sweep", "faulty-demo", "fig1",
+            "--param", f"marker={marker}",
+            "--jobs", "1",
+            "--cache-dir", str(tmp_path / "cache"),
+            "--manifest", str(manifest_path),
+        ]
+        assert main(list(argv)) == 3
+        err = capsys.readouterr().err
+        assert "FAILED" in err
+        assert "--resume" in err
+        payload = json.loads(manifest_path.read_text())
+        assert payload["schema"] == "repro.runner/manifest/v3"
+        assert payload["failed"] == 1
+
+        marker.write_text("")  # "fix" the figure
+        assert main(argv + ["--resume", str(manifest_path)]) == 0
+        statuses = {
+            job["figure"]: job["status"]
+            for job in json.loads(manifest_path.read_text())["jobs"]
+        }
+        assert statuses == {"fig1": "cached", "faulty-demo": "ok"}
+
+    def test_failed_cells_export_a_marker_csv(self, tmp_path, capsys):
+        out_dir = tmp_path / "out"
+        assert main([
+            "sweep", "faulty-demo", "fig1", "--no-cache", "--jobs", "1",
+            "--out-dir", str(out_dir),
+        ]) == 3
+        capsys.readouterr()
+        (failed_csv,) = out_dir.glob("faulty_demo*.csv")
+        reader = csv.DictReader(io.StringIO(failed_csv.read_text()))
+        (row,) = list(reader)
+        assert row["status"] == "(failed)"
+        assert "induced failure" in row["error"]
+        # the healthy figure's CSV is real data, not a marker
+        (ok_csv,) = out_dir.glob("fig1*.csv")
+        assert "(failed)" not in ok_csv.read_text()
+
+    def test_demo_figures_stay_out_of_the_registry(self, capsys):
+        assert main(["list"]) == 0
+        assert "faulty-demo" not in capsys.readouterr().out

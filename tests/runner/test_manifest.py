@@ -1,4 +1,4 @@
-"""RunManifest schema: v2 round-trips, v1 compatibility, rejection."""
+"""RunManifest schema: v3 round-trips, v1/v2 compatibility, rejection."""
 
 import json
 
@@ -8,6 +8,7 @@ from repro import __version__
 from repro.runner import (
     MANIFEST_SCHEMA,
     MANIFEST_SCHEMA_V1,
+    MANIFEST_SCHEMA_V2,
     JobRecord,
     RunManifest,
 )
@@ -28,6 +29,24 @@ def v2_record(**overrides):
         hotspots=[{"name": "cb", "calls": 2, "total_ns": 10}],
         trace_path="traces/fig5.trace.json",
         verdict="pass",
+    )
+    base.update(overrides)
+    return JobRecord(**base)
+
+
+def failed_record(**overrides):
+    base = dict(
+        figure="fig5",
+        seed=1,
+        params={},
+        key="ef" * 32,
+        cached=False,
+        wall_time_s=0.1,
+        rows=0,
+        status="failed",
+        error="RuntimeError: boom",
+        traceback="Traceback (most recent call last): ...",
+        attempts=3,
     )
     base.update(overrides)
     return JobRecord(**base)
@@ -85,6 +104,66 @@ class TestRoundTrip:
         assert payload["version"] == __version__
 
 
+class TestV3Supervision:
+    def test_failed_record_round_trips(self):
+        record = failed_record()
+        clone = JobRecord.from_dict(record.as_dict())
+        assert clone == record
+        assert clone.status == "failed"
+        assert clone.error == "RuntimeError: boom"
+        assert clone.attempts == 3
+        assert not clone.ok
+
+    def test_timeout_status_round_trips(self):
+        record = failed_record(status="timeout", error="exceeded 5s")
+        assert JobRecord.from_dict(record.as_dict()).status == "timeout"
+
+    def test_manifest_counts_failures(self):
+        manifest = RunManifest(
+            workers=2,
+            cache_dir=None,
+            records=[v2_record(), failed_record(),
+                     failed_record(status="timeout")],
+        )
+        assert manifest.failed == 2
+        assert manifest.degraded
+        assert [r.status for r in manifest.failures()] == [
+            "failed", "timeout",
+        ]
+        payload = json.loads(manifest.to_json())
+        assert payload["failed"] == 2
+
+    def test_clean_manifest_is_not_degraded(self):
+        manifest = RunManifest(
+            workers=1, cache_dir=None,
+            records=[v2_record(), v2_record(cached=True, status="cached")],
+        )
+        assert manifest.failed == 0
+        assert not manifest.degraded
+        assert manifest.failures() == []
+
+    def test_v2_payload_derives_status_from_cached(self):
+        computed = v2_record().as_dict()
+        cached = v2_record(cached=True).as_dict()
+        for payload in (computed, cached):
+            for field in ("status", "error", "traceback", "attempts"):
+                del payload[field]
+        manifest = RunManifest.from_dict({
+            "schema": MANIFEST_SCHEMA_V2,
+            "version": "1.3.0",
+            "workers": 2,
+            "cache_dir": None,
+            "cache_hits": 1,
+            "cache_misses": 1,
+            "wall_time_s": 1.0,
+            "jobs": [computed, cached],
+        })
+        assert [r.status for r in manifest.records] == ["ok", "cached"]
+        assert all(r.ok for r in manifest.records)
+        assert all(r.attempts == 1 for r in manifest.records)
+        assert not manifest.degraded
+
+
 class TestV1Compatibility:
     def test_v1_manifest_loads_with_null_v2_fields(self):
         payload = {
@@ -126,7 +205,7 @@ class TestV1Compatibility:
 class TestRejection:
     @pytest.mark.parametrize(
         "schema", [None, "", "repro.runner/manifest/v0",
-                   "repro.runner/manifest/v3", "something-else"]
+                   "repro.runner/manifest/v4", "something-else"]
     )
     def test_unknown_schemas_rejected_with_readable_list(self, schema):
         payload = {"schema": schema, "jobs": []}
