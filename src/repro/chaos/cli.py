@@ -77,9 +77,10 @@ def add_chaos_parser(subparsers: argparse._SubParsersAction) -> None:
         "--strict", action="store_true",
         help="exit non-zero when any campaign verdict is 'fail'",
     )
-    from ..cli import _add_resilience_args
+    from ..cli import _add_resilience_args, _add_status_args
 
     _add_resilience_args(sub)
+    _add_status_args(sub)
 
     sub = actions.add_parser(
         "replay",
@@ -145,6 +146,7 @@ def _run_run(args: argparse.Namespace) -> int:
         EXIT_DEGRADED,
         _report_degraded,
         _resilience_kwargs,
+        _status_path,
         parse_param_grid,
         parse_seeds,
     )
@@ -168,6 +170,10 @@ def _run_run(args: argparse.Namespace) -> int:
         workers=getattr(args, "jobs", None),
         cache=ResultCache(cache_dir) if cache_dir is not None else None,
         checkpoint=manifest_path,
+        status_path=_status_path(
+            args,
+            manifest_path.parent if manifest_path is not None else None,
+        ),
         **_resilience_kwargs(args),
     )
     campaign_dir: Path | None = getattr(args, "campaign_dir", None)
@@ -281,12 +287,29 @@ def _report_campaign(campaign: CampaignResult) -> int:
 
 def _report_manifest(manifest: RunManifest, path: Path) -> int:
     judged = [r for r in manifest.records if r.verdict is not None]
-    print(
+    retries = sum(max(r.attempts - 1, 0) for r in manifest.records)
+    header = (
         f"{path}: {len(manifest.records)} job(s), "
         f"{len(judged)} with verdicts"
     )
+    if manifest.failed:
+        header += f", {manifest.failed} crashed/timed out"
+    if retries:
+        header += f", {retries} retry attempt(s)"
+    print(header)
     for record in judged:
-        print(f"  {_job_label(record)}: {(record.verdict or '?').upper()}")
+        suffix = (
+            f" [{record.attempts} attempts]" if record.attempts > 1 else ""
+        )
+        print(
+            f"  {_job_label(record)}: "
+            f"{(record.verdict or '?').upper()}{suffix}"
+        )
+    for record in manifest.failures():
+        print(
+            f"  {_job_label(record)}: {record.status.upper()} "
+            f"({record.error or '?'})"
+        )
     failed = sum(1 for r in judged if r.verdict == "fail")
     print(f"{len(judged) - failed} pass, {failed} fail")
     return 0

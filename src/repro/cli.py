@@ -44,7 +44,22 @@ Resilient sweeps (see :mod:`repro.runner.supervisor`)::
 sweep leaves a valid (partial) manifest behind.  Failed cells render a
 ``(failed)`` marker row instead of aborting the sweep.
 
-Exit codes: 0 success, 2 usage/argument errors, 3 sweep completed
+Cross-run observability (see :mod:`repro.obs.report`,
+:mod:`repro.obs.history`, :mod:`repro.obs.status`)::
+
+    python -m repro all --out-dir results/      # heartbeats results/status.json
+    python -m repro obs tail results/ --follow  # live ok/failed/retry counts
+    python -m repro report results/             # report.html + report.md
+    python -m repro bench record                # BENCH_<date>.json + history
+    python -m repro bench compare --warn-only   # regression check vs history
+
+``report`` aggregates a run directory's manifest, row CSVs, metrics, and
+verdicts into a self-contained HTML + markdown report.  ``bench record``
+times the ``benchmarks/`` suite and appends to an append-only history;
+``bench compare`` flags median shifts outside a MAD-scaled noise band.
+
+Exit codes: 0 success, 1 bench regression (without ``--warn-only``) or
+failed strict chaos verdicts, 2 usage/argument errors, 3 sweep completed
 *degraded* (some jobs failed or timed out; resume with ``--resume``).
 """
 
@@ -65,6 +80,7 @@ from .figures import (
     registry,
 )
 from .obs import hotspot_table
+from .obs.metrics import sorted_histogram_items
 from .runner import (
     DEFAULT_CACHE_DIR,
     JobRecord,
@@ -97,6 +113,20 @@ def _add_resilience_args(sub: argparse.ArgumentParser) -> None:
             "skip cells this earlier run manifest already completed "
             "(their rows are re-served from the cache)"
         ),
+    )
+
+
+def _add_status_args(sub: argparse.ArgumentParser) -> None:
+    sub.add_argument(
+        "--status", type=Path, default=None, metavar="FILE",
+        help=(
+            "live status heartbeat file (default: status.json in --out-dir "
+            "or next to --manifest; see 'repro obs tail')"
+        ),
+    )
+    sub.add_argument(
+        "--no-status", action="store_true",
+        help="disable the live status heartbeat",
     )
 
 
@@ -162,6 +192,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_cache_args(sub)
     _add_resilience_args(sub)
+    _add_status_args(sub)
 
     sub = subparsers.add_parser(
         "sweep", help="run a (figure x seed x param) grid in parallel"
@@ -209,21 +240,129 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_cache_args(sub)
     _add_resilience_args(sub)
+    _add_status_args(sub)
 
     from .chaos.cli import add_chaos_parser
 
     add_chaos_parser(subparsers)
 
     sub = subparsers.add_parser(
-        "obs", help="render the observability summary of a run manifest"
+        "obs",
+        help=(
+            "observability: summarize a run manifest, or 'tail' a "
+            "running sweep's status heartbeat"
+        ),
     )
     sub.add_argument(
-        "manifest_path", type=Path, metavar="MANIFEST",
-        help="manifest JSON written by 'repro sweep' or 'repro all'",
+        "target", metavar="MANIFEST|tail",
+        help=(
+            "manifest JSON written by 'repro sweep'/'repro all', or the "
+            "literal 'tail' to watch a live sweep"
+        ),
+    )
+    sub.add_argument(
+        "tail_path", nargs="?", type=Path, default=None, metavar="STATUS",
+        help=(
+            "with 'tail': the status.json (or the sweep's run directory "
+            "holding one); default: current directory"
+        ),
     )
     sub.add_argument(
         "--top", type=int, default=10, metavar="N",
         help="hot-spot rows to show per job (default: 10)",
+    )
+    sub.add_argument(
+        "--follow", "-f", action="store_true",
+        help="with 'tail': keep polling until the sweep finishes",
+    )
+    sub.add_argument(
+        "--interval", type=float, default=0.5, metavar="SEC",
+        help="with 'tail --follow': polling interval (default: 0.5)",
+    )
+
+    sub = subparsers.add_parser(
+        "report",
+        help="aggregate a finished run into HTML + markdown reports",
+    )
+    sub.add_argument(
+        "run_dir", type=Path, metavar="RUN_DIR|MANIFEST",
+        help=(
+            "run directory (holding manifest.json) from 'repro all' / "
+            "'repro sweep --out-dir', or a manifest file"
+        ),
+    )
+    sub.add_argument(
+        "--out-dir", type=Path, default=None, metavar="DIR",
+        help="where report.html / report.md go (default: the run dir)",
+    )
+    sub.add_argument(
+        "--top", type=int, default=10, metavar="N",
+        help="merged hot-spot rows in the report (default: 10)",
+    )
+
+    bench = subparsers.add_parser(
+        "bench", help="record / compare benchmark wall-time trajectories"
+    )
+    bench_sub = bench.add_subparsers(dest="bench_command", required=True)
+    sub = bench_sub.add_parser(
+        "record",
+        help="time the benchmarks suite and append to the history store",
+    )
+    sub.add_argument(
+        "--history", type=Path, default=Path(".repro-bench"), metavar="DIR",
+        help="history directory (default: .repro-bench)",
+    )
+    sub.add_argument(
+        "--out", type=Path, default=None, metavar="FILE",
+        help="BENCH_*.json output path (default: derived inside --history)",
+    )
+    sub.add_argument(
+        "--suite", default="benchmarks", metavar="PATH",
+        help="pytest target to time (default: benchmarks)",
+    )
+    sub.add_argument(
+        "-k", dest="select", default=None, metavar="EXPR",
+        help="pytest -k selection expression",
+    )
+    sub.add_argument(
+        "--from", dest="samples_from", type=Path, default=None,
+        metavar="FILE",
+        help=(
+            "ingest samples from an existing BENCH_*.json or pytest-hook "
+            "samples file instead of running pytest"
+        ),
+    )
+    sub.add_argument(
+        "--no-history", action="store_true",
+        help="write the BENCH file only; do not append to the history",
+    )
+    sub = bench_sub.add_parser(
+        "compare",
+        help="judge a BENCH_*.json against the history's noise band",
+    )
+    sub.add_argument(
+        "bench_file", nargs="?", type=Path, default=None, metavar="FILE",
+        help="BENCH_*.json to judge (default: newest in --history)",
+    )
+    sub.add_argument(
+        "--history", type=Path, default=Path(".repro-bench"), metavar="DIR",
+        help="history directory (default: .repro-bench)",
+    )
+    sub.add_argument(
+        "--window", type=int, default=8, metavar="N",
+        help="history entries the baseline median spans (default: 8)",
+    )
+    sub.add_argument(
+        "--mad-factor", type=float, default=4.0, metavar="F",
+        help="noise-band width in MAD-scaled sigmas (default: 4.0)",
+    )
+    sub.add_argument(
+        "--min-rel", type=float, default=0.10, metavar="R",
+        help="minimum relative noise band (default: 0.10)",
+    )
+    sub.add_argument(
+        "--warn-only", action="store_true",
+        help="report regressions but exit 0 (CI bring-up mode)",
     )
     return parser
 
@@ -259,20 +398,62 @@ def _cache_from(args: argparse.Namespace) -> ResultCache | None:
     return ResultCache(getattr(args, "cache_dir", DEFAULT_CACHE_DIR))
 
 
-def _progress(record: JobRecord) -> None:
-    label = " ".join(
-        [record.figure, f"seed={record.seed}"]
-        + [f"{k}={v}" for k, v in record.params.items()]
-    )
-    if not record.ok:
-        print(
-            f"  {label}: {record.status.upper()} after "
-            f"{record.attempts} attempt(s): {record.error}",
-            file=sys.stderr,
+def _make_progress(total: int):
+    """Build a per-job progress printer with live counts and an ETA.
+
+    The running ``[done/total ok=.. failed=..]`` prefix and the ETA are
+    the in-terminal twin of the ``status.json`` heartbeat: both are
+    derived from completed :class:`JobRecord` durations only, so neither
+    can perturb results.
+    """
+    done = ok = failed = 0
+    durations: list[float] = []
+
+    def progress(record: JobRecord) -> None:
+        nonlocal done, ok, failed
+        done += 1
+        label = " ".join(
+            [record.figure, f"seed={record.seed}"]
+            + [f"{k}={v}" for k, v in record.params.items()]
         )
-        return
-    state = "cached" if record.cached else f"{record.wall_time_s:.2f}s"
-    print(f"  {label}: {state} ({record.rows} rows)", file=sys.stderr)
+        if not record.ok:
+            failed += 1
+            state = (
+                f"{record.status.upper()} after "
+                f"{record.attempts} attempt(s): {record.error}"
+            )
+        else:
+            ok += 1
+            if not record.cached and record.wall_time_s > 0:
+                durations.append(record.wall_time_s)
+            state = "cached" if record.cached else f"{record.wall_time_s:.2f}s"
+            state += f" ({record.rows} rows)"
+            if record.attempts > 1:
+                state += f" [{record.attempts} attempts]"
+        prefix = f"[{done}/{total} ok={ok} failed={failed}]"
+        eta = ""
+        remaining = total - done
+        if remaining and durations:
+            eta_s = remaining * (sum(durations) / len(durations))
+            eta = f" eta ~{eta_s:.0f}s"
+        print(f"  {prefix} {label}: {state}{eta}", file=sys.stderr)
+
+    return progress
+
+
+def _status_path(
+    args: argparse.Namespace, *bases: Path | None
+) -> Path | None:
+    """Resolve the heartbeat location: --status wins, then the run dir."""
+    if getattr(args, "no_status", False):
+        return None
+    explicit = getattr(args, "status", None)
+    if explicit is not None:
+        return explicit
+    for base in bases:
+        if base is not None:
+            return Path(base) / "status.json"
+    return None
 
 
 def _resilience_kwargs(args: argparse.Namespace) -> dict[str, Any]:
@@ -333,8 +514,9 @@ def _run_all(args: argparse.Namespace) -> int:
         jobs,
         workers=getattr(args, "jobs", None),
         cache=_cache_from(args),
-        progress=_progress,
+        progress=_make_progress(len(jobs)),
         checkpoint=manifest_path,
+        status_path=_status_path(args, out_dir),
         **_resilience_kwargs(args),
     )
     for outcome in result.outcomes:
@@ -385,17 +567,22 @@ def _run_sweep(args: argparse.Namespace) -> int:
     manifest_path: Path | None = getattr(args, "manifest", None)
     if manifest_path is not None:
         manifest_path.parent.mkdir(parents=True, exist_ok=True)
+    out_dir: Path | None = getattr(args, "out_dir", None)
     result = run_jobs(
         jobs,
         workers=getattr(args, "jobs", None),
         cache=_cache_from(args),
-        progress=_progress,
+        progress=_make_progress(len(jobs)),
         trace_dir=getattr(args, "trace_out", None),
         profile=getattr(args, "profile", False),
         checkpoint=manifest_path,
+        status_path=_status_path(
+            args,
+            out_dir,
+            manifest_path.parent if manifest_path is not None else None,
+        ),
         **_resilience_kwargs(args),
     )
-    out_dir: Path | None = getattr(args, "out_dir", None)
     if out_dir is not None:
         out_dir.mkdir(parents=True, exist_ok=True)
         for outcome in result.outcomes:
@@ -442,17 +629,31 @@ def _job_label(record: JobRecord) -> str:
 
 
 def _run_obs(args: argparse.Namespace) -> int:
-    path: Path = args.manifest_path
+    if getattr(args, "target", None) == "tail":
+        return _run_obs_tail(args)
+    path = Path(args.target)
     try:
         manifest = RunManifest.load(path)
     except OSError as exc:
         raise ValueError(f"cannot read manifest {path}: {exc}") from None
     top: int = getattr(args, "top", 10)
-    observed = [record for record in manifest.records if record.metrics]
-    print(
-        f"{path}: {len(manifest.records)} job(s), "
-        f"{len(observed)} with observability data"
+    records = manifest.records
+    ok = sum(1 for r in records if r.status == "ok")
+    cached = sum(1 for r in records if r.status == "cached")
+    retries = sum(max(r.attempts - 1, 0) for r in records)
+    observed = [record for record in records if record.metrics]
+    summary = (
+        f"{path}: {len(records)} job(s): {ok} ok, {cached} cached, "
+        f"{manifest.failed} failed"
     )
+    if retries:
+        summary += f", {retries} retry attempt(s)"
+    print(f"{summary}; {len(observed)} with observability data")
+    for record in manifest.failures():
+        print(
+            f"  {_job_label(record)}: {record.status.upper()} after "
+            f"{record.attempts} attempt(s): {record.error or '?'}"
+        )
     if not observed:
         print(
             "  (no metrics in this manifest; rerun the sweep with "
@@ -460,7 +661,10 @@ def _run_obs(args: argparse.Namespace) -> int:
         )
         return 0
     for record in observed:
-        print(f"\n{_job_label(record)}  [{record.wall_time_s:.2f}s]")
+        timing = f"{record.wall_time_s:.2f}s"
+        if record.attempts > 1:
+            timing += f", {record.attempts} attempts"
+        print(f"\n{_job_label(record)}  [{timing}]")
         if record.trace_path:
             print(f"  trace: {record.trace_path}")
         metrics = record.metrics or {}
@@ -477,8 +681,7 @@ def _run_obs(args: argparse.Namespace) -> int:
                 print(f"    {key} = {gauges[key]}")
         if histograms:
             print("  histograms:")
-            for key in sorted(histograms):
-                h = histograms[key]
+            for key, h in sorted_histogram_items(histograms):
                 count = h.get("count", 0)
                 mean = (h.get("sum", 0) / count) if count else 0.0
                 print(
@@ -492,6 +695,224 @@ def _run_obs(args: argparse.Namespace) -> int:
             for line in hotspot_table(record.hotspots, top=top).splitlines():
                 print(f"    {line}")
     return 0
+
+
+def _run_obs_tail(args: argparse.Namespace) -> int:
+    import time
+
+    from .obs.status import (
+        STATE_RUNNING,
+        format_status,
+        load_status,
+        resolve_status_path,
+    )
+
+    target = getattr(args, "tail_path", None) or Path(".")
+    follow: bool = getattr(args, "follow", False)
+    interval: float = max(getattr(args, "interval", 0.5), 0.05)
+    path = resolve_status_path(target)  # friendly ValueError when missing
+    last_stamp: float | None = None
+    while True:
+        status = load_status(path)
+        stamp = status.get("updated_at")
+        if stamp != last_stamp:
+            print(format_status(status), flush=True)
+            last_stamp = stamp
+        if not follow or status.get("state") != STATE_RUNNING:
+            break
+        time.sleep(interval)
+    return EXIT_DEGRADED if status.get("failed") else 0
+
+
+def _run_report(args: argparse.Namespace) -> int:
+    from datetime import datetime, timezone
+
+    from .obs.report import build_report, resolve_manifest_path
+
+    target: Path = args.run_dir
+    manifest_path = resolve_manifest_path(target)  # friendly error on miss
+    report = build_report(target, top_hotspots=getattr(args, "top", 10))
+    out_dir: Path = getattr(args, "out_dir", None) or manifest_path.parent
+    out_dir.mkdir(parents=True, exist_ok=True)
+    stamp = datetime.now(timezone.utc).strftime("%Y-%m-%d %H:%M:%S UTC")
+    md_path = out_dir / "report.md"
+    html_path = out_dir / "report.html"
+    md_path.write_text(report.to_markdown(generated_at=stamp))
+    html_path.write_text(report.to_html(generated_at=stamp))
+    manifest = report.manifest
+    print(f"wrote {html_path}")
+    print(f"wrote {md_path}")
+    verdicts = report.all_requirement_verdicts()
+    met = sum(1 for v in verdicts if v.verdict == "meets")
+    print(
+        f"{len(manifest.records)} job(s): {manifest.cache_hits} cached, "
+        f"{manifest.cache_misses} computed, {manifest.failed} failed; "
+        f"{met}/{len(verdicts)} requirement-class checks met"
+    )
+    return 0
+
+
+def _bench_history_dir(args: argparse.Namespace) -> Path:
+    return getattr(args, "history", None) or Path(".repro-bench")
+
+
+def _run_bench_record(args: argparse.Namespace) -> int:
+    import json
+    import platform
+    from datetime import datetime, timezone
+
+    from .obs.history import BenchHistory, BenchReport, BenchSample
+
+    history_dir = _bench_history_dir(args)
+    samples_from: Path | None = getattr(args, "samples_from", None)
+    if samples_from is not None:
+        try:
+            payload = json.loads(samples_from.read_text())
+        except OSError as exc:
+            raise ValueError(
+                f"cannot read samples file {samples_from}: {exc}"
+            ) from None
+        samples = [
+            BenchSample.from_dict(entry)
+            for entry in payload.get("samples", [])
+        ]
+    else:
+        samples = _collect_bench_samples(
+            suite=getattr(args, "suite", "benchmarks"),
+            select=getattr(args, "select", None),
+        )
+    if not samples:
+        raise ValueError(
+            "no benchmark samples collected; is the suite path right?"
+        )
+    now = datetime.now(timezone.utc)
+    report = BenchReport(
+        recorded_at=now.strftime("%Y-%m-%dT%H:%M:%SZ"),
+        samples=samples,
+        meta={
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+        },
+    )
+    out: Path | None = getattr(args, "out", None)
+    if out is None:
+        out = history_dir / (
+            f"BENCH_{now.strftime('%Y-%m-%d_%H%M%S')}.json"
+        )
+    report.save(out)
+    print(f"wrote {out} ({len(samples)} benchmark(s))")
+    if not getattr(args, "no_history", False):
+        path = BenchHistory(history_dir).append(report)
+        print(f"appended to {path}")
+    return 0
+
+
+def _collect_bench_samples(suite: str, select: str | None):
+    """Time ``suite`` via a pytest subprocess and the conftest hook."""
+    import os
+    import subprocess
+    import tempfile
+
+    from .obs.history import BenchSample
+
+    src_dir = str(Path(__file__).resolve().parent.parent)
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [src_dir] + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else [])
+    )
+    with tempfile.TemporaryDirectory(prefix="repro-bench-") as tmp:
+        out_file = Path(tmp) / "samples.json"
+        env["REPRO_BENCH_OUT"] = str(out_file)
+        cmd = [
+            sys.executable, "-m", "pytest", suite, "-q",
+            "-p", "no:cacheprovider",
+        ]
+        if select:
+            cmd += ["-k", select]
+        proc = subprocess.run(cmd, env=env)
+        if not out_file.exists():
+            raise ValueError(
+                f"benchmark run produced no samples (pytest exit "
+                f"{proc.returncode}); does {suite} exist and does its "
+                f"conftest honor REPRO_BENCH_OUT?"
+            )
+        if proc.returncode != 0:
+            print(
+                f"repro bench: pytest exited {proc.returncode}; recording "
+                f"the samples that did complete",
+                file=sys.stderr,
+            )
+        import json
+
+        payload = json.loads(out_file.read_text())
+        return [
+            BenchSample.from_dict(entry)
+            for entry in payload.get("samples", [])
+        ]
+
+
+def _run_bench_compare(args: argparse.Namespace) -> int:
+    from .obs.history import (
+        STATUS_REGRESSION,
+        BenchHistory,
+        BenchReport,
+        detect_regressions,
+        format_findings,
+    )
+
+    history_dir = _bench_history_dir(args)
+    history = BenchHistory(history_dir)
+    bench_file: Path | None = getattr(args, "bench_file", None)
+    if bench_file is None:
+        candidates = sorted(history_dir.glob("BENCH_*.json"))
+        if not candidates:
+            raise ValueError(
+                f"no BENCH_*.json under {history_dir}; run "
+                f"'repro bench record' first or pass a file"
+            )
+        bench_file = candidates[-1]
+    try:
+        report = BenchReport.load(bench_file)
+    except OSError as exc:
+        raise ValueError(
+            f"cannot read bench file {bench_file}: {exc}"
+        ) from None
+    findings = detect_regressions(
+        history,
+        report,
+        window=getattr(args, "window", 8),
+        mad_factor=getattr(args, "mad_factor", 4.0),
+        min_rel=getattr(args, "min_rel", 0.10),
+    )
+    print(f"{bench_file} vs {history.path}:")
+    print(format_findings(findings))
+    regressions = [f for f in findings if f.status == STATUS_REGRESSION]
+    fresh = sum(1 for f in findings if f.status == "new")
+    summary = (
+        f"{len(findings)} benchmark(s): {len(regressions)} regression(s)"
+    )
+    if fresh:
+        summary += f", {fresh} without history yet"
+    print(summary)
+    if regressions:
+        if getattr(args, "warn_only", False):
+            print(
+                "repro bench: regressions detected, but --warn-only is "
+                "set; not failing",
+                file=sys.stderr,
+            )
+            return 0
+        return 1
+    return 0
+
+
+def _run_bench(args: argparse.Namespace) -> int:
+    command = getattr(args, "bench_command", None)
+    if command == "record":
+        return _run_bench_record(args)
+    if command == "compare":
+        return _run_bench_compare(args)
+    raise ValueError(f"unknown bench command {command!r}")
 
 
 def dispatch(args: argparse.Namespace) -> int:
@@ -513,6 +934,10 @@ def dispatch(args: argparse.Namespace) -> int:
             return _run_sweep(args)
         if command == "obs":
             return _run_obs(args)
+        if command == "report":
+            return _run_report(args)
+        if command == "bench":
+            return _run_bench(args)
         if command == "chaos":
             from .chaos.cli import dispatch_chaos
 

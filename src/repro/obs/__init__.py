@@ -17,7 +17,19 @@ Everything is off by default and scoped with :func:`capture`
 experiment runner activates a capture per job when asked
 (``repro sweep --profile --trace-out DIR``) and embeds the snapshots in the
 run manifest; ``repro obs manifest.json`` renders them back.
+
+Three cross-run companions build on the per-run layer (imported lazily —
+``repro.obs.<name>`` — so the in-run hot path pays nothing for them):
+
+- :mod:`repro.obs.report` — aggregate one finished run's manifest, rows,
+  metrics, and verdicts into self-contained HTML + markdown reports.
+- :mod:`repro.obs.history` — the append-only bench history store with
+  MAD-banded regression detection (``repro bench record/compare``).
+- :mod:`repro.obs.status` — the live ``status.json`` heartbeat a running
+  sweep maintains for ``repro obs tail --follow``.
 """
+
+import importlib
 
 from .metrics import (
     DEFAULT_NS_EDGES,
@@ -39,6 +51,16 @@ from .runtime import (
     profiler_for_new_sim,
 )
 from .tracing import NULL_TRACER, NullTracer, SIM_TRACK, Span, Tracer
+
+#: Cross-run submodules resolved on first attribute access.
+_LAZY_SUBMODULES = ("history", "report", "status")
+
+
+def __getattr__(name: str):
+    if name in _LAZY_SUBMODULES:
+        return importlib.import_module(f".{name}", __name__)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
 
 __all__ = [
     "DEFAULT_NS_EDGES",

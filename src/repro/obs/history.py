@@ -1,0 +1,300 @@
+"""Append-only benchmark history with statistical regression detection.
+
+Each ``repro bench record`` run produces one :class:`BenchReport` — a set
+of named wall-time samples measured by the ``benchmarks/`` pytest hook —
+written both as a standalone ``BENCH_<date>.json`` file and as one line
+appended to the history store (``history.jsonl`` under the history
+directory).  The JSON schema (``repro.obs/bench/v1``)::
+
+    {
+      "schema": "repro.obs/bench/v1",
+      "version": "1.5.0",             // repro package version
+      "id": "f3a8c1d20b44",           // content hash; unique per report
+      "recorded_at": "2026-08-06T12:00:00",
+      "meta": {"python": "3.11.7"},   // free-form environment notes
+      "samples": [
+        {
+          "name": "test_bench_fig5_switchover.py::test_recovers",
+          "value_s": 1.284,           // measured wall time (call phase)
+          "unit": "s",
+          "rounds": 1
+        }
+      ]
+    }
+
+**Regression rule** (:func:`detect_regressions`): for every sample, the
+baseline is the *median* of that benchmark's last ``window`` historical
+values, and the allowed noise band is the widest of
+
+- ``mad_factor`` × the MAD-derived robust standard deviation
+  (``1.4826 × median(|x - baseline|)``),
+- ``min_rel`` × baseline (relative slack for quiet histories), and
+- ``min_abs_s`` (absolute slack so microsecond benches never flap).
+
+A current value above ``baseline + band`` is a **regression**; below
+``baseline - band`` it is flagged ``improved`` (informational).  Medians
+and MAD make the rule robust to the occasional noisy CI run that would
+wreck a mean/stddev band.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterable
+
+from .. import __version__
+
+BENCH_SCHEMA = "repro.obs/bench/v1"
+
+#: File name of the append-only JSONL store inside a history directory.
+HISTORY_FILENAME = "history.jsonl"
+
+#: Default number of historical entries the baseline median spans.
+DEFAULT_WINDOW = 8
+
+
+def median(values: list[float]) -> float:
+    """Median without :mod:`statistics` import cost on the hot path."""
+    if not values:
+        raise ValueError("median of empty sequence")
+    ordered = sorted(values)
+    mid = len(ordered) // 2
+    if len(ordered) % 2:
+        return ordered[mid]
+    return (ordered[mid - 1] + ordered[mid]) / 2.0
+
+
+def robust_std(values: list[float], center: float) -> float:
+    """MAD-scaled standard deviation estimate around ``center``."""
+    if not values:
+        return 0.0
+    return 1.4826 * median([abs(v - center) for v in values])
+
+
+@dataclass(frozen=True)
+class BenchSample:
+    """One named measurement inside a report."""
+
+    name: str
+    value_s: float
+    unit: str = "s"
+    rounds: int = 1
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "value_s": self.value_s,
+            "unit": self.unit,
+            "rounds": self.rounds,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> "BenchSample":
+        return cls(
+            name=payload["name"],
+            value_s=float(payload["value_s"]),
+            unit=payload.get("unit", "s"),
+            rounds=int(payload.get("rounds", 1)),
+        )
+
+
+@dataclass
+class BenchReport:
+    """One recording session: named samples plus provenance."""
+
+    recorded_at: str
+    samples: list[BenchSample] = field(default_factory=list)
+    meta: dict[str, Any] = field(default_factory=dict)
+    id: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.id:
+            digest = hashlib.sha256(
+                json.dumps(
+                    [self.recorded_at]
+                    + [s.as_dict() for s in self.samples],
+                    sort_keys=True,
+                ).encode("utf-8")
+            )
+            self.id = digest.hexdigest()[:12]
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "schema": BENCH_SCHEMA,
+            "version": __version__,
+            "id": self.id,
+            "recorded_at": self.recorded_at,
+            "meta": self.meta,
+            "samples": [sample.as_dict() for sample in self.samples],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> "BenchReport":
+        schema = payload.get("schema")
+        if schema != BENCH_SCHEMA:
+            raise ValueError(
+                f"unsupported bench schema {schema!r}; expected {BENCH_SCHEMA}"
+            )
+        return cls(
+            recorded_at=payload.get("recorded_at", ""),
+            samples=[
+                BenchSample.from_dict(s) for s in payload.get("samples", [])
+            ],
+            meta=dict(payload.get("meta") or {}),
+            id=payload.get("id", ""),
+        )
+
+    def save(self, path: Path | str) -> Path:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(self.as_dict(), indent=2) + "\n")
+        return path
+
+    @classmethod
+    def load(cls, path: Path | str) -> "BenchReport":
+        return cls.from_dict(json.loads(Path(path).read_text()))
+
+
+class BenchHistory:
+    """The append-only JSONL store of :class:`BenchReport` entries."""
+
+    def __init__(self, root: Path | str) -> None:
+        self.root = Path(root)
+
+    @property
+    def path(self) -> Path:
+        return self.root / HISTORY_FILENAME
+
+    def append(self, report: BenchReport) -> Path:
+        """Append one report as a single JSONL line."""
+        self.root.mkdir(parents=True, exist_ok=True)
+        with self.path.open("a") as handle:
+            handle.write(json.dumps(report.as_dict()) + "\n")
+        return self.path
+
+    def reports(self) -> list[BenchReport]:
+        """Every stored report, oldest first; malformed lines are skipped."""
+        if not self.path.exists():
+            return []
+        out: list[BenchReport] = []
+        for line in self.path.read_text().splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                out.append(BenchReport.from_dict(json.loads(line)))
+            except (ValueError, KeyError):
+                continue  # a torn append must not poison the whole store
+        return out
+
+    def series(
+        self, name: str, exclude_id: str | None = None
+    ) -> list[float]:
+        """Historical values of benchmark ``name``, oldest first."""
+        values: list[float] = []
+        for report in self.reports():
+            if exclude_id is not None and report.id == exclude_id:
+                continue
+            for sample in report.samples:
+                if sample.name == name:
+                    values.append(sample.value_s)
+        return values
+
+
+#: Verdicts :func:`detect_regressions` can assign to one sample.
+STATUS_OK = "ok"
+STATUS_REGRESSION = "regression"
+STATUS_IMPROVED = "improved"
+STATUS_NEW = "new"
+
+
+@dataclass(frozen=True)
+class RegressionFinding:
+    """One sample judged against its historical baseline."""
+
+    name: str
+    status: str
+    current_s: float
+    baseline_s: float | None = None
+    band_s: float | None = None
+
+    @property
+    def ratio(self) -> float | None:
+        """current / baseline, when a baseline exists and is nonzero."""
+        if not self.baseline_s:
+            return None
+        return self.current_s / self.baseline_s
+
+
+def detect_regressions(
+    history: BenchHistory,
+    report: BenchReport,
+    window: int = DEFAULT_WINDOW,
+    mad_factor: float = 4.0,
+    min_rel: float = 0.10,
+    min_abs_s: float = 0.002,
+) -> list[RegressionFinding]:
+    """Judge every sample of ``report`` against ``history``.
+
+    The report's own history entry (matched by ``id``) is excluded, so
+    ``record`` followed by ``compare`` never compares a run to itself.
+    """
+    findings: list[RegressionFinding] = []
+    for sample in report.samples:
+        values = history.series(sample.name, exclude_id=report.id)
+        if not values:
+            findings.append(
+                RegressionFinding(
+                    name=sample.name,
+                    status=STATUS_NEW,
+                    current_s=sample.value_s,
+                )
+            )
+            continue
+        recent = values[-window:]
+        baseline = median(recent)
+        band = max(
+            mad_factor * robust_std(recent, baseline),
+            min_rel * baseline,
+            min_abs_s,
+        )
+        if sample.value_s > baseline + band:
+            status = STATUS_REGRESSION
+        elif sample.value_s < baseline - band:
+            status = STATUS_IMPROVED
+        else:
+            status = STATUS_OK
+        findings.append(
+            RegressionFinding(
+                name=sample.name,
+                status=status,
+                current_s=sample.value_s,
+                baseline_s=baseline,
+                band_s=band,
+            )
+        )
+    return findings
+
+
+def format_findings(findings: Iterable[RegressionFinding]) -> str:
+    """Aligned text table of regression findings."""
+    rows = [["benchmark", "status", "current", "baseline", "band", "ratio"]]
+    for f in findings:
+        rows.append(
+            [
+                f.name,
+                f.status.upper() if f.status == STATUS_REGRESSION else f.status,
+                f"{f.current_s:.4f}s",
+                f"{f.baseline_s:.4f}s" if f.baseline_s is not None else "-",
+                f"±{f.band_s:.4f}s" if f.band_s is not None else "-",
+                f"{f.ratio:.2f}x" if f.ratio is not None else "-",
+            ]
+        )
+    widths = [max(len(row[i]) for row in rows) for i in range(len(rows[0]))]
+    lines = ["  ".join(cell.ljust(w) for cell, w in zip(row, widths)).rstrip()
+             for row in rows]
+    lines.insert(1, "-" * len(lines[0]))
+    return "\n".join(lines)

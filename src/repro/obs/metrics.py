@@ -136,9 +136,12 @@ class Histogram:
         resolved = tuple(edges) if edges is not None else DEFAULT_NS_EDGES
         if not resolved:
             raise ValueError("histogram needs at least one bucket edge")
-        if list(resolved) != sorted(resolved):
-            raise ValueError("bucket edges must be ascending")
-        self.edges = resolved
+        if len(set(resolved)) != len(resolved):
+            raise ValueError("bucket edges must be distinct")
+        # Buckets are identified by their upper bound, not by insertion
+        # order: edges given in any order serialize ascending, so exports
+        # (manifests, reports, goldens) are byte-stable.
+        self.edges = tuple(sorted(resolved))
         self.counts = [0] * (len(resolved) + 1)
         self.count = 0
         self.sum = 0
@@ -286,14 +289,19 @@ class MetricsRegistry:
 
         Keys are ``name{label=value,...}`` strings, values are the
         instrument snapshots (plain ints for counters/gauges, a bucket dict
-        for histograms).
+        for histograms).  Every section is key-sorted — registration order
+        depends on component construction order, and a stable export is
+        what lets manifests, reports, and goldens diff cleanly.
         """
         out: dict[str, dict[str, Any]] = {
             "counters": {},
             "gauges": {},
             "histograms": {},
         }
-        for metric in self._metrics.values():
+        for metric in sorted(
+            self._metrics.values(),
+            key=lambda m: f"{m.name}{_label_key(m.labels)}",
+        ):
             key = f"{metric.name}{_label_key(metric.labels)}"
             out[metric.kind + "s"][key] = metric.snapshot()
         return out
@@ -331,3 +339,15 @@ class NullRegistry:
 
 
 NULL_REGISTRY = NullRegistry()
+
+
+def sorted_histogram_items(
+    histograms: dict[str, Any]
+) -> list[tuple[str, Any]]:
+    """Histogram snapshot entries in deterministic key order.
+
+    Manifest consumers (``repro obs``, ``repro report``) iterate exported
+    histogram maps through this helper so pre-fix manifests — serialized
+    in registration order — render identically to freshly written ones.
+    """
+    return sorted(histograms.items())

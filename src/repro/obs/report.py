@@ -1,0 +1,569 @@
+"""Cross-run reports: one document per sweep, built from its artifacts.
+
+A finished sweep leaves a trail — the :class:`~repro.runner.manifest.RunManifest`
+(v1–v3), per-figure CSV exports, per-job metrics/hot-spot snapshots, Chrome
+traces, and chaos verdicts — that previously had to be read by hand.
+:func:`build_report` aggregates all of it into a :class:`RunReport` that
+renders as self-contained HTML (inline CSS, no external assets) and as
+markdown with byte-stable tables, suitable for golden-snapshot testing:
+
+- per-figure **status table** (status / attempts / wall time / verdict),
+- **requirement-class verdicts**: each figure's exported rows judged
+  against the paper's §2 timing and availability classes
+  (:mod:`repro.core.requirements`), the same "measure, then compare
+  against 3GPP TR 22.804 classes" discipline Figs. 4/5 apply in-run,
+- **latency/jitter summaries** from embedded metrics histograms,
+- merged **hot-spot table** across profiled jobs,
+- a **failure/retry timeline** from the supervisor's v3 attempt fields,
+- **chaos campaign verdicts** when the sweep contained ``chaos-*`` cells.
+
+Determinism: given the same manifest and row files the markdown and HTML
+are byte-identical — no timestamps unless the caller passes
+``generated_at`` — so reports can be diffed and golden-tested.
+"""
+
+from __future__ import annotations
+
+import csv
+import html
+import io
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from ..core.requirements import (
+    DATACENTER_TYPICAL,
+    INDUSTRIAL_SIX_NINES,
+    TIMING_CLASSES,
+)
+from ..runner.manifest import JobRecord, RunManifest
+from ..simcore.units import MS, US
+from .metrics import sorted_histogram_items
+
+#: How many merged hot-spot rows the report shows.
+DEFAULT_TOP_HOTSPOTS = 10
+
+#: Requirement verdict markers (kept ASCII-stable for golden diffs).
+MEETS = "meets"
+MISSES = "misses"
+NO_DATA = "n/a"
+
+
+def _num(value: Any) -> float | None:
+    """Best-effort numeric coercion for CSV-sourced row values."""
+    try:
+        return float(value)
+    except (TypeError, ValueError):
+        return None
+
+
+def _fmt_s(value: float) -> str:
+    return f"{value:.2f}s"
+
+
+def _fmt_ns(value: float | None) -> str:
+    if value is None:
+        return "-"
+    if value >= 1e6:
+        return f"{value / 1e6:.2f}ms"
+    if value >= 1e3:
+        return f"{value / 1e3:.2f}us"
+    return f"{value:.0f}ns"
+
+
+def _params_text(params: dict[str, Any]) -> str:
+    return " ".join(f"{k}={v}" for k, v in sorted(params.items())) or "-"
+
+
+def job_label(record: JobRecord) -> str:
+    parts = [record.figure, f"seed={record.seed}"]
+    parts += [f"{k}={v}" for k, v in sorted(record.params.items())]
+    return " ".join(parts)
+
+
+@dataclass(frozen=True)
+class RequirementVerdict:
+    """One figure judged against one §2 requirement class."""
+
+    figure: str
+    requirement: str
+    bound: str
+    observed: str
+    verdict: str  # MEETS / MISSES / NO_DATA
+
+
+def _timing_verdicts(
+    figure: str, observed_ns: float | None, observed_text: str, kind: str
+) -> list[RequirementVerdict]:
+    """Judge a worst-case latency or jitter against every timing class."""
+    out = []
+    for req in TIMING_CLASSES:
+        bound_ns = (
+            req.max_jitter_ns if kind == "jitter" else req.max_latency_ns
+        )
+        bound = f"{kind} <= {_fmt_ns(bound_ns)}"
+        if observed_ns is None:
+            verdict = NO_DATA
+        else:
+            verdict = MEETS if observed_ns <= bound_ns else MISSES
+        out.append(
+            RequirementVerdict(
+                figure=figure,
+                requirement=req.name,
+                bound=bound,
+                observed=observed_text,
+                verdict=verdict,
+            )
+        )
+    return out
+
+
+def _worst(rows: list[dict[str, Any]], column: str) -> float | None:
+    values = [v for row in rows for v in [_num(row.get(column))] if v is not None]
+    return max(values) if values else None
+
+
+def requirement_verdicts(
+    figure: str, rows: list[dict[str, Any]] | None
+) -> list[RequirementVerdict]:
+    """Judge one figure's rows against the paper's requirement classes.
+
+    Figures without a known mapping (e.g. ``fig1``'s corpus counts)
+    return no verdicts; figures with a mapping but no exported rows
+    return :data:`NO_DATA` verdicts, so the report still names the
+    classes that *would* apply.
+    """
+    rows = rows or []
+    if figure == "fig4-delay":
+        worst_us = _worst(rows, "p99_us")
+        worst_ns = worst_us * US if worst_us is not None else None
+        text = f"p99 {_fmt_ns(worst_ns)}" if worst_ns is not None else NO_DATA
+        return _timing_verdicts(figure, worst_ns, text, kind="latency")
+    if figure == "fig4-jitter":
+        worst_ns = _worst(rows, "p99_ns")
+        text = f"p99 {_fmt_ns(worst_ns)}" if worst_ns is not None else NO_DATA
+        return _timing_verdicts(figure, worst_ns, text, kind="jitter")
+    if figure == "fig6":
+        worst_ms = _worst(rows, "p99_latency_ms")
+        worst_ns = worst_ms * MS if worst_ms is not None else None
+        text = f"p99 {_fmt_ns(worst_ns)}" if worst_ns is not None else NO_DATA
+        return _timing_verdicts(figure, worst_ns, text, kind="latency")
+    if figure == "fig5":
+        # I/O availability around the switchover: 50 ms bins with zero
+        # delivered packets count as downtime.
+        bins = [
+            _num(row.get("to_io"))
+            for row in rows
+            if _num(row.get("to_io")) is not None
+        ]
+        if not bins:
+            availability = None
+            text = NO_DATA
+        else:
+            outage = sum(1 for v in bins if v == 0)
+            availability = 1.0 - outage / len(bins)
+            text = (
+                f"I/O availability {availability:.4f} "
+                f"({outage * 50}ms outage / {len(bins) * 50}ms)"
+            )
+        out = []
+        for req in (INDUSTRIAL_SIX_NINES, DATACENTER_TYPICAL):
+            if availability is None:
+                verdict = NO_DATA
+            else:
+                verdict = MEETS if req.admits(availability) else MISSES
+            out.append(
+                RequirementVerdict(
+                    figure=figure,
+                    requirement=req.name,
+                    bound=f"availability >= {req.availability:.6f}",
+                    observed=text,
+                    verdict=verdict,
+                )
+            )
+        return out
+    return []
+
+
+@dataclass
+class RunReport:
+    """Everything :func:`build_report` extracted, ready to render."""
+
+    source: str
+    manifest: RunManifest
+    rows_by_index: dict[int, list[dict[str, Any]]] = field(
+        default_factory=dict
+    )
+    top_hotspots: int = DEFAULT_TOP_HOTSPOTS
+
+    # -- derived sections --------------------------------------------------
+
+    def figure_rows(self, figure: str) -> list[dict[str, Any]]:
+        """All loaded rows of ok cells of one figure, in job order."""
+        rows: list[dict[str, Any]] = []
+        for index, record in enumerate(self.manifest.records):
+            if record.figure == figure and record.ok:
+                rows.extend(self.rows_by_index.get(index, []))
+        return rows
+
+    def figures(self) -> list[str]:
+        seen: list[str] = []
+        for record in self.manifest.records:
+            if record.figure not in seen:
+                seen.append(record.figure)
+        return seen
+
+    def all_requirement_verdicts(self) -> list[RequirementVerdict]:
+        out: list[RequirementVerdict] = []
+        for figure in self.figures():
+            out.extend(
+                requirement_verdicts(figure, self.figure_rows(figure))
+            )
+        return out
+
+    def merged_hotspots(self) -> list[dict[str, Any]]:
+        """Hot-spot rows summed across all profiled jobs, hottest first."""
+        merged: dict[str, dict[str, float]] = {}
+        for record in self.manifest.records:
+            for row in record.hotspots or []:
+                slot = merged.setdefault(
+                    row["name"], {"calls": 0, "total_ns": 0, "max_ns": 0}
+                )
+                slot["calls"] += row.get("calls", 0)
+                slot["total_ns"] += row.get("total_ns", 0)
+                slot["max_ns"] = max(slot["max_ns"], row.get("max_ns", 0))
+        ranked = sorted(
+            merged.items(), key=lambda kv: (-kv[1]["total_ns"], kv[0])
+        )
+        return [
+            {"name": name, **values}
+            for name, values in ranked[: self.top_hotspots]
+        ]
+
+    def histogram_summaries(self) -> list[dict[str, Any]]:
+        """Per-job histogram stats (count/mean/min/max), stably ordered."""
+        out: list[dict[str, Any]] = []
+        for record in self.manifest.records:
+            histograms = (record.metrics or {}).get("histograms") or {}
+            for key, snap in sorted_histogram_items(histograms):
+                count = snap.get("count", 0)
+                mean = (snap.get("sum", 0) / count) if count else None
+                out.append(
+                    {
+                        "job": job_label(record),
+                        "histogram": key,
+                        "count": count,
+                        "mean_ns": mean,
+                        "min_ns": snap.get("min"),
+                        "max_ns": snap.get("max"),
+                    }
+                )
+        return out
+
+    def retry_timeline(self) -> list[JobRecord]:
+        """Jobs that failed, timed out, or needed more than one attempt."""
+        return [
+            record
+            for record in self.manifest.records
+            if not record.ok or record.attempts > 1
+        ]
+
+    def chaos_records(self) -> list[JobRecord]:
+        return [
+            record
+            for record in self.manifest.records
+            if record.figure.startswith("chaos-")
+        ]
+
+    # -- markdown ----------------------------------------------------------
+
+    def to_markdown(self, generated_at: str | None = None) -> str:
+        m = self.manifest
+        lines = [f"# Run report — {self.source}", ""]
+        if generated_at:
+            lines += [f"*Generated {generated_at}.*", ""]
+        lines += [
+            f"- jobs: {len(m.records)} "
+            f"({m.cache_hits} cached, {m.cache_misses} computed, "
+            f"{m.failed} failed)",
+            f"- workers: {m.workers}",
+            f"- cache dir: {m.cache_dir or '(caching disabled)'}",
+            f"- wall time: {_fmt_s(m.wall_time_s)}",
+            "",
+            "## Figure status",
+            "",
+            "| figure | seed | params | status | attempts | wall | rows "
+            "| verdict |",
+            "| --- | --- | --- | --- | --- | --- | --- | --- |",
+        ]
+        for record in m.records:
+            lines.append(
+                f"| {record.figure} | {record.seed} "
+                f"| {_params_text(record.params)} | {record.status} "
+                f"| {record.attempts} | {_fmt_s(record.wall_time_s)} "
+                f"| {record.rows} | {record.verdict or '-'} |"
+            )
+        verdicts = self.all_requirement_verdicts()
+        lines += ["", "## Requirement classes (paper §2)", ""]
+        if verdicts:
+            lines += [
+                "| figure | class | bound | observed | verdict |",
+                "| --- | --- | --- | --- | --- |",
+            ]
+            for v in verdicts:
+                lines.append(
+                    f"| {v.figure} | {v.requirement} | {v.bound} "
+                    f"| {v.observed} | {v.verdict} |"
+                )
+        else:
+            lines.append("No figure in this run maps to a §2 class.")
+        summaries = self.histogram_summaries()
+        if summaries:
+            lines += [
+                "", "## Latency / jitter histograms", "",
+                "| job | histogram | count | mean | min | max |",
+                "| --- | --- | --- | --- | --- | --- |",
+            ]
+            for s in summaries:
+                lines.append(
+                    f"| {s['job']} | {s['histogram']} | {s['count']} "
+                    f"| {_fmt_ns(s['mean_ns'])} | {_fmt_ns(s['min_ns'])} "
+                    f"| {_fmt_ns(s['max_ns'])} |"
+                )
+        hotspots = self.merged_hotspots()
+        if hotspots:
+            lines += [
+                "", f"## Hot spots (top {len(hotspots)}, all jobs)", "",
+                "| callback | calls | total | max |",
+                "| --- | --- | --- | --- |",
+            ]
+            for h in hotspots:
+                lines.append(
+                    f"| {h['name']} | {h['calls']} "
+                    f"| {_fmt_ns(h['total_ns'])} | {_fmt_ns(h['max_ns'])} |"
+                )
+        lines += ["", "## Failures and retries", ""]
+        timeline = self.retry_timeline()
+        if timeline:
+            lines += [
+                "| job | status | attempts | error |",
+                "| --- | --- | --- | --- |",
+            ]
+            for record in timeline:
+                lines.append(
+                    f"| {job_label(record)} | {record.status} "
+                    f"| {record.attempts} | {record.error or '-'} |"
+                )
+        else:
+            lines.append("Every job completed on its first attempt.")
+        chaos = self.chaos_records()
+        if chaos:
+            lines += [
+                "", "## Chaos campaign verdicts", "",
+                "| campaign | seed | params | verdict |",
+                "| --- | --- | --- | --- |",
+            ]
+            for record in chaos:
+                lines.append(
+                    f"| {record.figure} | {record.seed} "
+                    f"| {_params_text(record.params)} "
+                    f"| {record.verdict or record.status} |"
+                )
+        return "\n".join(lines) + "\n"
+
+    # -- html --------------------------------------------------------------
+
+    def to_html(self, generated_at: str | None = None) -> str:
+        """Self-contained HTML (inline CSS, no external assets)."""
+        m = self.manifest
+
+        def esc(value: Any) -> str:
+            return html.escape(str(value))
+
+        def table(headers: list[str], rows: list[list[Any]]) -> str:
+            head = "".join(f"<th>{esc(h)}</th>" for h in headers)
+            body = []
+            for row in rows:
+                cells = []
+                for cell in row:
+                    css = ""
+                    if cell in ("ok", "cached", MEETS, "pass"):
+                        css = ' class="good"'
+                    elif cell in ("failed", "timeout", MISSES, "fail"):
+                        css = ' class="bad"'
+                    cells.append(f"<td{css}>{esc(cell)}</td>")
+                body.append("<tr>" + "".join(cells) + "</tr>")
+            return (
+                f"<table><thead><tr>{head}</tr></thead>"
+                f"<tbody>{''.join(body)}</tbody></table>"
+            )
+
+        sections: list[str] = []
+        sections.append(
+            "<ul>"
+            f"<li>jobs: {len(m.records)} ({m.cache_hits} cached, "
+            f"{m.cache_misses} computed, {m.failed} failed)</li>"
+            f"<li>workers: {m.workers}</li>"
+            f"<li>cache dir: {esc(m.cache_dir or '(caching disabled)')}</li>"
+            f"<li>wall time: {_fmt_s(m.wall_time_s)}</li>"
+            "</ul>"
+        )
+        sections.append("<h2>Figure status</h2>")
+        sections.append(
+            table(
+                ["figure", "seed", "params", "status", "attempts", "wall",
+                 "rows", "verdict"],
+                [
+                    [r.figure, r.seed, _params_text(r.params), r.status,
+                     r.attempts, _fmt_s(r.wall_time_s), r.rows,
+                     r.verdict or "-"]
+                    for r in m.records
+                ],
+            )
+        )
+        verdicts = self.all_requirement_verdicts()
+        sections.append("<h2>Requirement classes (paper §2)</h2>")
+        if verdicts:
+            sections.append(
+                table(
+                    ["figure", "class", "bound", "observed", "verdict"],
+                    [[v.figure, v.requirement, v.bound, v.observed,
+                      v.verdict] for v in verdicts],
+                )
+            )
+        else:
+            sections.append("<p>No figure in this run maps to a §2 class.</p>")
+        summaries = self.histogram_summaries()
+        if summaries:
+            sections.append("<h2>Latency / jitter histograms</h2>")
+            sections.append(
+                table(
+                    ["job", "histogram", "count", "mean", "min", "max"],
+                    [
+                        [s["job"], s["histogram"], s["count"],
+                         _fmt_ns(s["mean_ns"]), _fmt_ns(s["min_ns"]),
+                         _fmt_ns(s["max_ns"])]
+                        for s in summaries
+                    ],
+                )
+            )
+        hotspots = self.merged_hotspots()
+        if hotspots:
+            sections.append(f"<h2>Hot spots (top {len(hotspots)})</h2>")
+            sections.append(
+                table(
+                    ["callback", "calls", "total", "max"],
+                    [
+                        [h["name"], h["calls"], _fmt_ns(h["total_ns"]),
+                         _fmt_ns(h["max_ns"])]
+                        for h in hotspots
+                    ],
+                )
+            )
+        sections.append("<h2>Failures and retries</h2>")
+        timeline = self.retry_timeline()
+        if timeline:
+            sections.append(
+                table(
+                    ["job", "status", "attempts", "error"],
+                    [
+                        [job_label(r), r.status, r.attempts, r.error or "-"]
+                        for r in timeline
+                    ],
+                )
+            )
+        else:
+            sections.append(
+                "<p>Every job completed on its first attempt.</p>"
+            )
+        chaos = self.chaos_records()
+        if chaos:
+            sections.append("<h2>Chaos campaign verdicts</h2>")
+            sections.append(
+                table(
+                    ["campaign", "seed", "params", "verdict"],
+                    [
+                        [r.figure, r.seed, _params_text(r.params),
+                         r.verdict or r.status]
+                        for r in chaos
+                    ],
+                )
+            )
+        stamp = (
+            f"<p class=\"stamp\">Generated {esc(generated_at)}.</p>"
+            if generated_at
+            else ""
+        )
+        return (
+            "<!DOCTYPE html>\n<html><head><meta charset=\"utf-8\">"
+            f"<title>Run report — {esc(self.source)}</title>"
+            "<style>"
+            "body{font-family:system-ui,sans-serif;margin:2rem;"
+            "color:#1a1a1a;max-width:70rem}"
+            "h1{font-size:1.4rem}h2{font-size:1.1rem;margin-top:2rem}"
+            "table{border-collapse:collapse;margin:.5rem 0;width:100%}"
+            "th,td{border:1px solid #d0d0d0;padding:.25rem .5rem;"
+            "text-align:left;font-size:.85rem}"
+            "th{background:#f2f2f2}"
+            "td.good{background:#e7f5e7}td.bad{background:#fbe5e5}"
+            ".stamp{color:#777;font-size:.8rem}"
+            "</style></head><body>"
+            f"<h1>Run report — {esc(self.source)}</h1>"
+            + stamp
+            + "".join(sections)
+            + "</body></html>\n"
+        )
+
+
+def _load_rows_csv(path: Path) -> list[dict[str, Any]]:
+    return list(csv.DictReader(io.StringIO(path.read_text())))
+
+
+def resolve_manifest_path(target: Path | str) -> Path:
+    """Accept a run directory or a manifest file path."""
+    target = Path(target)
+    candidate = target / "manifest.json" if target.is_dir() else target
+    if not candidate.exists():
+        raise ValueError(
+            f"no manifest at {candidate}; pass the sweep's run directory "
+            f"(holding manifest.json) or a manifest file written with "
+            f"--manifest"
+        )
+    return candidate
+
+
+def build_report(
+    target: Path | str, top_hotspots: int = DEFAULT_TOP_HOTSPOTS
+) -> RunReport:
+    """Aggregate one run directory (or manifest file) into a report.
+
+    Row CSVs referenced by each record's ``rows_path`` are loaded when
+    present — tried as written (absolute or relative to the manifest's
+    directory) and then by file name inside the run directory, so a run
+    directory copied from another machine still reports fully.  Reads all
+    manifest schema versions (v1–v3).
+    """
+    manifest_path = resolve_manifest_path(target)
+    base = manifest_path.parent
+    manifest = RunManifest.load(manifest_path)
+    rows_by_index: dict[int, list[dict[str, Any]]] = {}
+    for index, record in enumerate(manifest.records):
+        if not record.rows_path:
+            continue
+        recorded = Path(record.rows_path)
+        for candidate in (
+            recorded if recorded.is_absolute() else base / recorded,
+            base / recorded.name,
+        ):
+            if candidate.exists():
+                try:
+                    rows_by_index[index] = _load_rows_csv(candidate)
+                except (OSError, csv.Error):
+                    pass
+                break
+    return RunReport(
+        source=base.name or str(base),
+        manifest=manifest,
+        rows_by_index=rows_by_index,
+        top_hotspots=top_hotspots,
+    )

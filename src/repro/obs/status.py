@@ -1,0 +1,220 @@
+"""Live sweep telemetry: a heartbeated, machine-readable ``status.json``.
+
+A multi-hour ``repro all`` used to be a black box between per-job progress
+lines.  :class:`SweepStatus` gives the supervisor a single small file it
+rewrites (atomically) on every job start, retry, and completion — plus the
+final state — so anything on the same filesystem can watch a sweep without
+touching its workers, cache keys, or results.  The JSON schema
+(``repro.obs/status/v1``)::
+
+    {
+      "schema": "repro.obs/status/v1",
+      "pid": 12345,
+      "state": "running",          // "running" | "done" | "degraded"
+      "total": 20,                 // jobs in the sweep
+      "done": 12,                  // completed (any status)
+      "ok": 9,
+      "cached": 2,
+      "failed": 1,                 // failed/timeout so far
+      "retries": 3,                // retry attempts charged so far
+      "workers": 4,
+      "current": ["fig5 seed=3"],  // cells in flight right now
+      "elapsed_s": 81.4,
+      "eta_s": 42.0,               // null until a computed job finishes
+      "updated_at": 1754476800.0,  // unix time of this heartbeat
+      "last_error": "fig6 seed=1: ValueError: ..."   // or null
+    }
+
+Readers use :func:`resolve_status_path` (accepts the file or the sweep's
+run directory) and :func:`format_status` (the one-line rendering shared by
+the in-terminal progress line and ``repro obs tail``).
+
+The writer lives entirely in the supervising parent process: worker
+payloads, cache keys, and simulation results are byte-identical with or
+without a status file.  Heartbeat I/O failures are swallowed after the
+first write succeeds — losing telemetry must never fail a sweep.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+from typing import Any
+
+STATUS_SCHEMA = "repro.obs/status/v1"
+
+#: Conventional file name inside a sweep's run directory.
+STATUS_FILENAME = "status.json"
+
+STATE_RUNNING = "running"
+STATE_DONE = "done"
+STATE_DEGRADED = "degraded"
+
+
+class SweepStatus:
+    """Writer side: owned by the sweep supervisor, one per ``run_jobs``."""
+
+    def __init__(
+        self, path: Path | str, total: int, workers: int = 1
+    ) -> None:
+        self.path = Path(path)
+        self.total = total
+        self.workers = max(workers, 1)
+        self.done = 0
+        self.ok = 0
+        self.cached = 0
+        self.failed = 0
+        self.retries = 0
+        self.last_error: str | None = None
+        self.state = STATE_RUNNING
+        self._current: dict[int, str] = {}
+        self._durations: list[float] = []
+        self._started = time.monotonic()
+        self._broken = False
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._flush()
+
+    # -- supervisor hooks --------------------------------------------------
+
+    def job_started(self, index: int, label: str) -> None:
+        self._current[index] = label
+        self._flush()
+
+    def job_retried(self, index: int, label: str) -> None:
+        self.retries += 1
+        self._current.pop(index, None)
+        self._flush()
+
+    def job_finished(self, index: int, record: Any) -> None:
+        """Count one completed :class:`~repro.runner.manifest.JobRecord`."""
+        self._current.pop(index, None)
+        self.done += 1
+        if record.status == "cached":
+            self.cached += 1
+        elif record.ok:
+            self.ok += 1
+            if record.wall_time_s > 0:
+                self._durations.append(record.wall_time_s)
+        else:
+            self.failed += 1
+            label = f"{record.figure} seed={record.seed}"
+            self.last_error = f"{label}: {record.error or record.status}"
+        self._flush()
+
+    def finalize(self) -> None:
+        self.state = STATE_DEGRADED if self.failed else STATE_DONE
+        self._current.clear()
+        self._flush()
+
+    # -- snapshotting ------------------------------------------------------
+
+    def eta_s(self) -> float | None:
+        """Remaining-work estimate from completed computed-job durations."""
+        if not self._durations:
+            return None
+        remaining = max(self.total - self.done, 0)
+        mean = sum(self._durations) / len(self._durations)
+        return remaining * mean / self.workers
+
+    def snapshot(self) -> dict[str, Any]:
+        eta = self.eta_s()
+        return {
+            "schema": STATUS_SCHEMA,
+            "pid": os.getpid(),
+            "state": self.state,
+            "total": self.total,
+            "done": self.done,
+            "ok": self.ok,
+            "cached": self.cached,
+            "failed": self.failed,
+            "retries": self.retries,
+            "workers": self.workers,
+            "current": [self._current[k] for k in sorted(self._current)],
+            "elapsed_s": round(time.monotonic() - self._started, 3),
+            "eta_s": round(eta, 3) if eta is not None else None,
+            "updated_at": time.time(),
+            "last_error": self.last_error,
+        }
+
+    def _flush(self) -> None:
+        if self._broken:
+            return
+        tmp = self.path.with_name(
+            f".{self.path.name}.tmp.{os.getpid()}"
+        )
+        try:
+            tmp.write_text(json.dumps(self.snapshot(), indent=2) + "\n")
+            os.replace(tmp, self.path)
+        except OSError:
+            # Telemetry is best-effort: a full disk or vanished directory
+            # mid-sweep must not take the sweep down with it.
+            self._broken = True
+
+
+# -- reader side -----------------------------------------------------------
+
+
+def resolve_status_path(target: Path | str) -> Path:
+    """Resolve a status file from a path or a sweep run directory.
+
+    Raises a friendly :class:`ValueError` (not a traceback) when nothing
+    is there yet — e.g. ``repro obs tail`` pointed at a sweep that has not
+    started, or at the wrong directory.
+    """
+    target = Path(target)
+    candidate = target / STATUS_FILENAME if target.is_dir() else target
+    if not candidate.exists():
+        where = target if target.is_dir() else candidate.parent
+        raise ValueError(
+            f"no status file at {candidate}; point 'repro obs tail' at the "
+            f"sweep's run directory (the one holding {STATUS_FILENAME}, "
+            f"next to manifest.json) or start the sweep with --status. "
+            f"Looked in: {where}"
+        )
+    return candidate
+
+
+def load_status(path: Path | str) -> dict[str, Any]:
+    """Read and validate one status snapshot."""
+    payload = json.loads(Path(path).read_text())
+    if payload.get("schema") != STATUS_SCHEMA:
+        raise ValueError(
+            f"{path} is not a sweep status file "
+            f"(schema {payload.get('schema')!r}, expected {STATUS_SCHEMA})"
+        )
+    return payload
+
+
+def _format_eta(eta: float | None) -> str:
+    if eta is None:
+        return ""
+    if eta >= 90:
+        return f" eta ~{eta / 60:.0f}m"
+    return f" eta ~{eta:.0f}s"
+
+
+def format_status(status: dict[str, Any]) -> str:
+    """One-line human rendering, shared by progress lines and ``tail``."""
+    parts = [
+        f"[{status.get('done', 0)}/{status.get('total', 0)}]",
+        f"ok={status.get('ok', 0)}",
+        f"cached={status.get('cached', 0)}",
+        f"failed={status.get('failed', 0)}",
+    ]
+    if status.get("retries"):
+        parts.append(f"retries={status['retries']}")
+    line = " ".join(parts)
+    state = status.get("state", STATE_RUNNING)
+    if state == STATE_RUNNING:
+        current = status.get("current") or []
+        if current:
+            shown = ", ".join(current[:2])
+            if len(current) > 2:
+                shown += f", +{len(current) - 2} more"
+            line += f" | running: {shown}"
+        line += _format_eta(status.get("eta_s"))
+    else:
+        line += f" | {state} in {status.get('elapsed_s', 0):.1f}s"
+    return line

@@ -264,6 +264,7 @@ def run_jobs(
     backoff: RetryPolicy | float | None = None,
     resume_from: RunManifest | Path | str | None = None,
     checkpoint: Path | str | None = None,
+    status_path: Path | str | None = None,
 ) -> SweepResult:
     """Execute ``jobs``, serving repeats from ``cache`` when given.
 
@@ -295,6 +296,13 @@ def run_jobs(
     attaches a hot-spot table to each job record.  Either flag also embeds
     a ``repro.obs`` metrics snapshot in the manifest.  Cached jobs are
     *not* recomputed to obtain observability data.
+
+    **Live telemetry:** ``status_path`` names a
+    :mod:`repro.obs.status` heartbeat file rewritten atomically on every
+    job start, retry, and completion (ok/failed/cached/retry counts,
+    in-flight cells, an ETA from completed-job durations), consumed by
+    ``repro obs tail --follow``.  The writer lives in the supervising
+    process only; job payloads, cache keys, and results are untouched.
     """
     workers = workers if workers is not None else (os.cpu_count() or 1)
     start = time.perf_counter()
@@ -303,6 +311,12 @@ def run_jobs(
     if checkpoint is not None:
         checkpoint = Path(checkpoint)
         ensure_writable_dir(checkpoint.parent, "manifest checkpoint")
+    status: Any = None
+    if status_path is not None:
+        from ..obs.status import SweepStatus
+
+        ensure_writable_dir(Path(status_path).parent, "status heartbeat")
+        status = SweepStatus(status_path, total=len(jobs), workers=workers)
     if isinstance(backoff, RetryPolicy):
         policy = backoff
     else:
@@ -331,6 +345,8 @@ def run_jobs(
     def _complete(index: int, outcome: JobOutcome) -> None:
         outcomes[index] = outcome
         _flush_checkpoint()
+        if status is not None:
+            status.job_finished(index, outcome.record)
         if progress is not None:
             progress(outcome.record)
 
@@ -410,6 +426,17 @@ def run_jobs(
             rows = Rows()
         _complete(index, JobOutcome(job=job, rows=rows, record=record))
 
+    def _on_event(kind: str, task: Task) -> None:
+        job = jobs[task.index]
+        label = " ".join(
+            [job.figure, f"seed={job.seed}"]
+            + [f"{k}={v}" for k, v in job.params]
+        )
+        if kind == "start":
+            status.job_started(task.index, label)
+        elif kind == "retry":
+            status.job_retried(task.index, label)
+
     if pending:
         tasks = [
             Task(
@@ -420,12 +447,14 @@ def run_jobs(
             )
             for payload in pending
         ]
+        on_event = _on_event if status is not None else None
         inline = min(workers, len(pending)) <= 1 and policy.timeout_s is None
         if inline:
-            run_inline(tasks, _compute, policy, _finish)
+            run_inline(tasks, _compute, policy, _finish, on_event=on_event)
         else:
             run_supervised(
-                tasks, _compute, max(workers, 1), policy, _finish
+                tasks, _compute, max(workers, 1), policy, _finish,
+                on_event=on_event,
             )
 
     done = [outcome for outcome in outcomes if outcome is not None]
@@ -438,4 +467,6 @@ def run_jobs(
     result = SweepResult(outcomes=done, manifest=manifest)
     if checkpoint is not None:
         _flush_checkpoint()
+    if status is not None:
+        status.finalize()
     return result

@@ -149,6 +149,7 @@ def run_inline(
     compute: Callable[[Any], tuple[int, dict]],
     policy: RetryPolicy,
     finish: Callable[[int, dict], None],
+    on_event: Callable[[str, Task], None] | None = None,
 ) -> None:
     """Sequential supervised execution (no pool, no timeout enforcement).
 
@@ -156,10 +157,18 @@ def run_inline(
     worth paying.  Exceptions are isolated and retried exactly like the
     pool path; timeouts require a pool (you cannot kill your own frame)
     and are enforced by :func:`run_supervised` instead.
+
+    ``on_event`` (shared with :func:`run_supervised`) receives
+    ``("start", task)`` before every execution and ``("retry", task)``
+    when a failed attempt is rescheduled — the hook live sweep telemetry
+    (:class:`repro.obs.status.SweepStatus`) hangs off.  It runs in the
+    supervising process only and never touches job payloads or results.
     """
     for task in tasks:
         while True:
             task.attempts += 1
+            if on_event is not None:
+                on_event("start", task)
             index, result = guard(compute, task.payload)
             if "error" not in result:
                 result["attempts"] = task.attempts
@@ -169,6 +178,8 @@ def run_inline(
                 obs.get_registry().counter(
                     RETRIES_COUNTER, figure=task.figure
                 ).inc()
+                if on_event is not None:
+                    on_event("retry", task)
                 time.sleep(policy.backoff_s(task.key, task.attempts))
                 continue
             result["status"] = STATUS_FAILED
@@ -183,6 +194,7 @@ def run_supervised(
     workers: int,
     policy: RetryPolicy,
     finish: Callable[[int, dict], None],
+    on_event: Callable[[str, Task], None] | None = None,
 ) -> None:
     """Run ``tasks`` over a supervised :class:`ProcessPoolExecutor`.
 
@@ -215,6 +227,8 @@ def run_supervised(
             obs.get_registry().counter(
                 RETRIES_COUNTER, figure=task.figure
             ).inc()
+            if on_event is not None:
+                on_event("retry", task)
             due = time.monotonic() + policy.backoff_s(task.key, task.attempts)
             heapq.heappush(sleeping, (due, next(tick), task))
             return
@@ -228,6 +242,8 @@ def run_supervised(
         if charged:
             task.attempts += 1
         task.started_at = time.monotonic()
+        if on_event is not None:
+            on_event("start", task)
         inflight[executor.submit(guard, compute, task.payload)] = task
 
     def rebuild_pool() -> None:

@@ -1,0 +1,88 @@
+"""The benchmarks/ pytest recording hook and 'bench record --suite'.
+
+Both tests drive a real pytest subprocess over a tiny throwaway suite
+that reuses the checked-in ``benchmarks/conftest.py``, so the
+``REPRO_BENCH_OUT`` contract is exercised exactly as CI uses it —
+without paying for the actual figure benchmarks.
+"""
+
+import json
+import os
+import shutil
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.cli import main
+from repro.obs.history import BenchHistory
+
+REPO = Path(__file__).resolve().parent.parent.parent
+HOOK_CONFTEST = REPO / "benchmarks" / "conftest.py"
+
+
+def make_suite(tmp_path: Path) -> Path:
+    suite = tmp_path / "suite"
+    suite.mkdir()
+    shutil.copy(HOOK_CONFTEST, suite / "conftest.py")
+    (suite / "test_quick.py").write_text(
+        "import pytest\n"
+        "\n"
+        "def test_fast():\n"
+        "    assert 1 + 1 == 2\n"
+        "\n"
+        "def test_skipped():\n"
+        "    pytest.skip('not timed')\n"
+    )
+    return suite
+
+
+def test_hook_records_passing_call_phases_only(tmp_path):
+    suite = make_suite(tmp_path)
+    out = tmp_path / "samples.json"
+    env = dict(os.environ)
+    env["REPRO_BENCH_OUT"] = str(out)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [str(REPO / "src")]
+        + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else [])
+    )
+    proc = subprocess.run(
+        [sys.executable, "-m", "pytest", str(suite), "-q",
+         "-p", "no:cacheprovider"],
+        env=env, capture_output=True, text=True,
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    payload = json.loads(out.read_text())
+    assert payload["schema"] == "repro.obs/bench-samples/v1"
+    names = [s["name"] for s in payload["samples"]]
+    assert len(names) == 1 and names[0].endswith("::test_fast")
+    sample = payload["samples"][0]
+    assert sample["unit"] == "s" and sample["value_s"] >= 0
+
+
+def test_hook_dormant_without_env(tmp_path):
+    suite = make_suite(tmp_path)
+    env = dict(os.environ)
+    env.pop("REPRO_BENCH_OUT", None)
+    proc = subprocess.run(
+        [sys.executable, "-m", "pytest", str(suite), "-q",
+         "-p", "no:cacheprovider"],
+        env=env, capture_output=True, text=True,
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    assert not list(tmp_path.glob("*.json"))
+
+
+def test_bench_record_times_a_suite_end_to_end(tmp_path, capsys):
+    suite = make_suite(tmp_path)
+    history_dir = tmp_path / "hist"
+    out = tmp_path / "BENCH_e2e.json"
+    assert main([
+        "bench", "record", "--suite", str(suite),
+        "--history", str(history_dir), "--out", str(out),
+    ]) == 0
+    payload = json.loads(out.read_text())
+    assert payload["schema"] == "repro.obs/bench/v1"
+    assert [s["name"] for s in payload["samples"]][0].endswith("::test_fast")
+    assert payload["meta"]["python"]
+    reports = BenchHistory(history_dir).reports()
+    assert len(reports) == 1 and reports[0].id == payload["id"]

@@ -1,0 +1,278 @@
+"""CLI surface of the cross-run observability layer.
+
+``repro report``, ``repro bench record/compare``, ``repro obs tail``, and
+the v3-aware ``repro obs`` manifest summary — plus the status.json
+heartbeat a real ``repro sweep`` leaves behind.
+"""
+
+import json
+import shutil
+from pathlib import Path
+
+from repro.cli import main
+from repro.obs.history import BenchHistory, BenchReport, BenchSample
+from repro.obs.status import STATUS_FILENAME, SweepStatus
+
+DATA = Path(__file__).parent / "data"
+
+
+def seeded_history(history_dir: Path, series, name="bench_a"):
+    history = BenchHistory(history_dir)
+    for i, value in enumerate(series):
+        history.append(
+            BenchReport(
+                recorded_at=f"t{i:03d}",
+                samples=[BenchSample(name=name, value_s=value)],
+            )
+        )
+    return history
+
+
+def samples_file(path: Path, value_s: float, name="bench_a") -> Path:
+    path.write_text(
+        json.dumps(
+            {
+                "schema": "repro.obs/bench-samples/v1",
+                "samples": [
+                    {"name": name, "value_s": value_s, "unit": "s",
+                     "rounds": 1}
+                ],
+            }
+        )
+    )
+    return path
+
+
+class TestReportCommand:
+    def test_report_on_v3_run_dir(self, tmp_path, capsys):
+        out = tmp_path / "out"
+        assert main([
+            "report", str(DATA / "run_v3"), "--out-dir", str(out),
+        ]) == 0
+        assert (out / "report.md").exists()
+        assert (out / "report.html").exists()
+        stdout = capsys.readouterr().out
+        assert "requirement-class checks met" in stdout
+        # the written files are stamped, the body matches the golden
+        body = (out / "report.md").read_text()
+        assert "## Figure status" in body
+        assert "*Generated " in body
+
+    def test_report_on_v2_manifest_file(self, tmp_path):
+        run_dir = tmp_path / "run"
+        shutil.copytree(DATA / "run_v2", run_dir)
+        assert main(["report", str(run_dir / "manifest.json")]) == 0
+        assert (run_dir / "report.html").exists()
+
+    def test_report_missing_run_dir_is_usage_error(self, tmp_path, capsys):
+        assert main(["report", str(tmp_path / "nowhere")]) == 2
+        err = capsys.readouterr().err
+        assert "no manifest at" in err
+        assert "Traceback" not in err
+
+
+class TestBenchRecord:
+    def test_record_from_samples_file(self, tmp_path, capsys):
+        history_dir = tmp_path / "hist"
+        samples = samples_file(tmp_path / "samples.json", 1.25)
+        out = tmp_path / "BENCH_test.json"
+        assert main([
+            "bench", "record", "--history", str(history_dir),
+            "--from", str(samples), "--out", str(out),
+        ]) == 0
+        payload = json.loads(out.read_text())
+        assert payload["schema"] == "repro.obs/bench/v1"
+        assert payload["samples"] == [
+            {"name": "bench_a", "value_s": 1.25, "unit": "s", "rounds": 1}
+        ]
+        assert payload["id"] and payload["recorded_at"]
+        # appended to the history store too
+        assert len(BenchHistory(history_dir).reports()) == 1
+
+    def test_record_accepts_existing_bench_report_as_input(self, tmp_path):
+        source = BenchReport(
+            recorded_at="t0",
+            samples=[BenchSample(name="bench_a", value_s=0.5)],
+        )
+        src_path = source.save(tmp_path / "BENCH_old.json")
+        assert main([
+            "bench", "record", "--history", str(tmp_path / "hist"),
+            "--from", str(src_path), "--out", str(tmp_path / "BENCH_new.json"),
+            "--no-history",
+        ]) == 0
+        assert not (tmp_path / "hist" / "history.jsonl").exists()
+
+    def test_record_empty_samples_is_usage_error(self, tmp_path, capsys):
+        samples = tmp_path / "samples.json"
+        samples.write_text('{"schema": "repro.obs/bench-samples/v1", '
+                           '"samples": []}')
+        assert main([
+            "bench", "record", "--history", str(tmp_path / "hist"),
+            "--from", str(samples),
+        ]) == 2
+        assert "no benchmark samples" in capsys.readouterr().err
+
+
+class TestBenchCompare:
+    def test_injected_slowdown_fails_real_history_passes(
+        self, tmp_path, capsys
+    ):
+        history_dir = tmp_path / "hist"
+        seeded_history(
+            history_dir, [1.00, 1.04, 0.97, 1.02, 0.99, 1.01, 1.03, 0.98]
+        )
+        ok_file = tmp_path / "BENCH_ok.json"
+        BenchReport(
+            recorded_at="now",
+            samples=[BenchSample(name="bench_a", value_s=1.02)],
+        ).save(ok_file)
+        assert main([
+            "bench", "compare", str(ok_file), "--history", str(history_dir),
+        ]) == 0
+        slow_file = tmp_path / "BENCH_slow.json"
+        BenchReport(
+            recorded_at="now",
+            samples=[BenchSample(name="bench_a", value_s=3.06)],
+        ).save(slow_file)
+        assert main([
+            "bench", "compare", str(slow_file), "--history", str(history_dir),
+        ]) == 1
+        assert "REGRESSION" in capsys.readouterr().out
+
+    def test_warn_only_reports_but_exits_zero(self, tmp_path, capsys):
+        history_dir = tmp_path / "hist"
+        seeded_history(history_dir, [1.0] * 6)
+        slow_file = tmp_path / "BENCH_slow.json"
+        BenchReport(
+            recorded_at="now",
+            samples=[BenchSample(name="bench_a", value_s=3.0)],
+        ).save(slow_file)
+        assert main([
+            "bench", "compare", str(slow_file), "--history",
+            str(history_dir), "--warn-only",
+        ]) == 0
+        captured = capsys.readouterr()
+        assert "REGRESSION" in captured.out
+        assert "--warn-only" in captured.err
+
+    def test_defaults_to_newest_bench_file_in_history(self, tmp_path):
+        history_dir = tmp_path / "hist"
+        seeded_history(history_dir, [1.0] * 4)
+        BenchReport(
+            recorded_at="a",
+            samples=[BenchSample(name="bench_a", value_s=3.0)],
+        ).save(history_dir / "BENCH_2026-01-01_000000.json")
+        BenchReport(
+            recorded_at="b",
+            samples=[BenchSample(name="bench_a", value_s=1.0)],
+        ).save(history_dir / "BENCH_2026-02-01_000000.json")
+        # newest (lexicographically last) file is the quick one -> ok
+        assert main(["bench", "compare", "--history", str(history_dir)]) == 0
+
+    def test_no_bench_files_is_usage_error(self, tmp_path, capsys):
+        assert main([
+            "bench", "compare", "--history", str(tmp_path / "empty"),
+        ]) == 2
+        assert "repro bench record" in capsys.readouterr().err
+
+
+class TestObsTail:
+    def test_missing_status_is_friendly(self, tmp_path, capsys):
+        assert main(["obs", "tail", str(tmp_path)]) == 2
+        err = capsys.readouterr().err
+        assert "repro:" in err
+        assert "run directory" in err
+        assert "Traceback" not in err
+
+    def test_tail_prints_one_status_line(self, tmp_path, capsys):
+        from repro.runner import JobRecord
+
+        status = SweepStatus(tmp_path / STATUS_FILENAME, total=2, workers=1)
+        status.job_finished(0, JobRecord(
+            figure="fig1", seed=0, params={}, key="k", cached=False,
+            wall_time_s=0.4, rows=13,
+        ))
+        status.finalize()
+        assert main(["obs", "tail", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "[1/2] ok=1 cached=0 failed=0" in out
+
+    def test_tail_exit_degraded_on_failures(self, tmp_path, capsys):
+        from repro.runner import JobRecord
+
+        status = SweepStatus(tmp_path / STATUS_FILENAME, total=1)
+        status.job_finished(0, JobRecord(
+            figure="fig6", seed=0, params={}, key="k", cached=False,
+            wall_time_s=0.4, rows=0, status="failed", error="boom",
+        ))
+        status.finalize()
+        assert main(["obs", "tail", str(tmp_path / STATUS_FILENAME)]) == 3
+
+
+class TestObsSummaryV3:
+    def test_summary_understands_v3_fields(self, capsys):
+        manifest = DATA / "run_v3" / "manifest.json"
+        assert main(["obs", str(manifest)]) == 0
+        out = capsys.readouterr().out
+        assert (
+            "4 job(s): 2 ok, 1 cached, 1 failed, 3 retry attempt(s); "
+            "1 with observability data"
+        ) in out
+        assert "fig6 seed=0: FAILED after 3 attempt(s): ValueError: boom" in out
+        # histograms listed in sorted key order
+        body = out[out.index("histograms:"):]
+        assert body.index("fieldbus.cycle_ns") < body.index("net.port.tx_ns")
+
+    def test_summary_reads_v2_manifest(self, capsys):
+        manifest = DATA / "run_v2" / "manifest.json"
+        assert main(["obs", str(manifest)]) == 0
+        out = capsys.readouterr().out
+        assert "2 job(s): 1 ok, 1 cached, 0 failed" in out
+        assert "retry attempt" not in out
+
+
+class TestSweepHeartbeat:
+    def test_sweep_writes_status_next_to_manifest(self, tmp_path):
+        manifest = tmp_path / "run" / "manifest.json"
+        assert main([
+            "sweep", "fig1", "--no-cache", "--jobs", "1",
+            "--manifest", str(manifest),
+        ]) == 0
+        status = json.loads((tmp_path / "run" / STATUS_FILENAME).read_text())
+        assert status["schema"] == "repro.obs/status/v1"
+        assert status["state"] == "done"
+        assert status["total"] == 1
+        assert status["done"] == 1 and status["ok"] == 1
+
+    def test_no_status_flag_suppresses_heartbeat(self, tmp_path):
+        manifest = tmp_path / "run" / "manifest.json"
+        assert main([
+            "sweep", "fig1", "--no-cache", "--jobs", "1",
+            "--manifest", str(manifest), "--no-status",
+        ]) == 0
+        assert not (tmp_path / "run" / STATUS_FILENAME).exists()
+
+    def test_explicit_status_path_wins(self, tmp_path):
+        target = tmp_path / "elsewhere" / "live.json"
+        assert main([
+            "sweep", "fig1", "--no-cache", "--jobs", "1",
+            "--manifest", str(tmp_path / "run" / "manifest.json"),
+            "--status", str(target),
+        ]) == 0
+        assert json.loads(target.read_text())["state"] == "done"
+
+    def test_results_unperturbed_by_heartbeat(self, tmp_path):
+        with_status = tmp_path / "a" / "manifest.json"
+        without = tmp_path / "b" / "manifest.json"
+        assert main([
+            "sweep", "fig1", "--no-cache", "--jobs", "1",
+            "--manifest", str(with_status),
+        ]) == 0
+        assert main([
+            "sweep", "fig1", "--no-cache", "--jobs", "1",
+            "--manifest", str(without), "--no-status",
+        ]) == 0
+        a = json.loads(with_status.read_text())["jobs"][0]
+        b = json.loads(without.read_text())["jobs"][0]
+        assert a["key"] == b["key"]  # cache keys unchanged
+        assert a["rows"] == b["rows"]

@@ -1,0 +1,178 @@
+"""Bench history store and MAD-banded regression detection."""
+
+import json
+
+import pytest
+
+from repro.obs.history import (
+    BENCH_SCHEMA,
+    STATUS_IMPROVED,
+    STATUS_NEW,
+    STATUS_OK,
+    STATUS_REGRESSION,
+    BenchHistory,
+    BenchReport,
+    BenchSample,
+    detect_regressions,
+    format_findings,
+    median,
+    robust_std,
+)
+
+
+def make_report(values: dict[str, float], stamp: str) -> BenchReport:
+    return BenchReport(
+        recorded_at=stamp,
+        samples=[BenchSample(name=k, value_s=v) for k, v in values.items()],
+    )
+
+
+def seeded_history(tmp_path, series: list[float], name: str = "bench_a"):
+    """A history directory with one report per value of ``series``."""
+    history = BenchHistory(tmp_path / "hist")
+    for i, value in enumerate(series):
+        history.append(make_report({name: value}, stamp=f"t{i:03d}"))
+    return history
+
+
+class TestStatistics:
+    def test_median_odd_even(self):
+        assert median([3.0, 1.0, 2.0]) == 2.0
+        assert median([4.0, 1.0, 2.0, 3.0]) == 2.5
+
+    def test_median_empty_rejected(self):
+        with pytest.raises(ValueError):
+            median([])
+
+    def test_robust_std_is_mad_scaled(self):
+        values = [1.0, 1.0, 1.0, 2.0]
+        center = median(values)
+        # deviations: [0, 0, 0, 1] -> MAD 0 -> robust std 0
+        assert robust_std(values, center) == 0.0
+        assert robust_std([1.0, 2.0, 3.0], 2.0) == pytest.approx(1.4826)
+
+
+class TestBenchReport:
+    def test_round_trip_preserves_samples_and_id(self):
+        report = make_report({"a": 1.5, "b": 0.25}, stamp="2026-08-06")
+        clone = BenchReport.from_dict(report.as_dict())
+        assert clone.id == report.id
+        assert clone.samples == report.samples
+        assert clone.as_dict() == report.as_dict()
+
+    def test_id_is_content_derived(self):
+        a = make_report({"a": 1.5}, stamp="t0")
+        b = make_report({"a": 1.5}, stamp="t0")
+        c = make_report({"a": 1.6}, stamp="t0")
+        assert a.id == b.id
+        assert a.id != c.id
+
+    def test_schema_documented_and_enforced(self):
+        report = make_report({"a": 1.0}, stamp="t0")
+        assert report.as_dict()["schema"] == BENCH_SCHEMA
+        with pytest.raises(ValueError, match="unsupported bench schema"):
+            BenchReport.from_dict({"schema": "something/else"})
+
+    def test_save_load(self, tmp_path):
+        report = make_report({"a": 1.0}, stamp="t0")
+        path = report.save(tmp_path / "nested" / "BENCH_t0.json")
+        assert BenchReport.load(path).id == report.id
+
+
+class TestBenchHistory:
+    def test_append_is_one_jsonl_line_per_report(self, tmp_path):
+        history = seeded_history(tmp_path, [1.0, 1.1, 0.9])
+        lines = history.path.read_text().splitlines()
+        assert len(lines) == 3
+        assert all(json.loads(line)["schema"] == BENCH_SCHEMA for line in lines)
+        assert [r.recorded_at for r in history.reports()] == [
+            "t000", "t001", "t002",
+        ]
+
+    def test_malformed_lines_are_skipped(self, tmp_path):
+        history = seeded_history(tmp_path, [1.0, 1.1])
+        with history.path.open("a") as handle:
+            handle.write("{torn json\n")
+            handle.write('{"schema": "wrong/schema"}\n')
+        assert len(history.reports()) == 2
+
+    def test_series_filters_by_name_and_excludes_id(self, tmp_path):
+        history = seeded_history(tmp_path, [1.0, 1.2])
+        latest = make_report({"bench_a": 9.9}, stamp="t999")
+        history.append(latest)
+        assert history.series("bench_a") == [1.0, 1.2, 9.9]
+        assert history.series("bench_a", exclude_id=latest.id) == [1.0, 1.2]
+        assert history.series("unknown") == []
+
+    def test_empty_history_reads_as_empty(self, tmp_path):
+        history = BenchHistory(tmp_path / "never-written")
+        assert history.reports() == []
+
+
+class TestDetectRegressions:
+    def test_injected_3x_slowdown_is_flagged(self, tmp_path):
+        # Acceptance criterion: realistic noisy history, then a 3x jump.
+        series = [1.00, 1.04, 0.97, 1.02, 0.99, 1.01, 1.03, 0.98]
+        history = seeded_history(tmp_path, series)
+        slow = make_report({"bench_a": 3.0}, stamp="t100")
+        findings = detect_regressions(history, slow)
+        assert [f.status for f in findings] == [STATUS_REGRESSION]
+        assert findings[0].ratio == pytest.approx(3.0, rel=0.1)
+
+    def test_real_history_passes(self, tmp_path):
+        series = [1.00, 1.04, 0.97, 1.02, 0.99, 1.01, 1.03, 0.98]
+        history = seeded_history(tmp_path, series)
+        normal = make_report({"bench_a": 1.02}, stamp="t100")
+        findings = detect_regressions(history, normal)
+        assert [f.status for f in findings] == [STATUS_OK]
+
+    def test_improvement_is_informational(self, tmp_path):
+        history = seeded_history(tmp_path, [1.0, 1.01, 0.99, 1.0, 1.02])
+        fast = make_report({"bench_a": 0.3}, stamp="t100")
+        findings = detect_regressions(history, fast)
+        assert [f.status for f in findings] == [STATUS_IMPROVED]
+
+    def test_new_benchmark_has_no_baseline(self, tmp_path):
+        history = seeded_history(tmp_path, [1.0])
+        report = make_report({"bench_b": 5.0}, stamp="t100")
+        (finding,) = detect_regressions(history, report)
+        assert finding.status == STATUS_NEW
+        assert finding.baseline_s is None
+        assert finding.ratio is None
+
+    def test_own_history_entry_is_excluded(self, tmp_path):
+        # record appends *then* compare runs: the report must not be
+        # compared against itself (which would mask any jump).
+        series = [1.0] * 6
+        history = seeded_history(tmp_path, series)
+        slow = make_report({"bench_a": 3.0}, stamp="t100")
+        history.append(slow)
+        findings = detect_regressions(history, slow)
+        assert [f.status for f in findings] == [STATUS_REGRESSION]
+
+    def test_min_abs_band_keeps_microbenches_quiet(self, tmp_path):
+        # sub-millisecond wobble is inside the absolute slack
+        history = seeded_history(tmp_path, [0.0010, 0.0011, 0.0009])
+        report = make_report({"bench_a": 0.0025}, stamp="t100")
+        findings = detect_regressions(history, report, min_abs_s=0.002)
+        assert [f.status for f in findings] == [STATUS_OK]
+
+    def test_window_limits_the_baseline(self, tmp_path):
+        # old slow epoch, recent fast epoch: a fast value must be judged
+        # against the recent window only.
+        history = seeded_history(tmp_path, [10.0] * 8 + [1.0] * 8)
+        report = make_report({"bench_a": 3.0}, stamp="t100")
+        (finding,) = detect_regressions(history, report, window=8)
+        assert finding.baseline_s == pytest.approx(1.0)
+        assert finding.status == STATUS_REGRESSION
+
+
+class TestFormatFindings:
+    def test_table_shows_status_and_ratio(self, tmp_path):
+        history = seeded_history(tmp_path, [1.0] * 5)
+        report = make_report({"bench_a": 3.0, "bench_b": 1.0}, stamp="t9")
+        text = format_findings(detect_regressions(history, report))
+        assert "REGRESSION" in text
+        assert "bench_a" in text and "bench_b" in text
+        assert "3.00x" in text
+        assert "new" in text  # bench_b has no history

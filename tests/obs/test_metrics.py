@@ -64,7 +64,15 @@ class TestHistogram:
         with pytest.raises(ValueError):
             Histogram("h", edges=[])
         with pytest.raises(ValueError):
-            Histogram("h", edges=[10, 5])
+            Histogram("h", edges=[10, 5, 10])
+
+    def test_edges_sort_regardless_of_insertion_order(self):
+        hist = Histogram("h", edges=[30, 10, 20])
+        assert hist.edges == (10, 20, 30)
+        hist.observe(5)
+        hist.observe(15)
+        assert hist.counts == [1, 1, 0, 0]
+        assert hist.snapshot()["edges"] == [10, 20, 30]
 
     def test_fixed_width_round_trips_to_binned_series(self):
         hist = Histogram("h", edges=fixed_width_edges(100, 5))

@@ -1,0 +1,155 @@
+"""Run reports: aggregation, §2 verdicts, and golden-stable rendering.
+
+The fixture run directories under ``tests/obs/data/`` are checked in —
+one v3 manifest (with failures, retries, chaos cells, metrics, and
+hot spots) and one v2 manifest (pre-supervision schema) — and the
+rendered markdown is golden-snapshotted under ``tests/golden/``.
+Refresh with ``pytest --update-golden``.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.obs.report import (
+    MEETS,
+    MISSES,
+    NO_DATA,
+    build_report,
+    requirement_verdicts,
+    resolve_manifest_path,
+)
+
+DATA = Path(__file__).parent / "data"
+GOLDEN = Path(__file__).parent.parent / "golden"
+
+
+def assert_matches_golden(text: str, name: str, update: bool) -> None:
+    path = GOLDEN / name
+    if update:
+        path.write_text(text)
+        pytest.skip(f"rewrote {path}")
+    assert path.exists(), f"golden {path} missing; run pytest --update-golden"
+    assert text == path.read_text(), (
+        f"report drifted from {path}; run pytest --update-golden if the "
+        f"change is intentional"
+    )
+
+
+class TestRequirementVerdicts:
+    def test_fig4_delay_judged_against_timing_classes(self):
+        rows = [{"p99_us": "120"}, {"p99_us": "420"}]
+        verdicts = requirement_verdicts("fig4-delay", rows)
+        by_class = {v.requirement: v.verdict for v in verdicts}
+        # worst p99 = 420us: inside machine-tools (500us), outside
+        # motion-control (250us), inside process-automation (100ms)
+        assert by_class == {
+            "machine-tools": MEETS,
+            "motion-control": MISSES,
+            "process-automation": MEETS,
+        }
+
+    def test_fig4_jitter_judged_in_ns(self):
+        verdicts = requirement_verdicts("fig4-jitter", [{"p99_ns": "950"}])
+        by_class = {v.requirement: v.verdict for v in verdicts}
+        # 950ns jitter meets even motion-control's 1us bound
+        assert set(by_class.values()) == {MEETS}
+
+    def test_fig5_availability_from_outage_bins(self):
+        rows = [{"to_io": "12"}, {"to_io": "0"}, {"to_io": "12"},
+                {"to_io": "12"}]
+        verdicts = requirement_verdicts("fig5", rows)
+        assert {v.requirement for v in verdicts} == {
+            "industrial", "datacenter",
+        }
+        # one dead 50ms bin out of four -> 0.75 availability, misses both
+        assert all(v.verdict == MISSES for v in verdicts)
+        assert "0.7500" in verdicts[0].observed
+
+    def test_mapped_figure_without_rows_reports_no_data(self):
+        verdicts = requirement_verdicts("fig6", [])
+        assert verdicts and all(v.verdict == NO_DATA for v in verdicts)
+
+    def test_unmapped_figure_has_no_verdicts(self):
+        assert requirement_verdicts("fig1", [{"term": "latency"}]) == []
+
+
+class TestBuildReport:
+    def test_loads_rows_via_rows_path_fallback(self):
+        # rows_path entries are bare file names in the fixtures, resolved
+        # relative to the manifest's directory.
+        report = build_report(DATA / "run_v3")
+        assert len(report.figure_rows("fig4-delay")) == 2
+        assert len(report.figure_rows("fig5")) == 4
+        assert report.figure_rows("fig6") == []  # failed job, no rows
+
+    def test_accepts_manifest_file_or_run_dir(self):
+        from_dir = build_report(DATA / "run_v3")
+        from_file = build_report(DATA / "run_v3" / "manifest.json")
+        assert from_dir.to_markdown() == from_file.to_markdown()
+
+    def test_missing_manifest_is_a_friendly_error(self, tmp_path):
+        with pytest.raises(ValueError, match="no manifest at"):
+            resolve_manifest_path(tmp_path)
+
+    def test_merged_hotspots_sum_across_jobs(self):
+        report = build_report(DATA / "run_v3")
+        merged = {h["name"]: h for h in report.merged_hotspots()}
+        # Port.drain appears in two jobs: 846+100 calls, summed total
+        assert merged["Port.drain"]["calls"] == 946
+        assert merged["Port.drain"]["total_ns"] == 28610000 + 4000000
+        assert merged["Port.drain"]["max_ns"] == 865390
+
+    def test_retry_timeline_covers_failures_and_retried_jobs(self):
+        report = build_report(DATA / "run_v3")
+        labels = [r.figure for r in report.retry_timeline()]
+        assert labels == ["fig6", "chaos-link-flaps"]
+
+    def test_chaos_cells_are_sectioned(self):
+        report = build_report(DATA / "run_v3")
+        assert [r.figure for r in report.chaos_records()] == [
+            "chaos-link-flaps",
+        ]
+
+    def test_v2_manifest_reads_without_supervision_fields(self):
+        report = build_report(DATA / "run_v2")
+        assert [r.status for r in report.manifest.records] == [
+            "ok", "cached",
+        ]
+        assert report.retry_timeline() == []
+
+
+class TestGoldenRendering:
+    def test_markdown_is_byte_stable_v3(self, update_golden):
+        text = build_report(DATA / "run_v3").to_markdown()
+        assert_matches_golden(text, "report_v3.golden.md", update_golden)
+
+    def test_markdown_is_byte_stable_v2(self, update_golden):
+        text = build_report(DATA / "run_v2").to_markdown()
+        assert_matches_golden(text, "report_v2.golden.md", update_golden)
+
+    def test_markdown_deterministic_across_builds(self):
+        a = build_report(DATA / "run_v3").to_markdown()
+        b = build_report(DATA / "run_v3").to_markdown()
+        assert a == b
+
+    def test_timestamp_only_with_generated_at(self):
+        report = build_report(DATA / "run_v3")
+        assert "Generated" not in report.to_markdown()
+        stamped = report.to_markdown(generated_at="2026-08-06 12:00 UTC")
+        assert "*Generated 2026-08-06 12:00 UTC.*" in stamped
+
+    def test_html_is_self_contained_and_colored(self):
+        html = build_report(DATA / "run_v3").to_html()
+        assert html.startswith("<!DOCTYPE html>")
+        assert "<style>" in html and "http" not in html.split("</style>")[0]
+        assert '<td class="bad">failed</td>' in html
+        assert '<td class="good">ok</td>' in html
+        assert "Chaos campaign verdicts" in html
+
+    def test_html_escapes_error_text(self):
+        report = build_report(DATA / "run_v3")
+        report.manifest.records[2].error = "ValueError: <boom> & bust"
+        html = report.to_html()
+        assert "&lt;boom&gt; &amp; bust" in html
+        assert "<boom>" not in html

@@ -276,3 +276,79 @@ class TestObservability:
         assert ensure_writable_dir(target, "test") == target
         assert target.is_dir()
         assert list(target.iterdir()) == []  # probe file removed
+
+
+class TestStatusHeartbeat:
+    """run_jobs(status_path=...) maintains the live status.json."""
+
+    def test_updates_at_least_once_per_completed_job(self, tmp_path):
+        status_path = tmp_path / "status.json"
+        observed = []
+
+        def watch(record):
+            observed.append(json.loads(status_path.read_text())["done"])
+
+        jobs = expand_grid(["fig1"], seeds=[0, 1])
+        run_jobs(jobs, workers=1, status_path=status_path, progress=watch)
+        # by the time each progress callback fires, the heartbeat already
+        # counts that job as done
+        assert observed == [1, 2]
+        final = json.loads(status_path.read_text())
+        assert final["schema"] == "repro.obs/status/v1"
+        assert final["state"] == "done"
+        assert (final["done"], final["ok"], final["failed"]) == (2, 2, 0)
+
+    def test_pool_path_counts_and_finalizes(self, tmp_path):
+        status_path = tmp_path / "status.json"
+        jobs = expand_grid(CHEAP_FIGURES, seeds=[0, 1], grid=CHEAP_GRID)
+        run_jobs(jobs, workers=2, status_path=status_path)
+        final = json.loads(status_path.read_text())
+        assert final["state"] == "done"
+        assert final["done"] == final["total"] == len(jobs)
+        assert final["current"] == []
+
+    def test_failures_and_retries_reach_the_heartbeat(self, tmp_path):
+        from .faulty import FLAKY, registered
+
+        status_path = tmp_path / "status.json"
+        with registered(FLAKY):
+            job = make_job(
+                "test-flaky", params={"marker": str(tmp_path / "marker")}
+            )
+            run_jobs(
+                [job], workers=1, retries=1, backoff=0.0,
+                status_path=status_path,
+            )
+        final = json.loads(status_path.read_text())
+        assert final["state"] == "done"
+        assert final["retries"] == 1
+        assert final["ok"] == 1
+
+    def test_degraded_state_and_last_error(self, tmp_path):
+        from .faulty import BOOM, registered
+
+        status_path = tmp_path / "status.json"
+        with registered(BOOM):
+            run_jobs(
+                [make_job("test-boom")], workers=1,
+                status_path=status_path,
+            )
+        final = json.loads(status_path.read_text())
+        assert final["state"] == "degraded"
+        assert final["failed"] == 1
+        assert "boom" in final["last_error"]
+
+    def test_no_status_path_writes_nothing(self, tmp_path):
+        run_jobs(expand_grid(["fig1"]), workers=1)
+        assert not (tmp_path / "status.json").exists()
+
+    def test_results_identical_with_and_without_heartbeat(self, tmp_path):
+        jobs = expand_grid(["fig1"], seeds=[0])
+        plain = run_jobs(jobs, workers=1)
+        beating = run_jobs(
+            jobs, workers=1, status_path=tmp_path / "status.json"
+        )
+        assert plain.rows_for("fig1") == beating.rows_for("fig1")
+        assert (
+            plain.manifest.records[0].key == beating.manifest.records[0].key
+        )
