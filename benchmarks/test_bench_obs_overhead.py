@@ -47,9 +47,9 @@ def _pump(events: int) -> Simulator:
     def tick() -> None:
         remaining[0] -= 1
         if remaining[0]:
-            sim.schedule(1, tick)
+            sim.schedule(tick, after=1)
 
-    sim.schedule(1, tick)
+    sim.schedule(tick, after=1)
     sim.run()
     assert sim.stats.events_executed == events
     return sim

@@ -31,21 +31,59 @@ class ExecutionEnvironment:
         self._m_exec_ns = get_registry().histogram(
             "ebpf.exec_ns", flows=self.active_flows
         )
+        # program -> (scale, [(mean, std, spike_p, lo, hi), ...]).  The
+        # effective per-op distributions depend only on the program and the
+        # contention scale, so they are computed once instead of per packet.
+        # Keyed by id() with the program kept as a strong reference so the
+        # id cannot be recycled while the entry lives.
+        self._cost_cache: dict[
+            int, tuple[XdpProgram, float, list[tuple[float, float, float, float, float]]]
+        ] = {}
 
     def contention_scale(self) -> float:
         """Variance multiplier applied to memory-touching operations."""
         extra = max(0, self.active_flows - 1)
         return 1.0 + self.contention_slope * min(extra, 64)
 
+    def _cost_sequence(
+        self, program: XdpProgram, scale: float
+    ) -> list[tuple[float, float, float, float, float]]:
+        cached = self._cost_cache.get(id(program))
+        if cached is not None and cached[0] is program and cached[1] == scale:
+            return cached[2]
+        sequence: list[tuple[float, float, float, float, float]] = []
+        for instruction in program.instructions:
+            cost = instruction.cost(program.cost_table)
+            # Same arithmetic as OpCost.sample_ns so samples stay
+            # bit-identical to the uncached path.
+            std = cost.std_ns * (scale if cost.contended else 1.0)
+            mean = cost.mean_ns * (
+                1.0 + (scale - 1.0) * 0.25 if cost.contended else 1.0
+            )
+            sequence.append(
+                (mean, std, cost.spike_probability, cost.spike_min_ns, cost.spike_max_ns)
+            )
+        self._cost_cache[id(program)] = (program, scale, sequence)
+        return sequence
+
     def execute_ns(self, program: XdpProgram) -> float:
         """Sample the execution latency of one program invocation."""
         scale = self.contention_scale()
+        rng = self.rng
+        normal = rng.normal
+        random = rng.random
+        uniform = rng.uniform
         total = 0.0
-        for instruction in program.instructions:
-            total += instruction.cost(program.cost_table).sample_ns(
-                self.rng, contention_scale=scale
-            )
-        total += self.cache_model.sample_ns(self.active_flows, self.rng)
+        for mean, std, spike_p, spike_lo, spike_hi in self._cost_sequence(
+            program, scale
+        ):
+            value = normal(mean, std)
+            if value < 0.0:
+                value = 0.0
+            if spike_p > 0 and random() < spike_p:
+                value += uniform(spike_lo, spike_hi)
+            total += value
+        total += self.cache_model.sample_ns(self.active_flows, rng)
         self._m_exec_ns.observe(total)
         return total
 

@@ -51,7 +51,7 @@ class Watchdog:
     def _rearm(self) -> None:
         if self._pending is not None:
             self._pending.cancel()
-        self._pending = self.sim.schedule(self.timeout_ns, self._expire)
+        self._pending = self.sim.schedule(self._expire, after=self.timeout_ns)
 
     def _expire(self) -> None:
         if not self.running:

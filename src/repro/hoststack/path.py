@@ -103,7 +103,7 @@ class XdpReflectorHost(Device):
         residence = round(self.model.residence_ns(packet.frame_bytes))
         self._core_free_at = start + residence
         done_in = self._core_free_at - now
-        self.sim.schedule(done_in, lambda: self._reflect(packet, in_port))
+        self.sim.schedule(lambda: self._reflect(packet, in_port), after=done_in)
 
     def _reflect(self, packet: Packet, in_port: Port) -> None:
         reflected = packet.copy_for_replication()

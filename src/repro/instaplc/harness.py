@@ -173,8 +173,8 @@ def run_fig5(
     vplc2.assign_device("io", params=params)
 
     vplc1.start()
-    sim.schedule(secondary_start_ns, vplc2.start)
-    sim.schedule(crash_ns, vplc1.crash)
+    sim.schedule(vplc2.start, after=secondary_start_ns)
+    sim.schedule(vplc1.crash, after=crash_ns)
     sim.run(until=duration_ns)
 
     binding = app.bindings["io"]

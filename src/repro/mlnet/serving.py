@@ -164,6 +164,10 @@ class InferenceServer:
                           packet.src)
         else:
             self._reassembly[key] = received
+        # The server is the terminal consumer of segment frames: recycle
+        # them unless the host is recording traffic for inspection.
+        if not self.host.record_received:
+            packet.release()
 
     def _enqueue(self, client_id: str, frame_seq: int, reply_to: str) -> None:
         self._queue.append((client_id, frame_seq, reply_to))
@@ -176,7 +180,7 @@ class InferenceServer:
             self._busy_units += 1
             service = self._sample_service_ns()
             self.stats.busy_ns += service
-            self.sim.schedule(service, lambda j=job: self._finish(j))
+            self.sim.schedule(lambda j=job: self._finish(j), after=service)
 
     def _sample_service_ns(self) -> int:
         sigma = self.service_time_ns * self.service_cv

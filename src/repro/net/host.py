@@ -70,7 +70,7 @@ class Host(Device):
         """Create a packet and hand it to the given port for egress."""
         if not self.ports:
             raise RuntimeError(f"host {self.name} has no ports")
-        packet = Packet(
+        packet = Packet.acquire(
             src=self.name,
             dst=dst,
             payload_bytes=payload_bytes,
@@ -131,8 +131,8 @@ class ServerNode(Host):
         if out_index is None or out_index == in_port.index:
             return  # not ours and no relay route: drop
         self.sim.schedule(
-            self.forwarding_delay_ns,
             lambda: self._relay(packet, out_index),
+            after=self.forwarding_delay_ns,
         )
 
     def _relay(self, packet: Packet, out_index: int) -> None:

@@ -47,6 +47,13 @@ class Port:
         self.link: Optional[Link] = None
         self.shaper = None  # set by repro.tsn when the port is TSN-scheduled
         self._transmitting = False
+        #: Frame currently being clocked out (one at a time per port).
+        self._tx_packet: Packet | None = None
+        #: wire_size_bytes -> serialization ns, valid for ``_tx_cache_bw``.
+        self._tx_cache: dict[int, int] = {}
+        self._tx_cache_bw = 0.0
+        #: Set by ``Link.__init__``; the port on the far end of our link.
+        self._peer_port: Optional[Port] = None
         self.tx_frames = 0
         self.rx_frames = 0
         self.tx_bytes = 0
@@ -70,6 +77,13 @@ class Port:
 
     def send(self, packet: Packet) -> None:
         """Queue a frame for egress and start transmitting if idle."""
+        if not self._transmitting and self.shaper is None:
+            link = self.link
+            if link is not None and link.up and len(self.queue) == 0:
+                # Idle unshaped port, empty queue: the frame would be
+                # enqueued and immediately dequeued — transmit directly.
+                self._begin_transmit(packet, link)
+                return
         if not self.queue.enqueue(packet):
             self.egress_drops += 1
             return
@@ -81,31 +95,53 @@ class Port:
 
     def try_transmit(self) -> None:
         """Begin transmitting the next eligible frame if the port is idle."""
-        if self._transmitting or self.link is None or not self.link.up:
+        if self._transmitting:
+            return
+        link = self.link
+        if link is None or not link.up:
             return
         if self.shaper is not None:
             packet, retry_ns = self.shaper.select(
-                self.sim.now, self.queue, self.link.bandwidth_bps
+                self.sim.now, self.queue, link.bandwidth_bps
             )
             if packet is None:
                 if retry_ns is not None and retry_ns > 0:
-                    self.sim.schedule(retry_ns, self.try_transmit)
+                    self.sim.schedule(self.try_transmit, after=retry_ns)
                 return
         else:
             packet = self.queue.dequeue()
             if packet is None:
                 return
-        self._transmitting = True
-        tx_ns = packet.serialization_time_ns(self.link.bandwidth_bps)
-        self._m_tx_ns.observe(tx_ns)
-        self.sim.schedule(tx_ns, lambda: self._finish_transmit(packet))
+        self._begin_transmit(packet, link)
 
-    def _finish_transmit(self, packet: Packet) -> None:
+    def _begin_transmit(self, packet: Packet, link: "Link") -> None:
+        """Clock ``packet`` out on ``link`` (the port must be idle)."""
+        self._transmitting = True
+        # Serialization time depends only on (wire size, bandwidth); memoise
+        # per port, re-keyed whenever the link bandwidth changes.
+        if link.bandwidth_bps != self._tx_cache_bw:
+            self._tx_cache_bw = link.bandwidth_bps
+            self._tx_cache = {}
+        wire = packet.wire_size_bytes
+        tx_ns = self._tx_cache.get(wire)
+        if tx_ns is None:
+            tx_ns = packet.serialization_time_ns(link.bandwidth_bps)
+            self._tx_cache[wire] = tx_ns
+        self._m_tx_ns.observe(tx_ns)
+        # One frame in flight per port, so the packet rides on the port
+        # itself instead of a per-frame closure.
+        self._tx_packet = packet
+        self.sim.schedule(self._finish_transmit, after=tx_ns)
+
+    def _finish_transmit(self) -> None:
+        packet = self._tx_packet
+        self._tx_packet = None
         self._transmitting = False
         self.tx_frames += 1
         self.tx_bytes += packet.wire_size_bytes
-        if self.link is not None:
-            self.link.propagate(packet, self)
+        link = self.link
+        if link is not None:
+            link.propagate(packet, self)
         self.try_transmit()
 
     def deliver(self, packet: Packet) -> None:
@@ -146,6 +182,8 @@ class Link:
         self.downs = 0
         port_a.link = self
         port_b.link = self
+        port_a._peer_port = port_b
+        port_b._peer_port = port_a
         # One transition counter per link; null and free when obs is off.
         self._m_transitions = get_registry().counter(
             "net.link.state_changes", link=self.name
@@ -172,9 +210,10 @@ class Link:
         if self.loss_model is not None and self.loss_model(packet):
             self.lost_frames += 1
             return
-        destination = self.other_end(from_port)
+        destination = from_port._peer_port
         self.sim.schedule(
-            self.propagation_delay_ns, lambda: destination.deliver(packet)
+            lambda: destination.deliver(packet),
+            after=self.propagation_delay_ns,
         )
 
     def set_up(self) -> None:

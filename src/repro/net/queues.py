@@ -79,26 +79,38 @@ class StrictPriorityQueue:
         self._queues: list[deque[Packet]] = [
             deque() for _ in range(self.PCP_LEVELS)
         ]
+        #: Bitmask of non-empty PCP classes; bit_length()-1 is the highest
+        #: occupied priority, making dequeue O(1) instead of an 8-way scan.
+        self._occupied = 0
+        self._size = 0
         self.drops = 0
         self._m_drops = get_registry().counter(
             "net.queue.drops", kind="strict_priority"
         )
 
     def enqueue(self, packet: Packet) -> bool:
-        pcp = packet.traffic_class.pcp
+        pcp = packet.pcp
         queue = self._queues[pcp]
         if len(queue) >= self.capacity_per_class:
             self.drops += 1
             self._m_drops.inc()
             return False
         queue.append(packet)
+        self._occupied |= 1 << pcp
+        self._size += 1
         return True
 
     def dequeue(self) -> Packet | None:
-        for queue in reversed(self._queues):
-            if queue:
-                return queue.popleft()
-        return None
+        mask = self._occupied
+        if not mask:
+            return None
+        pcp = mask.bit_length() - 1
+        queue = self._queues[pcp]
+        packet = queue.popleft()
+        if not queue:
+            self._occupied = mask ^ (1 << pcp)
+        self._size -= 1
+        return packet
 
     def dequeue_from(self, allowed_pcps: Iterable[int]) -> Packet | None:
         """Pop the highest-priority frame among the allowed PCPs only.
@@ -106,18 +118,32 @@ class StrictPriorityQueue:
         Used by the TSN time-aware shaper: only queues whose gate is open
         may transmit.
         """
-        allowed = set(allowed_pcps)
+        allowed = (
+            allowed_pcps
+            if isinstance(allowed_pcps, (set, frozenset))
+            else set(allowed_pcps)
+        )
+        queues = self._queues
         for pcp in range(self.PCP_LEVELS - 1, -1, -1):
-            if pcp in allowed and self._queues[pcp]:
-                return self._queues[pcp].popleft()
+            if pcp in allowed and queues[pcp]:
+                packet = queues[pcp].popleft()
+                if not queues[pcp]:
+                    self._occupied &= ~(1 << pcp)
+                self._size -= 1
+                return packet
         return None
 
     def peek_from(self, allowed_pcps: Iterable[int]) -> Packet | None:
         """Like :meth:`dequeue_from` but without removing the frame."""
-        allowed = set(allowed_pcps)
+        allowed = (
+            allowed_pcps
+            if isinstance(allowed_pcps, (set, frozenset))
+            else set(allowed_pcps)
+        )
+        queues = self._queues
         for pcp in range(self.PCP_LEVELS - 1, -1, -1):
-            if pcp in allowed and self._queues[pcp]:
-                return self._queues[pcp][0]
+            if pcp in allowed and queues[pcp]:
+                return queues[pcp][0]
         return None
 
     def occupancy_by_pcp(self) -> dict[int, int]:
@@ -129,4 +155,4 @@ class StrictPriorityQueue:
         }
 
     def __len__(self) -> int:
-        return sum(len(queue) for queue in self._queues)
+        return self._size

@@ -77,7 +77,8 @@ class Switch(Device):
         if self.learning_enabled and packet.src:
             self._learned[packet.src] = in_port.index
         self.sim.schedule(
-            self.processing_delay_ns, lambda: self._forward(packet, in_port)
+            lambda: self._forward(packet, in_port),
+            after=self.processing_delay_ns,
         )
 
     def _forward(self, packet: Packet, in_port: Port) -> None:

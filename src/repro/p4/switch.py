@@ -35,7 +35,7 @@ def default_parser(packet: Packet, ingress_port: int) -> dict[str, Any]:
         "msg_type": packet.payload.get("type", ""),
         "device": packet.payload.get("device", ""),
         "ingress_port": ingress_port,
-        "pcp": packet.traffic_class.pcp,
+        "pcp": packet.pcp,
     }
 
 
@@ -97,8 +97,8 @@ class P4Switch(Device):
         for tap in self.ingress_taps:
             tap(packet, in_port.index)
         self.sim.schedule(
-            self.processing_delay_ns,
             lambda: self._process(packet, in_port.index),
+            after=self.processing_delay_ns,
         )
 
     def _process(self, packet: Packet, ingress_index: int) -> None:

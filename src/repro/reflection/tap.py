@@ -64,7 +64,7 @@ class Tap(Device):
         # Passive pass-through: the frame is already on the wire; repeat it
         # to the far side without serializing again.
         self.sim.schedule(
-            self.passthrough_ns, lambda: link.propagate(packet, out_port)
+            lambda: link.propagate(packet, out_port), after=self.passthrough_ns
         )
 
     def records_by_direction(self, direction: int) -> list[TapRecord]:

@@ -4,7 +4,8 @@ Public API:
 
 - :class:`Simulator` — event loop with integer-nanosecond time.
 - :class:`Process` / :class:`Signal` — generator-coroutine processes.
-- :class:`EventQueue` / :class:`Event` — the underlying queue.
+- :class:`EventQueue` / :class:`CalendarQueue` / :class:`Event` — the
+  scheduler backends (see :data:`SCHEDULERS`) and their event type.
 - :class:`RandomStreams` — named, independent random streams.
 - :class:`Clock`, :class:`PtpSyncModel`, :func:`tap_clock` — clock models.
 - :class:`SimStats` / :func:`collect_stats` — event-loop counters and a
@@ -14,11 +15,15 @@ Public API:
 
 from .clock import Clock, PtpSyncModel, tap_clock
 from .events import (
+    CalendarQueue,
     Event,
     EventQueue,
     PRIORITY_HIGH,
     PRIORITY_LOW,
     PRIORITY_NORMAL,
+    SCHEDULERS,
+    Scheduler,
+    make_scheduler,
 )
 from .rng import RandomStreams
 from .simulator import Process, Signal, SimulationError, Simulator, every
@@ -26,6 +31,7 @@ from .stats import SimStats, collect as collect_stats
 from .units import HOUR, MINUTE, MS, NS, SEC, US
 
 __all__ = [
+    "CalendarQueue",
     "Clock",
     "Event",
     "EventQueue",
@@ -39,7 +45,9 @@ __all__ = [
     "Process",
     "PtpSyncModel",
     "RandomStreams",
+    "SCHEDULERS",
     "SEC",
+    "Scheduler",
     "Signal",
     "SimStats",
     "SimulationError",
@@ -47,5 +55,6 @@ __all__ = [
     "US",
     "collect_stats",
     "every",
+    "make_scheduler",
     "tap_clock",
 ]

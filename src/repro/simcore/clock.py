@@ -13,6 +13,7 @@ A :class:`Clock` maps true simulation time to the time the clock *reads*:
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -46,8 +47,15 @@ class Clock:
         """Return this clock's reading at the given true time."""
         value = self.offset_ns + (1.0 + self.drift_ppm * 1e-6) * true_time_ns
         if self.noise_std_ns > 0.0:
-            generator = self.rng if self.rng is not None else np.random.default_rng(0)
-            value += generator.normal(0.0, self.noise_std_ns)
+            if self.rng is None:
+                # Lazily create ONE generator and keep it: a fresh
+                # default_rng(0) per read would hand every noisy read the
+                # same noise sample.  Seed from the clock name so distinct
+                # unseeded clocks draw independent, reproducible streams.
+                digest = hashlib.blake2s(self.name.encode(), digest_size=8)
+                seed = int.from_bytes(digest.digest(), "little")
+                self.rng = np.random.default_rng(seed)
+            value += self.rng.normal(0.0, self.noise_std_ns)
         if self.granularity_ns > 1:
             value = round(value / self.granularity_ns) * self.granularity_ns
         return int(round(value))

@@ -10,7 +10,7 @@ Usage::
 
     from repro.simcore.units import MS, US
 
-    sim.schedule(5 * MS, callback)
+    sim.schedule(callback, after=5 * MS)
     cycle_time = 250 * US
 """
 

@@ -49,7 +49,7 @@ class PreemptionConfig:
 
     def is_express(self, packet: Packet) -> bool:
         """True when the frame belongs to an express class."""
-        return packet.traffic_class.pcp in self.express_pcps
+        return packet.pcp in self.express_pcps
 
 
 class _PreemptingPort:
@@ -98,7 +98,8 @@ class _PreemptingPort:
         self._current_started_ns = port.sim.now
         self._current_total_bytes = wire_bytes
         self._finish_event = port.sim.schedule(
-            self._bytes_to_ns(wire_bytes), lambda: self._finish(packet)
+            lambda: self._finish(packet),
+            after=self._bytes_to_ns(wire_bytes),
         )
 
     def _finish(self, packet: Packet) -> None:
@@ -128,7 +129,7 @@ class _PreemptingPort:
             self.config.hold_waits += 1
             wait_ns = self._bytes_to_ns(MIN_FRAGMENT_BYTES - sent)
             self.port.sim.schedule(
-                wait_ns, lambda: self._request_preemption(victim)
+                lambda: self._request_preemption(victim), after=wait_ns
             )
             return
         self._cut(victim, remaining)

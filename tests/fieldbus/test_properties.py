@@ -54,7 +54,7 @@ def test_watchdog_expires_iff_some_gap_exceeds_timeout(gaps_ms, timeout_ms):
     t = 0
     for gap in gaps_ms:
         t += gap * MS
-        sim.schedule_at(t, watchdog.feed)
+        sim.schedule(watchdog.feed, at=t)
     sim.run(until=t)  # stop exactly at the last feed: only gaps count
     if any(gap == timeout_ms for gap in gaps_ms):
         return  # gap == timeout is a tie broken by event order; skip

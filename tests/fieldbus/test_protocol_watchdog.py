@@ -42,7 +42,7 @@ class TestWatchdog:
         watchdog = Watchdog(sim, timeout_ns=10 * MS, on_expire=lambda: expired.append(sim.now))
         watchdog.start()
         for k in range(1, 6):
-            sim.schedule_at(k * 5 * MS, watchdog.feed)
+            sim.schedule(watchdog.feed, at=k * 5 * MS)
         sim.run(until=100 * MS)
         # Last feed at 25 ms; expires 10 ms later.
         assert expired == [35 * MS]
@@ -52,7 +52,7 @@ class TestWatchdog:
         expired = []
         watchdog = Watchdog(sim, timeout_ns=10 * MS, on_expire=lambda: expired.append(1))
         watchdog.start()
-        sim.schedule(5 * MS, watchdog.stop)
+        sim.schedule(watchdog.stop, after=5 * MS)
         sim.run(until=100 * MS)
         assert expired == []
 
@@ -71,7 +71,7 @@ class TestWatchdog:
         sim = Simulator()
         watchdog = Watchdog(sim, timeout_ns=MS, on_expire=lambda: None)
         watchdog.start()
-        sim.schedule(500_000, watchdog.feed)
+        sim.schedule(watchdog.feed, after=500_000)
         sim.run(until=600_000)
         assert watchdog.last_feed_ns == 500_000
 

@@ -82,6 +82,6 @@ class TestXdpReflectorHost:
     def test_spaced_arrivals_do_not_queue(self):
         sim, sender, reflector = self.build()
         for k in range(3):
-            sim.schedule(k * MS, lambda: sender.send("reflector", payload_bytes=50))
+            sim.schedule(lambda: sender.send("reflector", payload_bytes=50), after=k * MS)
         sim.run(until=10 * MS)
         assert all(q == 0 for q in reflector.queueing_delays_ns)

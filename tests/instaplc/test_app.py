@@ -74,7 +74,7 @@ class TestSecondaryAndTwin:
         first = connection(sim, hosts, "vplc1")
         second = connection(sim, hosts, "vplc2")
         first.open()
-        sim.schedule(secondary_delay, second.open)
+        sim.schedule(second.open, after=secondary_delay)
         return sim, switch, app, hosts, device, first, second
 
     def test_second_vplc_becomes_secondary_via_twin(self):
@@ -112,7 +112,7 @@ class TestSecondaryAndTwin:
             sim, third_host, "io", ConnectionParams(cycle_ns=CYCLE),
             connect_timeout_ns=300 * MS,
         )
-        sim.schedule(600 * MS, third.open)
+        sim.schedule(third.open, after=600 * MS)
         sim.run(until=2 * SEC)
         assert third.state is ArState.ABORTED
         assert app.bindings["io"].secondary == "vplc2"
@@ -124,8 +124,8 @@ class TestSwitchover:
         first = connection(sim, hosts, "vplc1")
         second = connection(sim, hosts, "vplc2")
         first.open()
-        sim.schedule(200 * MS, second.open)
-        sim.schedule(1 * SEC, first.fail_silently)
+        sim.schedule(second.open, after=200 * MS)
+        sim.schedule(first.fail_silently, after=1 * SEC)
         sim.run(until=3 * SEC)
         self.hosts = hosts
         return sim, app, device, first, second
@@ -197,7 +197,7 @@ class TestSwitchover:
         sim, switch, app, hosts, device = build_scene()
         first = connection(sim, hosts, "vplc1")
         first.open()
-        sim.schedule(1 * SEC, first.fail_silently)
+        sim.schedule(first.fail_silently, after=1 * SEC)
         sim.run(until=3 * SEC)
         # No secondary: nothing to switch to; the device fails safe.
         assert app.bindings["io"].switchovers == []

@@ -33,7 +33,7 @@ def build():
     second = CyclicConnection(sim, hosts["vplc2"], "io",
                               ConnectionParams(cycle_ns=CYCLE))
     first.open()
-    sim.schedule(100 * MS, second.open)
+    sim.schedule(second.open, after=100 * MS)
     sim.run(until=1 * SEC)
     return sim, app, device, first, second, io_arrivals
 

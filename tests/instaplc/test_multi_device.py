@@ -33,8 +33,8 @@ def build_two_device_scene():
     }
     connections["vplc1"].open()
     connections["vplc3"].open()
-    sim.schedule(100 * MS, connections["vplc2"].open)
-    sim.schedule(100 * MS, connections["vplc4"].open)
+    sim.schedule(connections["vplc2"].open, after=100 * MS)
+    sim.schedule(connections["vplc4"].open, after=100 * MS)
     return sim, app, devices, connections
 
 

@@ -35,7 +35,7 @@ def build_remote_scene():
     first = CyclicConnection(sim, vplc1, "io", params)
     second = CyclicConnection(sim, vplc2, "io", params)
     first.open()
-    sim.schedule(100 * MS, second.open)
+    sim.schedule(second.open, after=100 * MS)
     return sim, app, device, first, second
 
 

@@ -54,8 +54,8 @@ class TestProfiler:
         sim = Simulator()
         profiler.attach(sim)
         component = Component()
-        sim.schedule(1, component.tick)
-        sim.schedule(2, component.tick)
+        sim.schedule(component.tick, after=1)
+        sim.schedule(component.tick, after=2)
         sim.run()
         (spot,) = profiler.hotspots()
         assert spot.calls == 2

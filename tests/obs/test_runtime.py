@@ -67,7 +67,7 @@ class TestCapture:
         with capture(profile=True) as cap:
             sim = Simulator()
             assert sim._profiler is cap.profiler
-            sim.schedule(1, lambda: None)
+            sim.schedule(lambda: None, after=1)
             sim.run()
         assert cap.profiler is not None
         assert cap.profiler.total_ns > 0
@@ -79,7 +79,7 @@ class TestSimulatorIntegration:
     def test_run_emits_span(self):
         with capture() as cap:
             sim = Simulator()
-            sim.schedule(5, lambda: None)
+            sim.schedule(lambda: None, after=5)
             sim.run()
         spans = [e for e in cap.tracer.events if e.get("name") == "sim.run"]
         assert len(spans) == 1

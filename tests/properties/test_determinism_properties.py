@@ -21,11 +21,14 @@ import random
 import pytest
 
 from repro.chaos import SCENARIOS, get_scenario, run_campaign
-from repro.simcore.events import EventQueue
+from repro.simcore.events import CalendarQueue, EventQueue
 from repro.simcore.rng import RandomStreams
 
 #: Trials per property.  Each failure message carries the trial seed.
 TRIALS = 20
+
+#: Both scheduler backends must satisfy the same ordering contract.
+BACKENDS = [EventQueue, CalendarQueue]
 
 
 def trial_seeds(start):
@@ -56,62 +59,74 @@ def random_ops(rng, size=120):
     return ops
 
 
-def apply_ops(ops):
-    """Run an op sequence; return the tags in pop order."""
-    queue = EventQueue()
+def apply_ops(ops, backend=EventQueue):
+    """Run an op sequence; return the tags in pop order.
+
+    Events are slotted and pooled, so each tag rides in the event's
+    callback (``callback()`` returns it) rather than as an ad-hoc
+    attribute.
+    """
+    queue = backend()
     events = {}
     popped = []
     for op in ops:
         if op[0] == "push":
             _, time, priority, tag = op
             events[tag] = queue.push(
-                time, callback=lambda: None, priority=priority
+                time, callback=lambda t=tag: t, priority=priority
             )
-            events[tag].tag = tag
         elif op[0] == "cancel":
             events[op[1]].cancel()
         else:
             try:
-                popped.append(queue.pop().tag)
+                popped.append(queue.pop().callback())
             except IndexError:
                 popped.append(None)
     while queue:
-        popped.append(queue.pop().tag)
+        popped.append(queue.pop().callback())
     return popped
 
 
 class TestEventQueueOrdering:
+    @pytest.mark.parametrize("backend", BACKENDS)
     @pytest.mark.parametrize("seed", trial_seeds(1000))
-    def test_identical_op_sequences_pop_identically(self, seed):
+    def test_identical_op_sequences_pop_identically(self, seed, backend):
         ops = random_ops(random.Random(seed))
-        assert apply_ops(ops) == apply_ops(ops), f"trial seed {seed}"
+        assert apply_ops(ops, backend) == apply_ops(ops, backend), (
+            f"trial seed {seed}"
+        )
 
+    @pytest.mark.parametrize("backend", BACKENDS)
     @pytest.mark.parametrize("seed", trial_seeds(2000))
-    def test_drain_order_is_the_documented_total_order(self, seed):
+    def test_drain_order_is_the_documented_total_order(self, seed, backend):
         rng = random.Random(seed)
-        queue = EventQueue()
+        queue = backend()
         pushed = []
         for tag in range(100):
             time = rng.randrange(50)  # dense times force tie-breaks
             priority = rng.choice((-10, 0, 10))
-            event = queue.push(time, callback=lambda: None, priority=priority)
+            event = queue.push(
+                time, callback=lambda t=tag: t, priority=priority
+            )
             pushed.append(((time, priority, event.sequence), tag))
-            event.tag = tag
         expected = [tag for _, tag in sorted(pushed)]
-        drained = [queue.pop().tag for _ in range(len(pushed))]
+        drained = [queue.pop().callback() for _ in range(len(pushed))]
         assert drained == expected, f"trial seed {seed}"
 
+    @pytest.mark.parametrize("backend", BACKENDS)
     @pytest.mark.parametrize("seed", trial_seeds(3000))
-    def test_cancellation_never_reorders_survivors(self, seed):
+    def test_cancellation_never_reorders_survivors(self, seed, backend):
         rng = random.Random(seed)
         ops = random_ops(rng)
-        baseline = apply_ops(ops)
+        baseline = apply_ops(ops, backend)
         # Cancelling an event that was never popped must not change the
         # relative order of the surviving pops.
         cancellable = [op[3] for op in ops if op[0] == "push"]
         victim = rng.choice(cancellable)
         mutated = ops + [("cancel", victim)]
-        survivors = [tag for tag in apply_ops(mutated) if tag != victim]
+        survivors = [
+            tag for tag in apply_ops(mutated, backend) if tag != victim
+        ]
         expected = [tag for tag in baseline if tag != victim]
         assert survivors == expected, f"trial seed {seed}"
 

@@ -1,0 +1,161 @@
+"""Scheduler-backend equivalence properties.
+
+The calendar queue is the default backend purely as an optimization: it
+must be *observationally identical* to the reference binary heap.  These
+properties drive both backends with the same randomized workloads and
+assert the pop streams match element-for-element on the documented total
+order ``(time, priority, sequence)`` — including under cancellation,
+interleaved pops, and batch draining.
+"""
+
+import random
+
+import pytest
+
+from repro.simcore import MS, US, Simulator
+from repro.simcore.events import CalendarQueue, EventQueue, make_scheduler
+
+TRIALS = 20
+
+
+def trial_seeds(start):
+    return [start + trial for trial in range(TRIALS)]
+
+
+def random_workload(rng, size=200):
+    """Replayable push/pop/cancel script exercising dense time collisions."""
+    ops = []
+    live = 0
+    for tag in range(size):
+        choice = rng.random()
+        if choice < 0.55 or live == 0:
+            # Small time range on purpose: many same-timestamp buckets.
+            ops.append(
+                ("push", rng.randrange(40), rng.choice((-10, -10, 0, 0, 0, 10)), tag)
+            )
+            live += 1
+        elif choice < 0.75:
+            pushes = [op for op in ops if op[0] == "push"]
+            ops.append(("cancel", rng.choice(pushes)[3]))
+        else:
+            ops.append(("pop",))
+            live = max(0, live - 1)
+    return ops
+
+
+def drive(backend, ops):
+    """Apply a workload; return the popped (time, priority, sequence, tag)s."""
+    queue = backend()
+    events = {}
+    popped = []
+    for op in ops:
+        if op[0] == "push":
+            _, time, priority, tag = op
+            events[tag] = queue.push(
+                time, callback=lambda t=tag: t, priority=priority
+            )
+        elif op[0] == "cancel":
+            events[op[1]].cancel()
+        else:
+            try:
+                event = queue.pop()
+            except IndexError:
+                popped.append(None)
+            else:
+                popped.append(
+                    (event.time, event.priority, event.sequence, event.callback())
+                )
+    while queue:
+        event = queue.pop()
+        popped.append(
+            (event.time, event.priority, event.sequence, event.callback())
+        )
+    return popped
+
+
+def drive_batched(backend, ops):
+    """Same workload, drained through ``pop_batch`` instead of ``pop``."""
+    queue = backend()
+    events = {}
+    for op in ops:
+        if op[0] == "push":
+            _, time, priority, tag = op
+            events[tag] = queue.push(
+                time, callback=lambda t=tag: t, priority=priority
+            )
+        elif op[0] == "cancel":
+            events[op[1]].cancel()
+        else:
+            batch = queue.pop_batch()
+            # Put all but the first back so single pops stay comparable.
+            if len(batch) > 1:
+                queue.requeue(batch[1:])
+    popped = []
+    while queue:
+        for event in queue.pop_batch():
+            popped.append(
+                (event.time, event.priority, event.sequence, event.callback())
+            )
+    return popped
+
+
+class TestBackendEquivalence:
+    @pytest.mark.parametrize("seed", trial_seeds(9000))
+    def test_identical_pop_order_under_random_workloads(self, seed):
+        ops = random_workload(random.Random(seed))
+        assert drive(EventQueue, ops) == drive(CalendarQueue, ops), (
+            f"trial seed {seed}"
+        )
+
+    @pytest.mark.parametrize("seed", trial_seeds(9500))
+    def test_batch_draining_matches_across_backends(self, seed):
+        ops = random_workload(random.Random(seed))
+        assert drive_batched(EventQueue, ops) == drive_batched(
+            CalendarQueue, ops
+        ), f"trial seed {seed}"
+
+    @pytest.mark.parametrize("seed", trial_seeds(9900)[:8])
+    def test_full_simulator_runs_identically_on_both_backends(self, seed):
+        def run(backend_name):
+            rng = random.Random(seed)
+            sim = Simulator(scheduler=backend_name)
+            fired = []
+
+            def tick(tag, depth):
+                fired.append((sim.now, tag))
+                if depth > 0:
+                    # Same-instant and future reschedules, mixed priorities.
+                    sim.schedule(
+                        lambda: tick(tag * 10 + 1, depth - 1),
+                        after=rng.choice((0, 3 * US, 7 * US)),
+                        priority=rng.choice((-10, 0, 10)),
+                    )
+
+            for tag in range(12):
+                sim.schedule(
+                    lambda t=tag: tick(t, 4),
+                    at=rng.randrange(0, 2 * MS),
+                    priority=rng.choice((-10, 0, 10)),
+                )
+            sim.run(until=5 * MS)
+            return fired, sim.stats.events_executed
+
+        heap_run = run("heap")
+        calendar_run = run("calendar")
+        assert heap_run == calendar_run, f"trial seed {seed}"
+
+
+class TestSchedulerFactory:
+    def test_make_scheduler_knows_both_backends(self):
+        assert isinstance(make_scheduler("heap"), EventQueue)
+        assert isinstance(make_scheduler("calendar"), CalendarQueue)
+
+    def test_make_scheduler_rejects_unknown_names(self):
+        with pytest.raises(ValueError, match="heap"):
+            make_scheduler("splay-tree")
+
+    def test_simulator_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SIM_SCHEDULER", "heap")
+        assert Simulator().scheduler_name == "heap"
+        monkeypatch.delenv("REPRO_SIM_SCHEDULER")
+        assert Simulator().scheduler_name == "calendar"

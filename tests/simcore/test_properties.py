@@ -52,7 +52,7 @@ def test_simulator_executes_all_events_in_time_order(delays):
     sim = Simulator()
     fired = []
     for delay in delays:
-        sim.schedule(delay, lambda d=delay: fired.append((sim.now, d)))
+        sim.schedule(lambda d=delay: fired.append((sim.now, d)), after=delay)
     sim.run()
     assert len(fired) == len(delays)
     observed_times = [t for t, _ in fired]

@@ -13,7 +13,7 @@ def test_time_starts_at_zero():
 def test_schedule_and_run_advances_time():
     sim = Simulator()
     fired = []
-    sim.schedule(100, lambda: fired.append(sim.now))
+    sim.schedule(lambda: fired.append(sim.now), after=100)
     sim.run()
     assert fired == [100]
     assert sim.now == 100
@@ -22,8 +22,8 @@ def test_schedule_and_run_advances_time():
 def test_run_until_stops_before_later_events():
     sim = Simulator()
     fired = []
-    sim.schedule(100, lambda: fired.append("early"))
-    sim.schedule(500, lambda: fired.append("late"))
+    sim.schedule(lambda: fired.append("early"), after=100)
+    sim.schedule(lambda: fired.append("late"), after=500)
     sim.run(until=200)
     assert fired == ["early"]
     assert sim.now == 200
@@ -46,14 +46,14 @@ def test_run_until_past_rejected():
 
 def test_negative_delay_rejected():
     with pytest.raises(SimulationError):
-        Simulator().schedule(-5, lambda: None)
+        Simulator().schedule(lambda: None, after=-5)
 
 
 def test_schedule_at_in_past_rejected():
     sim = Simulator()
     sim.run(until=100)
     with pytest.raises(SimulationError):
-        sim.schedule_at(50, lambda: None)
+        sim.schedule(lambda: None, at=50)
 
 
 def test_nested_scheduling_from_callback():
@@ -62,9 +62,9 @@ def test_nested_scheduling_from_callback():
 
     def outer():
         fired.append(("outer", sim.now))
-        sim.schedule(10, lambda: fired.append(("inner", sim.now)))
+        sim.schedule(lambda: fired.append(("inner", sim.now)), after=10)
 
-    sim.schedule(5, outer)
+    sim.schedule(outer, after=5)
     sim.run()
     assert fired == [("outer", 5), ("inner", 15)]
 
@@ -72,8 +72,8 @@ def test_nested_scheduling_from_callback():
 def test_step_executes_single_event():
     sim = Simulator()
     fired = []
-    sim.schedule(1, lambda: fired.append(1))
-    sim.schedule(2, lambda: fired.append(2))
+    sim.schedule(lambda: fired.append(1), after=1)
+    sim.schedule(lambda: fired.append(2), after=2)
     assert sim.step()
     assert fired == [1]
     assert sim.step()
@@ -82,8 +82,8 @@ def test_step_executes_single_event():
 
 def test_pending_events_counts_live_events():
     sim = Simulator()
-    sim.schedule(1, lambda: None)
-    event = sim.schedule(2, lambda: None)
+    sim.schedule(lambda: None, after=1)
+    event = sim.schedule(lambda: None, after=2)
     assert sim.pending_events == 2
     event.cancel()
     assert sim.pending_events == 1
@@ -176,7 +176,7 @@ class TestProcesses:
             received.append((sim.now, value))
 
         sim.process(waiter())
-        sim.schedule(100, lambda: ready.fire("go"))
+        sim.schedule(lambda: ready.fire("go"), after=100)
         sim.run()
         assert received == [(100, "go")]
 
@@ -191,7 +191,7 @@ class TestProcesses:
 
         sim.process(waiter("a"))
         sim.process(waiter("b"))
-        sim.schedule(10, ready.fire)
+        sim.schedule(ready.fire, after=10)
         sim.run()
         assert sorted(woken) == ["a", "b"]
 
@@ -242,7 +242,7 @@ def test_trace_hooks_receive_messages():
     sim = Simulator()
     seen = []
     sim.add_trace_hook(lambda t, msg: seen.append((t, msg)))
-    sim.schedule(5, lambda: sim.trace("hello"))
+    sim.schedule(lambda: sim.trace("hello"), after=5)
     sim.run()
     assert seen == [(5, "hello")]
 
@@ -261,7 +261,7 @@ def test_unhooked_trace_goes_to_default_sink():
     sim = Simulator()
     seen = []
     sim.default_sink = lambda t, msg: seen.append((t, msg))
-    sim.schedule(3, lambda: sim.trace("lonely"))
+    sim.schedule(lambda: sim.trace("lonely"), after=3)
     sim.run()
     assert seen == [(3, "lonely")]
 

@@ -16,7 +16,7 @@ class TestSimulatorStats:
         sim = Simulator()
         hits = []
         for delay in (1, 2, 3):
-            sim.schedule(delay, lambda: hits.append(sim.now))
+            sim.schedule(lambda: hits.append(sim.now), after=delay)
         sim.run()
         assert sim.stats.events_scheduled == 3
         assert sim.stats.events_executed == 3
@@ -25,9 +25,9 @@ class TestSimulatorStats:
 
     def test_cancelled_events_not_executed(self):
         sim = Simulator()
-        event = sim.schedule(5, lambda: None)
+        event = sim.schedule(lambda: None, after=5)
         event.cancel()
-        sim.schedule(1, lambda: None)
+        sim.schedule(lambda: None, after=1)
         sim.run()
         assert sim.stats.events_scheduled == 2
         assert sim.stats.events_executed == 1
@@ -45,7 +45,7 @@ class TestSimulatorStats:
 
     def test_step_counts_events(self):
         sim = Simulator()
-        sim.schedule(7, lambda: None)
+        sim.schedule(lambda: None, after=7)
         assert sim.step() is True
         assert sim.stats.events_executed == 1
         assert sim.stats.sim_time_ns == 7
@@ -57,7 +57,7 @@ class TestCollect:
         with collect_stats() as stats:
             for _ in range(3):
                 sim = Simulator()
-                sim.schedule(1, lambda: None)
+                sim.schedule(lambda: None, after=1)
                 sim.run()
         assert stats.simulators == 3
         assert stats.events_executed == 3
@@ -65,10 +65,10 @@ class TestCollect:
 
     def test_excludes_outside_simulators(self):
         outside = Simulator()
-        outside.schedule(1, lambda: None)
+        outside.schedule(lambda: None, after=1)
         with collect_stats() as stats:
             inside = Simulator()
-            inside.schedule(1, lambda: None)
+            inside.schedule(lambda: None, after=1)
             inside.run()
         outside.run()
         assert stats.simulators == 1
@@ -77,12 +77,12 @@ class TestCollect:
     def test_nested_collection(self):
         with collect_stats() as outer:
             first = Simulator()
-            first.schedule(1, lambda: None)
+            first.schedule(lambda: None, after=1)
             first.run()
             with collect_stats() as inner:
                 second = Simulator()
-                second.schedule(1, lambda: None)
-                second.schedule(2, lambda: None)
+                second.schedule(lambda: None, after=1)
+                second.schedule(lambda: None, after=2)
                 second.run()
         assert inner.simulators == 1
         assert inner.events_executed == 2

@@ -1,0 +1,58 @@
+"""The scheduling-API linter: in-repo code must use the keyword-only API."""
+
+import ast
+import subprocess
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent.parent
+sys.path.insert(0, str(REPO / "tools"))
+
+from lint_schedule_api import find_violations, lint_paths  # noqa: E402
+
+
+def violations_of(source):
+    return find_violations(ast.parse(source))
+
+
+class TestDetection:
+    def test_flags_positional_delay_form(self):
+        found = violations_of("sim.schedule(5, callback)")
+        assert len(found) == 1
+        assert "after=delay" in found[0][1]
+
+    def test_flags_schedule_at(self):
+        found = violations_of("self.sim.schedule_at(100, fn)")
+        assert len(found) == 1
+        assert "at=time" in found[0][1]
+
+    def test_flags_callback_keyword(self):
+        found = violations_of("sim.schedule(100, callback=fn)")
+        assert found  # positional delay + callback kw both qualify
+
+    def test_accepts_keyword_only_forms(self):
+        assert violations_of("sim.schedule(fn)") == []
+        assert violations_of("sim.schedule(fn, after=5)") == []
+        assert violations_of("sim.schedule(fn, at=100, priority=1)") == []
+
+    def test_ignores_unrelated_schedule_functions(self):
+        # A bare function named schedule is not the Simulator API.
+        assert violations_of("schedule(5, fn)") == []
+        # Scheduler.push legitimately takes callback=.
+        assert violations_of("queue.push(5, callback=fn)") == []
+
+
+class TestRepositoryIsClean:
+    def test_no_deprecated_calls_in_repo(self):
+        failures = lint_paths(
+            ["src", "tests", "benchmarks", "figures"], REPO
+        )
+        assert failures == [], "\n".join(failures)
+
+    def test_cli_exit_status(self):
+        result = subprocess.run(
+            [sys.executable, str(REPO / "tools" / "lint_schedule_api.py")],
+            capture_output=True,
+            text=True,
+        )
+        assert result.returncode == 0, result.stdout + result.stderr

@@ -53,7 +53,7 @@ class TestMechanics:
         b.on_receive(lambda p: arrivals.setdefault(p.traffic_class.name, sim.now))
         a.ports[0].send(big_be())
         # Express frame arrives 2 us into the ~11.5 us BE transmission.
-        sim.schedule(2 * US, lambda: a.ports[0].send(small_express()))
+        sim.schedule(lambda: a.ports[0].send(small_express()), after=2 * US)
         sim.run(until=1 * MS)
         assert config.preemptions == 1
         # Express completed before the BE frame: 2 us + ~0.7 us tx.
@@ -65,7 +65,7 @@ class TestMechanics:
         arrivals = {}
         b.on_receive(lambda p: arrivals.setdefault(p.traffic_class.name, sim.now))
         a.ports[0].send(big_be())
-        sim.schedule(2 * US, lambda: a.ports[0].send(small_express()))
+        sim.schedule(lambda: a.ports[0].send(small_express()), after=2 * US)
         sim.run(until=1 * MS)
         # Head-of-line blocking: express waits the full BE serialization.
         assert arrivals["CYCLIC_RT"] > 11_000
@@ -74,7 +74,7 @@ class TestMechanics:
         sim, a, b = direct_pair()
         enable_preemption(a.ports[0])
         a.ports[0].send(big_be(sequence=1))
-        sim.schedule(2 * US, lambda: a.ports[0].send(small_express(sequence=2)))
+        sim.schedule(lambda: a.ports[0].send(small_express(sequence=2)), after=2 * US)
         sim.run(until=1 * MS)
         assert sorted(p.sequence for p in b.received) == [1, 2]
 
@@ -90,7 +90,7 @@ class TestMechanics:
                 lambda p: done.setdefault(p.traffic_class.name, sim.now)
             )
             a.ports[0].send(big_be())
-            sim.schedule(2 * US, lambda: a.ports[0].send(small_express()))
+            sim.schedule(lambda: a.ports[0].send(small_express()), after=2 * US)
             sim.run(until=1 * MS)
             return done["BULK"]
 
@@ -100,7 +100,7 @@ class TestMechanics:
         sim, a, b = direct_pair()
         config = enable_preemption(a.ports[0])
         a.ports[0].send(small_express(sequence=1))
-        sim.schedule(100, lambda: a.ports[0].send(small_express(sequence=2)))
+        sim.schedule(lambda: a.ports[0].send(small_express(sequence=2)), after=100)
         sim.run(until=1 * MS)
         assert config.preemptions == 0
         assert [p.sequence for p in b.received] == [1, 2]
@@ -110,7 +110,7 @@ class TestMechanics:
         config = enable_preemption(a.ports[0])
         a.ports[0].send(big_be())
         # Express arrives 100 ns in: under the 512 ns (64 B) boundary.
-        sim.schedule(100, lambda: a.ports[0].send(small_express()))
+        sim.schedule(lambda: a.ports[0].send(small_express()), after=100)
         sim.run(until=1 * MS)
         assert config.hold_waits == 1
         assert config.preemptions == 1
@@ -120,7 +120,7 @@ class TestMechanics:
         config = enable_preemption(a.ports[0])
         a.ports[0].send(big_be())
         # Express arrives with < 64 wire bytes left (~11.0 of 11.5 us).
-        sim.schedule(11_200, lambda: a.ports[0].send(small_express()))
+        sim.schedule(lambda: a.ports[0].send(small_express()), after=11_200)
         sim.run(until=1 * MS)
         assert config.preemptions == 0
 
@@ -128,8 +128,8 @@ class TestMechanics:
         sim, a, b = direct_pair()
         config = enable_preemption(a.ports[0])
         a.ports[0].send(big_be())
-        sim.schedule(2 * US, lambda: a.ports[0].send(small_express(1)))
-        sim.schedule(6 * US, lambda: a.ports[0].send(small_express(2)))
+        sim.schedule(lambda: a.ports[0].send(small_express(1)), after=2 * US)
+        sim.schedule(lambda: a.ports[0].send(small_express(2)), after=6 * US)
         sim.run(until=1 * MS)
         assert config.preemptions == 2
         assert len(b.received) == 3
