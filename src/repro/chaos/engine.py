@@ -41,7 +41,7 @@ from .. import __version__
 from ..core.convergence import ConvergedFactory
 from ..core.faults import FaultInjector, FaultTarget, MaintenanceWindow
 from ..figures import Rows
-from ..obs import get_tracer
+from ..obs import get_telemetry, get_tracer
 from ..simcore import Simulator
 from ..simcore.units import SEC
 from .scenario import ComponentSpec, FaultScenario, MaintenanceSpec
@@ -248,8 +248,26 @@ def run_campaign(
         per_target_streams=True,
         stream_prefix=f"chaos/{scenario.name}",
     )
+    telemetry = get_telemetry()
+
+    def _flight_wrap(fn: Callable[[], None], name: str, kind: str):
+        """When telemetry is on, note the fault on the flight recorder and
+        snapshot the fabric's recent history the moment a fault fires."""
+        if not telemetry.enabled:
+            return fn
+
+        def wrapped() -> None:
+            fn()
+            telemetry.flight.note(name, sim.now, f"chaos.{kind}")
+            if kind == "fault":
+                telemetry.flight.snapshot(f"chaos.fault:{name}", sim.now)
+
+        return wrapped
+
     for component in scenario.components:
         fail, repair = binder(component) if binder else (_noop, _noop)
+        fail = _flight_wrap(fail, component.name, "fault")
+        repair = _flight_wrap(repair, component.name, "repair")
         injector.register(
             FaultTarget(
                 name=component.name,
@@ -261,6 +279,8 @@ def run_campaign(
         )
     for window in scenario.maintenance:
         fail, repair = binder(window) if binder else (_noop, _noop)
+        fail = _flight_wrap(fail, window.name, "maintenance")
+        repair = _flight_wrap(repair, window.name, "repair")
         injector.register_maintenance(
             MaintenanceWindow(
                 target=FaultTarget(

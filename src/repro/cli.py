@@ -26,6 +26,18 @@ Observability (see :mod:`repro.obs`)::
 simulator event callback.  Both embed metrics snapshots in the manifest,
 which ``repro obs`` renders as a metrics / hot-spot summary.
 
+In-band network telemetry (see :mod:`repro.obs.telemetry`)::
+
+    python -m repro sweep fig6 --telemetry --manifest runs/manifest.json
+    python -m repro obs telemetry runs/telemetry/   # samplers + postcards
+    python -m repro obs flight runs/telemetry/      # flight-recorder dumps
+
+``--telemetry [DIR]`` turns on INT-style postcards (1-in-N packet
+sampling), bounded time-series rings (queue depth, link utilization), and
+a fault flight recorder inside every computed job; each job writes
+``*.postcards.jsonl`` + ``*.telemetry.json`` and embeds a digest in the
+manifest, which ``repro report`` renders as a "Network telemetry" section.
+
 Chaos campaigns (see :mod:`repro.chaos`)::
 
     python -m repro chaos list
@@ -116,6 +128,22 @@ def _add_resilience_args(sub: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_telemetry_args(sub: argparse.ArgumentParser) -> None:
+    sub.add_argument(
+        "--telemetry", nargs="?", const="auto", default=None, metavar="DIR",
+        help=(
+            "enable the in-band network telemetry plane (INT postcards, "
+            "ring samplers, flight recorder) and write one "
+            "*.postcards.jsonl + *.telemetry.json per computed job into "
+            "DIR (default: 'telemetry' inside the run directory)"
+        ),
+    )
+    sub.add_argument(
+        "--telemetry-interval", type=int, default=64, metavar="N",
+        help="sample 1-in-N packets for INT postcards (default: 64)",
+    )
+
+
 def _add_status_args(sub: argparse.ArgumentParser) -> None:
     sub.add_argument(
         "--status", type=Path, default=None, metavar="FILE",
@@ -193,6 +221,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_cache_args(sub)
     _add_resilience_args(sub)
     _add_status_args(sub)
+    _add_telemetry_args(sub)
 
     sub = subparsers.add_parser(
         "sweep", help="run a (figure x seed x param) grid in parallel"
@@ -241,6 +270,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_cache_args(sub)
     _add_resilience_args(sub)
     _add_status_args(sub)
+    _add_telemetry_args(sub)
 
     from .chaos.cli import add_chaos_parser
 
@@ -249,22 +279,26 @@ def build_parser() -> argparse.ArgumentParser:
     sub = subparsers.add_parser(
         "obs",
         help=(
-            "observability: summarize a run manifest, or 'tail' a "
-            "running sweep's status heartbeat"
+            "observability: summarize a run manifest, 'tail' a running "
+            "sweep's status heartbeat, or inspect 'telemetry' / 'flight' "
+            "snapshots"
         ),
     )
     sub.add_argument(
-        "target", metavar="MANIFEST|tail",
+        "target", metavar="MANIFEST|tail|telemetry|flight",
         help=(
-            "manifest JSON written by 'repro sweep'/'repro all', or the "
-            "literal 'tail' to watch a live sweep"
+            "manifest JSON written by 'repro sweep'/'repro all'; or the "
+            "literal 'tail' to watch a live sweep; or 'telemetry' / "
+            "'flight' to render *.telemetry.json snapshots written by "
+            "--telemetry"
         ),
     )
     sub.add_argument(
-        "tail_path", nargs="?", type=Path, default=None, metavar="STATUS",
+        "tail_path", nargs="?", type=Path, default=None, metavar="PATH",
         help=(
             "with 'tail': the status.json (or the sweep's run directory "
-            "holding one); default: current directory"
+            "holding one); with 'telemetry'/'flight': a .telemetry.json "
+            "file or the telemetry directory; default: current directory"
         ),
     )
     sub.add_argument(
@@ -456,6 +490,24 @@ def _status_path(
     return None
 
 
+def _telemetry_kwargs(
+    args: argparse.Namespace, *bases: Path | None
+) -> dict[str, Any]:
+    """Resolve ``--telemetry [DIR]`` against the run directory."""
+    choice = getattr(args, "telemetry", None)
+    if choice is None:
+        return {}
+    if choice != "auto":
+        telemetry_dir = Path(choice)
+    else:
+        base = next((Path(b) for b in bases if b is not None), Path("."))
+        telemetry_dir = base / "telemetry"
+    return {
+        "telemetry_dir": telemetry_dir,
+        "telemetry_interval": getattr(args, "telemetry_interval", 64),
+    }
+
+
 def _resilience_kwargs(args: argparse.Namespace) -> dict[str, Any]:
     resume = getattr(args, "resume", None)
     return {
@@ -517,6 +569,7 @@ def _run_all(args: argparse.Namespace) -> int:
         progress=_make_progress(len(jobs)),
         checkpoint=manifest_path,
         status_path=_status_path(args, out_dir),
+        **_telemetry_kwargs(args, out_dir),
         **_resilience_kwargs(args),
     )
     for outcome in result.outcomes:
@@ -581,6 +634,11 @@ def _run_sweep(args: argparse.Namespace) -> int:
             out_dir,
             manifest_path.parent if manifest_path is not None else None,
         ),
+        **_telemetry_kwargs(
+            args,
+            out_dir,
+            manifest_path.parent if manifest_path is not None else None,
+        ),
         **_resilience_kwargs(args),
     )
     if out_dir is not None:
@@ -629,8 +687,13 @@ def _job_label(record: JobRecord) -> str:
 
 
 def _run_obs(args: argparse.Namespace) -> int:
-    if getattr(args, "target", None) == "tail":
+    target = getattr(args, "target", None)
+    if target == "tail":
         return _run_obs_tail(args)
+    if target == "telemetry":
+        return _run_obs_telemetry(args)
+    if target == "flight":
+        return _run_obs_flight(args)
     path = Path(args.target)
     try:
         manifest = RunManifest.load(path)
@@ -697,7 +760,36 @@ def _run_obs(args: argparse.Namespace) -> int:
     return 0
 
 
+def _telemetry_snapshots(args: argparse.Namespace):
+    """Resolve ``repro obs telemetry|flight PATH`` into snapshot payloads."""
+    from .obs.telemetry import load_snapshot, snapshot_paths
+
+    target = getattr(args, "tail_path", None) or Path(".")
+    try:
+        paths = snapshot_paths(target)
+    except FileNotFoundError as exc:
+        raise ValueError(str(exc)) from None
+    return [(path, load_snapshot(path)) for path in paths]
+
+
+def _run_obs_telemetry(args: argparse.Namespace) -> int:
+    from .obs.telemetry import format_snapshot
+
+    for path, payload in _telemetry_snapshots(args):
+        print(format_snapshot(payload, name=path.name))
+    return 0
+
+
+def _run_obs_flight(args: argparse.Namespace) -> int:
+    from .obs.telemetry import format_flight
+
+    for path, payload in _telemetry_snapshots(args):
+        print(format_flight(payload, name=path.name))
+    return 0
+
+
 def _run_obs_tail(args: argparse.Namespace) -> int:
+    import os
     import time
 
     from .obs.status import (
@@ -712,8 +804,26 @@ def _run_obs_tail(args: argparse.Namespace) -> int:
     interval: float = max(getattr(args, "interval", 0.5), 0.05)
     path = resolve_status_path(target)  # friendly ValueError when missing
     last_stamp: float | None = None
+    last_inode: int | None = None
+    status: dict[str, Any] = {}
     while True:
-        status = load_status(path)
+        try:
+            inode = os.stat(path).st_ino
+            status = load_status(path)
+        except (OSError, ValueError):
+            # The supervisor swaps status.json in atomically, but a fresh
+            # sweep recreating the file can leave a gap where it is
+            # missing or half-readable; keep polling instead of dying.
+            if not follow:
+                raise
+            time.sleep(interval)
+            continue
+        if inode != last_inode:
+            # New inode = the file was atomically replaced (heartbeat or
+            # a brand-new sweep reusing the path): treat it as fresh even
+            # if its updated_at matches what we last printed.
+            last_inode = inode
+            last_stamp = None
         stamp = status.get("updated_at")
         if stamp != last_stamp:
             print(format_status(status), flush=True)
@@ -862,6 +972,15 @@ def _run_bench_compare(args: argparse.Namespace) -> int:
 
     history_dir = _bench_history_dir(args)
     history = BenchHistory(history_dir)
+    if not history.reports():
+        # First run (empty or absent history.jsonl) is not a failure:
+        # CI seeds the history with this very invocation sequence, so a
+        # missing baseline must exit 0 with an explicit explanation.
+        print(
+            f"repro bench: no history yet at {history.path}; nothing to "
+            f"compare against. Run 'repro bench record' to start one."
+        )
+        return 0
     bench_file: Path | None = getattr(args, "bench_file", None)
     if bench_file is None:
         candidates = sorted(history_dir.glob("BENCH_*.json"))

@@ -37,7 +37,7 @@ from .routing import (
     verify_routes,
 )
 from .switch import Switch
-from .trace import PacketTracer, TraceRecord
+from .trace import PacketTracer, TraceRecord, postcard_trace_records
 from .topology import (
     DEFAULT_BANDWIDTH_BPS,
     DEFAULT_PROP_DELAY_NS,
@@ -95,6 +95,7 @@ __all__ = [
     "classify_flow",
     "install_shortest_path_routes",
     "path_hop_count",
+    "postcard_trace_records",
     "shortest_path",
     "verify_routes",
 ]

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from typing import Callable
 
-from ..obs import get_registry
+from ..obs import get_registry, get_telemetry
 from ..simcore import Simulator
 from .device import Device
 from .link import Port
@@ -34,6 +34,8 @@ class Host(Device):
         registry = get_registry()
         self._m_rx = registry.counter("net.host.frames", host=name, direction="rx")
         self._m_tx = registry.counter("net.host.frames", host=name, direction="tx")
+        # INT postcard begin/finish probe (None when telemetry is off).
+        self._tel = get_telemetry().host_probe(self)
 
     def on_receive(self, handler: ReceiveHandler) -> None:
         """Register a handler for every frame addressed to this host."""
@@ -50,6 +52,8 @@ class Host(Device):
             return
         self.rx_count += 1
         self._m_rx.inc()
+        if self._tel is not None:
+            self._tel.on_deliver(packet)
         if self.record_received:
             self.received.append(packet)
         for handler in self._handlers:
@@ -82,6 +86,8 @@ class Host(Device):
         )
         self.tx_count += 1
         self._m_tx.inc()
+        if self._tel is not None:
+            self._tel.on_send(packet)
         self.ports[self._egress_port_for(dst, port_index)].send(packet)
         return packet
 
@@ -130,6 +136,10 @@ class ServerNode(Host):
         out_index = self.forwarding_table.get(packet.dst)
         if out_index is None or out_index == in_port.index:
             return  # not ours and no relay route: drop
+        if self._tel is not None:
+            # Transit through a server counts as an INT hop: stamp ingress
+            # here, egress happens at the outbound port.
+            self._tel.hub.stamp_ingress(packet, self.name, self.sim.now)
         self.sim.schedule(
             lambda: self._relay(packet, out_index),
             after=self.forwarding_delay_ns,

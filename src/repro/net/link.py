@@ -18,7 +18,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Callable, Optional
 
-from ..obs import get_registry
+from ..obs import get_registry, get_telemetry
 from ..simcore import Simulator
 from .packet import Packet
 from .queues import QueueDiscipline, StrictPriorityQueue
@@ -62,6 +62,9 @@ class Port:
         # One shared per-frame serialization-time histogram across all
         # ports (ns buckets); null and free when observability is off.
         self._m_tx_ns = get_registry().histogram("net.port.tx_ns")
+        # In-band telemetry probe, or None when the plane is inactive;
+        # hot paths pay one attribute load + None test.
+        self._tel = get_telemetry().port_probe(self)
 
     @property
     def name(self) -> str:
@@ -84,9 +87,14 @@ class Port:
                 # enqueued and immediately dequeued — transmit directly.
                 self._begin_transmit(packet, link)
                 return
+        tel = self._tel
         if not self.queue.enqueue(packet):
             self.egress_drops += 1
+            if tel is not None:
+                tel.on_drop(packet)
             return
+        if tel is not None:
+            tel.on_enqueue(packet)
         self.try_transmit()
 
     def kick(self) -> None:
@@ -128,6 +136,9 @@ class Port:
             tx_ns = packet.serialization_time_ns(link.bandwidth_bps)
             self._tx_cache[wire] = tx_ns
         self._m_tx_ns.observe(tx_ns)
+        tel = self._tel
+        if tel is not None:
+            tel.on_transmit(packet, tx_ns)
         # One frame in flight per port, so the packet rides on the port
         # itself instead of a per-frame closure.
         self._tx_packet = packet
@@ -188,6 +199,8 @@ class Link:
         self._m_transitions = get_registry().counter(
             "net.link.state_changes", link=self.name
         )
+        # Flight-recorder probe for state transitions (None when off).
+        self._tel = get_telemetry().link_probe(self)
 
     @property
     def name(self) -> str:
@@ -220,6 +233,8 @@ class Link:
         """Restore the link and restart any stalled transmissions."""
         if not self.up:
             self._m_transitions.inc()
+            if self._tel is not None:
+                self._tel.on_state(up=True)
         self.up = True
         self.port_a.try_transmit()
         self.port_b.try_transmit()
@@ -229,6 +244,8 @@ class Link:
         if self.up:
             self.downs += 1
             self._m_transitions.inc()
+            if self._tel is not None:
+                self._tel.on_state(up=False)
         self.up = False
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid

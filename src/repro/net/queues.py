@@ -33,6 +33,11 @@ class QueueDiscipline(Protocol):
     def __len__(self) -> int:
         ...
 
+    def class_depth(self, pcp: int) -> int:
+        """Frames queued for one PCP class (telemetry samplers read this;
+        single-class disciplines report their total depth)."""
+        ...
+
 
 class FifoQueue:
     """Single FIFO with a finite capacity (drop-tail)."""
@@ -58,6 +63,10 @@ class FifoQueue:
         if not self._queue:
             return None
         return self._queue.popleft()
+
+    def class_depth(self, pcp: int) -> int:
+        """A FIFO has one class; every PCP reports the total depth."""
+        return len(self._queue)
 
     def __len__(self) -> int:
         return len(self._queue)
@@ -145,6 +154,10 @@ class StrictPriorityQueue:
             if pcp in allowed and queues[pcp]:
                 return queues[pcp][0]
         return None
+
+    def class_depth(self, pcp: int) -> int:
+        """Frames queued for one PCP class (O(1); samplers poll this)."""
+        return len(self._queues[pcp])
 
     def occupancy_by_pcp(self) -> dict[int, int]:
         """Queue depth per PCP (only non-empty classes)."""

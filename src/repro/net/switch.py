@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from typing import Callable
 
-from ..obs import get_registry
+from ..obs import get_registry, get_telemetry
 from ..simcore import Simulator
 from .device import Device
 from .link import Port
@@ -54,6 +54,8 @@ class Switch(Device):
         self._m_filtered = registry.counter(
             "net.switch.frames", switch=name, outcome="filtered"
         )
+        # INT ingress-stamp probe (None when the telemetry plane is off).
+        self._tel = get_telemetry().switch_probe(self)
 
     def add_port(self, queue: QueueDiscipline | None = None) -> Port:
         """Attach a port, defaulting to this switch's queue factory."""
@@ -72,6 +74,8 @@ class Switch(Device):
 
     def receive(self, packet: Packet, in_port: Port) -> None:
         """Learn, look up, and forward after the processing delay."""
+        if self._tel is not None:
+            self._tel.on_ingress(packet)
         for tap in self.taps:
             tap(packet, in_port)
         if self.learning_enabled and packet.src:

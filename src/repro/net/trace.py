@@ -187,3 +187,47 @@ class PacketTracer:
         self.records.clear()
         self._by_flow_point.clear()
         self.dropped_records = 0
+
+
+def postcard_trace_records(
+    postcards: Iterable[dict],
+) -> list[TraceRecord]:
+    """Project INT postcards (:mod:`repro.obs.telemetry`) onto trace records.
+
+    Each hop of a postcard becomes a ``tx`` record at its egress time and
+    the delivery becomes an ``rx`` record, so sampled-packet paths answer
+    the same queries as a full :class:`PacketTracer` capture (e.g. feed
+    them through :meth:`PacketTracer.flow_latencies_ns`-style matching).
+    Postcards deliberately omit ``packet_id`` (a process-global counter
+    that would break byte-stability), so projected records carry 0 there.
+    """
+    records: list[TraceRecord] = []
+    for card in postcards:
+        common = {
+            "src": card["src"],
+            "dst": card["dst"],
+            "flow_id": card.get("flow", ""),
+            "sequence": card.get("seq", 0),
+            "payload_bytes": card.get("payload_bytes", 0),
+            "traffic_class": card.get("tc", "BEST_EFFORT"),
+            "packet_id": 0,
+        }
+        for hop in card.get("hops", ()):
+            records.append(
+                TraceRecord(
+                    time_ns=hop["out_ns"],
+                    point=hop["dev"],
+                    direction="tx",
+                    **common,
+                )
+            )
+        records.append(
+            TraceRecord(
+                time_ns=card["delivered_ns"],
+                point=card.get("delivered_to", card["dst"]),
+                direction="rx",
+                **common,
+            )
+        )
+    records.sort(key=lambda r: r.time_ns)
+    return records

@@ -47,8 +47,17 @@ from .runtime import (
     capture,
     enabled,
     get_registry,
+    get_telemetry,
     get_tracer,
     profiler_for_new_sim,
+)
+from .telemetry import (
+    NULL_TELEMETRY,
+    FlightRecorder,
+    NullTelemetry,
+    RingSampler,
+    TELEMETRY_SCHEMA,
+    TelemetryHub,
 )
 from .tracing import NULL_TRACER, NullTracer, SIM_TRACK, Span, Tracer
 
@@ -65,24 +74,31 @@ def __getattr__(name: str):
 __all__ = [
     "DEFAULT_NS_EDGES",
     "NULL_REGISTRY",
+    "NULL_TELEMETRY",
     "NULL_TRACER",
     "Counter",
+    "FlightRecorder",
     "Gauge",
     "Histogram",
     "HotSpot",
     "MetricsRegistry",
     "NullRegistry",
+    "NullTelemetry",
     "NullTracer",
     "ObsCapture",
     "Profiler",
+    "RingSampler",
     "SIM_TRACK",
     "Span",
+    "TELEMETRY_SCHEMA",
+    "TelemetryHub",
     "Tracer",
     "callback_name",
     "capture",
     "enabled",
     "fixed_width_edges",
     "get_registry",
+    "get_telemetry",
     "get_tracer",
     "hotspot_table",
     "profiler_for_new_sim",

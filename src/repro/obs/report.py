@@ -14,6 +14,9 @@ markdown with byte-stable tables, suitable for golden-snapshot testing:
   against 3GPP TR 22.804 classes" discipline Figs. 4/5 apply in-run,
 - **latency/jitter summaries** from embedded metrics histograms,
 - merged **hot-spot table** across profiled jobs,
+- a **network telemetry** section (postcard counts, top congested queues,
+  per-link utilization) when the sweep ran with ``--telemetry``
+  (:mod:`repro.obs.telemetry`),
 - a **failure/retry timeline** from the supervisor's v3 attempt fields,
 - **chaos campaign verdicts** when the sweep contained ``chaos-*`` cells.
 
@@ -69,6 +72,12 @@ def _fmt_ns(value: float | None) -> str:
     if value >= 1e3:
         return f"{value / 1e3:.2f}us"
     return f"{value:.0f}ns"
+
+
+def _fmt_util(value: float | None) -> str:
+    if value is None:
+        return "-"
+    return f"{value * 100:.2f}%"
 
 
 def _params_text(params: dict[str, Any]) -> str:
@@ -260,6 +269,41 @@ class RunReport:
                 )
         return out
 
+    def telemetry_records(self) -> list[JobRecord]:
+        """Jobs that ran with the in-band telemetry plane active."""
+        return [r for r in self.manifest.records if r.telemetry]
+
+    def telemetry_overview(self) -> dict[str, int]:
+        """Postcard / flight-recorder totals across telemetry jobs."""
+        totals = {
+            "jobs": 0, "postcards": 0, "packets_sampled": 0,
+            "flight_events": 0, "flight_snapshots": 0,
+        }
+        for record in self.telemetry_records():
+            digest = record.telemetry or {}
+            totals["jobs"] += 1
+            totals["postcards"] += digest.get("postcards", 0)
+            totals["packets_sampled"] += digest.get("packets_sampled", 0)
+            totals["flight_events"] += digest.get("flight_events", 0)
+            totals["flight_snapshots"] += digest.get("flight_snapshots", 0)
+        return totals
+
+    def telemetry_queue_rows(self) -> list[dict[str, Any]]:
+        """Top congested queues per telemetry job, in job order."""
+        out: list[dict[str, Any]] = []
+        for record in self.telemetry_records():
+            for queue in (record.telemetry or {}).get("top_queues", []):
+                out.append({"job": job_label(record), **queue})
+        return out
+
+    def telemetry_link_rows(self) -> list[dict[str, Any]]:
+        """Per-link utilization per telemetry job, in job order."""
+        out: list[dict[str, Any]] = []
+        for record in self.telemetry_records():
+            for link in (record.telemetry or {}).get("links", []):
+                out.append({"job": job_label(record), **link})
+        return out
+
     def retry_timeline(self) -> list[JobRecord]:
         """Jobs that failed, timed out, or needed more than one attempt."""
         return [
@@ -342,6 +386,42 @@ class RunReport:
                     f"| {h['name']} | {h['calls']} "
                     f"| {_fmt_ns(h['total_ns'])} | {_fmt_ns(h['max_ns'])} |"
                 )
+        tele = self.telemetry_records()
+        if tele:
+            totals = self.telemetry_overview()
+            lines += [
+                "", "## Network telemetry", "",
+                f"- telemetry jobs: {totals['jobs']}",
+                f"- INT postcards: {totals['postcards']} "
+                f"({totals['packets_sampled']} packets sampled)",
+                f"- flight recorder: {totals['flight_events']} events, "
+                f"{totals['flight_snapshots']} snapshots",
+            ]
+            queues = self.telemetry_queue_rows()
+            if queues:
+                lines += [
+                    "", "### Top congested queues", "",
+                    "| job | queue | max depth | samples |",
+                    "| --- | --- | --- | --- |",
+                ]
+                for q in queues:
+                    lines.append(
+                        f"| {q['job']} | {q['queue']} | {q['max_depth']} "
+                        f"| {q['samples']} |"
+                    )
+            links = self.telemetry_link_rows()
+            if links:
+                lines += [
+                    "", "### Link utilization", "",
+                    "| job | port | tx bytes | busy | utilization |",
+                    "| --- | --- | --- | --- | --- |",
+                ]
+                for l in links:
+                    lines.append(
+                        f"| {l['job']} | {l['port']} | {l['tx_bytes']} "
+                        f"| {_fmt_ns(l['busy_ns'])} "
+                        f"| {_fmt_util(l.get('utilization'))} |"
+                    )
         lines += ["", "## Failures and retries", ""]
         timeline = self.retry_timeline()
         if timeline:
@@ -460,6 +540,46 @@ class RunReport:
                     ],
                 )
             )
+        tele = self.telemetry_records()
+        if tele:
+            totals = self.telemetry_overview()
+            sections.append("<h2>Network telemetry</h2>")
+            sections.append(
+                "<ul>"
+                f"<li>telemetry jobs: {totals['jobs']}</li>"
+                f"<li>INT postcards: {totals['postcards']} "
+                f"({totals['packets_sampled']} packets sampled)</li>"
+                f"<li>flight recorder: {totals['flight_events']} events, "
+                f"{totals['flight_snapshots']} snapshots</li>"
+                "</ul>"
+            )
+            queues = self.telemetry_queue_rows()
+            if queues:
+                sections.append("<h3>Top congested queues</h3>")
+                sections.append(
+                    table(
+                        ["job", "queue", "max depth", "samples"],
+                        [
+                            [q["job"], q["queue"], q["max_depth"],
+                             q["samples"]]
+                            for q in queues
+                        ],
+                    )
+                )
+            links = self.telemetry_link_rows()
+            if links:
+                sections.append("<h3>Link utilization</h3>")
+                sections.append(
+                    table(
+                        ["job", "port", "tx bytes", "busy", "utilization"],
+                        [
+                            [l["job"], l["port"], l["tx_bytes"],
+                             _fmt_ns(l["busy_ns"]),
+                             _fmt_util(l.get("utilization"))]
+                            for l in links
+                        ],
+                    )
+                )
         sections.append("<h2>Failures and retries</h2>")
         timeline = self.retry_timeline()
         if timeline:
@@ -501,6 +621,7 @@ class RunReport:
             "body{font-family:system-ui,sans-serif;margin:2rem;"
             "color:#1a1a1a;max-width:70rem}"
             "h1{font-size:1.4rem}h2{font-size:1.1rem;margin-top:2rem}"
+            "h3{font-size:.95rem;margin-top:1.25rem}"
             "table{border-collapse:collapse;margin:.5rem 0;width:100%}"
             "th,td{border:1px solid #d0d0d0;padding:.25rem .5rem;"
             "text-align:left;font-size:.85rem}"

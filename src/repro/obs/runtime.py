@@ -37,15 +37,20 @@ from typing import Iterator
 from .metrics import NULL_REGISTRY, MetricsRegistry
 from .profiling import Profiler
 from .tracing import NULL_TRACER, Tracer
+from .telemetry import NULL_TELEMETRY, TelemetryHub
 
 _registry_stack: list[MetricsRegistry] = []
 _tracer_stack: list[Tracer] = []
 _profiler_stack: list[Profiler] = []
+_telemetry_stack: list[TelemetryHub] = []
 
 
 def enabled() -> bool:
     """Whether any capture scope is currently active."""
-    return bool(_registry_stack or _tracer_stack or _profiler_stack)
+    return bool(
+        _registry_stack or _tracer_stack or _profiler_stack
+        or _telemetry_stack
+    )
 
 
 def get_registry():
@@ -56,6 +61,16 @@ def get_registry():
 def get_tracer():
     """The active :class:`Tracer`, or the shared null tracer."""
     return _tracer_stack[-1] if _tracer_stack else NULL_TRACER
+
+
+def get_telemetry():
+    """The active :class:`TelemetryHub`, or the shared null hub.
+
+    Network components call this *once, at construction*: the real hub
+    hands out probe objects, the null hub hands out ``None``, and hot
+    paths guard with a single ``is not None`` test.
+    """
+    return _telemetry_stack[-1] if _telemetry_stack else NULL_TELEMETRY
 
 
 def profiler_for_new_sim() -> Profiler | None:
@@ -70,6 +85,7 @@ class ObsCapture:
     registry: MetricsRegistry
     tracer: Tracer
     profiler: Profiler | None = None
+    telemetry: TelemetryHub | None = None
 
 
 @contextmanager
@@ -79,27 +95,42 @@ def capture(
     profile: bool = False,
     registry: MetricsRegistry | None = None,
     tracer: Tracer | None = None,
+    telemetry: TelemetryHub | bool | None = None,
 ) -> Iterator[ObsCapture]:
     """Activate observability for the dynamic extent of the block.
 
     ``metrics`` / ``tracing`` / ``profile`` select which facets go live;
     pass an explicit ``registry`` or ``tracer`` to accumulate into an
-    existing instance (e.g. across several sweeps).
+    existing instance (e.g. across several sweeps).  ``telemetry``
+    installs an in-band network :class:`TelemetryHub` (``True`` for a
+    default-configured one) — networks built inside the block attach
+    samplers, INT postcard hooks, and flight-recorder probes to it.
     """
     live_registry = registry if registry is not None else MetricsRegistry()
     live_tracer = tracer if tracer is not None else Tracer()
     profiler = Profiler() if profile else None
+    if telemetry is True:
+        hub: TelemetryHub | None = TelemetryHub()
+    elif telemetry:
+        hub = telemetry
+    else:
+        hub = None
     if metrics:
         _registry_stack.append(live_registry)
     if tracing:
         _tracer_stack.append(live_tracer)
     if profiler is not None:
         _profiler_stack.append(profiler)
+    if hub is not None:
+        _telemetry_stack.append(hub)
     try:
         yield ObsCapture(
-            registry=live_registry, tracer=live_tracer, profiler=profiler
+            registry=live_registry, tracer=live_tracer, profiler=profiler,
+            telemetry=hub,
         )
     finally:
+        if hub is not None:
+            _telemetry_stack.pop()
         if profiler is not None:
             _profiler_stack.pop()
         if tracing:

@@ -16,7 +16,7 @@ from typing import Any, Callable
 from ..net.device import Device
 from ..net.link import Port
 from ..net.packet import Packet
-from ..obs import get_registry
+from ..obs import get_registry, get_telemetry
 from ..simcore import Simulator
 from .pipeline import P4Pipeline, PacketContext, Register, Table
 
@@ -68,6 +68,8 @@ class P4Switch(Device):
         self.ingress_taps: list[Callable[[Packet, int], None]] = []
         #: observers called on (packet, egress_port_index)
         self.egress_taps: list[Callable[[Packet, int], None]] = []
+        # INT ingress stamping (None when telemetry is off).
+        self._tel = get_telemetry().switch_probe(self)
 
     # -- control-plane API ---------------------------------------------------
 
@@ -94,6 +96,8 @@ class P4Switch(Device):
     # -- data plane ----------------------------------------------------------
 
     def receive(self, packet: Packet, in_port: Port) -> None:
+        if self._tel is not None:
+            self._tel.on_ingress(packet)
         for tap in self.ingress_taps:
             tap(packet, in_port.index)
         self.sim.schedule(
@@ -113,6 +117,9 @@ class P4Switch(Device):
             if not 0 <= egress_index < len(self.ports):
                 continue
             clone = ctx.packet.copy_for_replication()
+            if self._tel is not None:
+                # A sampled ingress frame's postcard follows the copy.
+                self._tel.hub.transfer(ctx.packet, clone)
             for field_name, value in overrides.items():
                 if field_name not in REWRITABLE_FIELDS:
                     raise ValueError(f"cannot rewrite field {field_name!r}")
@@ -129,6 +136,8 @@ class P4Switch(Device):
             if not 0 <= egress_index < len(self.ports):
                 continue
             out = self._deparse(ctx)
+            if self._tel is not None:
+                self._tel.hub.transfer(ctx.packet, out)
             for tap in self.egress_taps:
                 tap(out, egress_index)
             self.ports[egress_index].send(out)

@@ -206,28 +206,39 @@ def _trace_stem(figure: str, seed: int, index: int) -> str:
 
 def _compute(
     payload: tuple[
-        int, str, int, tuple[tuple[str, Any], ...], str | None, bool
+        int, str, int, tuple[tuple[str, Any], ...], str | None, bool,
+        str | None, int,
     ]
 ):
     """Pool worker: run one figure job and return (index, result dict)."""
-    index, figure, seed, params, trace_dir, profile = payload
+    (index, figure, seed, params, trace_dir, profile,
+     telemetry_dir, telemetry_interval) = payload
     spec = get_spec(figure)
     observe = trace_dir is not None or profile
+    hub = None
+    if telemetry_dir is not None:
+        # Seed the postcard sampler from the job seed: a fixed (job, seed)
+        # cell samples the same packets on every run.
+        hub = obs.TelemetryHub(interval=telemetry_interval, seed=seed)
     start = time.perf_counter()
     with collect_stats() as stats:
-        if observe:
-            with obs.capture(profile=profile) as cap:
+        if observe or hub is not None:
+            with obs.capture(
+                metrics=observe, tracing=observe, profile=profile,
+                telemetry=hub,
+            ) as cap:
                 with cap.tracer.span(
                     "runner.job", figure=figure, seed=seed, **dict(params)
                 ):
                     rows = spec.run(seed=seed, **dict(params))
         else:
             rows = spec.run(seed=seed, **dict(params))
+    verdict = spec.verdict(rows) if spec.verdict is not None else None
     result: dict[str, Any] = {
         "rows": list(rows),
         "stats": stats.as_dict(),
         "wall_time_s": time.perf_counter() - start,
-        "verdict": spec.verdict(rows) if spec.verdict is not None else None,
+        "verdict": verdict,
     }
     if observe:
         result["metrics"] = cap.registry.snapshot()
@@ -239,6 +250,20 @@ def _compute(
             cap.tracer.write_chrome(trace_path)
             cap.tracer.write_jsonl(Path(trace_dir) / f"{stem}.trace.jsonl")
             result["trace_path"] = str(trace_path)
+    if hub is not None:
+        if verdict == "fail":
+            # Freeze the fabric's recent history next to the bad verdict.
+            hub.flight.snapshot(f"verdict.fail:{figure}")
+        stem = _trace_stem(figure, seed, index)
+        hub.write_postcards_jsonl(
+            Path(telemetry_dir) / f"{stem}.postcards.jsonl"
+        )
+        telemetry_path = Path(telemetry_dir) / f"{stem}.telemetry.json"
+        hub.write_snapshot(telemetry_path)
+        result["telemetry_path"] = str(telemetry_path)
+        result["telemetry"] = hub.summary(
+            sim_time_ns=stats.as_dict().get("sim_time_ns")
+        )
     return index, result
 
 
@@ -259,6 +284,8 @@ def run_jobs(
     trace_dir: Path | str | None = None,
     profile: bool = False,
     *,
+    telemetry_dir: Path | str | None = None,
+    telemetry_interval: int = 64,
     timeout_s: float | None = None,
     retries: int = 0,
     backoff: RetryPolicy | float | None = None,
@@ -297,6 +324,15 @@ def run_jobs(
     a ``repro.obs`` metrics snapshot in the manifest.  Cached jobs are
     *not* recomputed to obtain observability data.
 
+    **In-band network telemetry:** ``telemetry_dir`` activates a
+    :class:`repro.obs.TelemetryHub` per computed job (postcard sampling
+    1-in-``telemetry_interval``, seeded by the job seed) and writes one
+    ``<stem>.postcards.jsonl`` INT sink plus one ``<stem>.telemetry.json``
+    snapshot (samplers + flight recorder) into it; a digest lands on each
+    job record (``telemetry``/``telemetry_path``) and surfaces in
+    ``repro report``'s "Network telemetry" section.  A failing figure
+    verdict snapshots the flight recorder automatically.
+
     **Live telemetry:** ``status_path`` names a
     :mod:`repro.obs.status` heartbeat file rewritten atomically on every
     job start, retry, and completion (ok/failed/cached/retry counts,
@@ -308,6 +344,10 @@ def run_jobs(
     start = time.perf_counter()
     if trace_dir is not None:
         trace_dir = str(ensure_writable_dir(trace_dir, "trace output"))
+    if telemetry_dir is not None:
+        telemetry_dir = str(
+            ensure_writable_dir(telemetry_dir, "telemetry output")
+        )
     if checkpoint is not None:
         checkpoint = Path(checkpoint)
         ensure_writable_dir(checkpoint.parent, "manifest checkpoint")
@@ -351,7 +391,10 @@ def run_jobs(
             progress(outcome.record)
 
     pending: list[
-        tuple[int, str, int, tuple[tuple[str, Any], ...], str | None, bool]
+        tuple[
+            int, str, int, tuple[tuple[str, Any], ...], str | None, bool,
+            str | None, int,
+        ]
     ] = []
     for index, (job, key) in enumerate(zip(jobs, keys)):
         rows = None
@@ -378,7 +421,10 @@ def run_jobs(
             _complete(index, JobOutcome(job=job, rows=rows, record=record))
         else:
             pending.append(
-                (index, job.figure, job.seed, job.params, trace_dir, profile)
+                (
+                    index, job.figure, job.seed, job.params, trace_dir,
+                    profile, telemetry_dir, telemetry_interval,
+                )
             )
 
     def _finish(index: int, result: dict[str, Any]) -> None:
@@ -404,6 +450,8 @@ def run_jobs(
                 hotspots=result.get("hotspots"),
                 trace_path=result.get("trace_path"),
                 verdict=result.get("verdict"),
+                telemetry=result.get("telemetry"),
+                telemetry_path=result.get("telemetry_path"),
                 attempts=result.get("attempts", 1),
             )
         else:

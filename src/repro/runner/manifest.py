@@ -48,6 +48,11 @@ it cost.  The JSON schema (``repro.runner/manifest/v3``)::
              "total_ns": 28610000, "max_ns": 865390, "mean_ns": 33814.4}
           ],
           "trace_path": "traces/fig5.seed0.job3.trace.json",
+          // -- in-band network telemetry (null unless the sweep ran with
+          //    telemetry_dir=; see repro.obs.telemetry) -------------------
+          "telemetry": {"postcards": 910, "top_queues": [...],
+                        "links": [...], "flight_snapshots": 0},
+          "telemetry_path": "telemetry/fig5.seed0.job3.telemetry.json",
           // -- verdict (null unless the spec declares a verdict function;
           //    chaos campaigns record "pass"/"fail" compliance here) ------
           "verdict": "pass"
@@ -107,6 +112,11 @@ class JobRecord:
     trace_path: str | None = None
     #: Spec verdict over the rows (v2; chaos campaigns: "pass"/"fail").
     verdict: str | None = None
+    #: In-band network telemetry digest (``TelemetryHub.summary()``;
+    #: ``None`` unless the sweep ran with ``telemetry_dir=``).
+    telemetry: dict[str, Any] | None = None
+    #: Full ``.telemetry.json`` snapshot written for this job.
+    telemetry_path: str | None = None
     #: Terminal state (v3): "ok", "failed", "timeout", or "cached".
     status: str = "ok"
     #: One-line error description for failed/timeout jobs (v3).
@@ -136,6 +146,8 @@ class JobRecord:
             "hotspots": self.hotspots,
             "trace_path": self.trace_path,
             "verdict": self.verdict,
+            "telemetry": self.telemetry,
+            "telemetry_path": self.telemetry_path,
             "status": self.status,
             "error": self.error,
             "traceback": self.traceback,
@@ -165,6 +177,8 @@ class JobRecord:
             hotspots=payload.get("hotspots"),
             trace_path=payload.get("trace_path"),
             verdict=payload.get("verdict"),
+            telemetry=payload.get("telemetry"),
+            telemetry_path=payload.get("telemetry_path"),
             status=payload.get("status") or ("cached" if cached else "ok"),
             error=payload.get("error"),
             traceback=payload.get("traceback"),

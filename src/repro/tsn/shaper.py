@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from ..net.packet import Packet
 from ..net.queues import StrictPriorityQueue
-from ..obs import get_registry
+from ..obs import get_registry, get_telemetry
 from .gcl import GateControlList
 
 
@@ -30,6 +30,8 @@ class TimeAwareShaper:
         self._m_gate_closed = registry.counter(
             "tsn.shaper.blocks", reason="gate_closed"
         )
+        # Block-count time series when the telemetry plane is active.
+        self._tel = get_telemetry().shaper_probe()
 
     def select(
         self,
@@ -63,10 +65,14 @@ class TimeAwareShaper:
                 # closes; hold it and consider lower-priority queues.
                 self.guard_band_blocks += 1
                 self._m_guard_band.inc()
+                if self._tel is not None:
+                    self._tel.on_guard_band(now_ns)
                 any_blocked = True
                 continue
             return queue.dequeue_from([pcp]), None
         if not any_blocked:
             self.gate_closed_blocks += 1
             self._m_gate_closed.inc()
+            if self._tel is not None:
+                self._tel.on_gate_closed(now_ns)
         return None, until_change

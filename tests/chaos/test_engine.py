@@ -178,3 +178,37 @@ class TestSerialization:
         assert intervals_fingerprint(intervals) != intervals_fingerprint(
             {0: [(1, 2), (3, 5)], 1: [(5, 9)]}
         )
+
+
+class TestFlightRecorderIntegration:
+    """Chaos faults feed the telemetry flight recorder when one is active."""
+
+    def test_faults_note_and_snapshot_the_flight_recorder(self):
+        from repro import obs
+
+        with obs.capture(
+            metrics=False, tracing=False, telemetry=obs.TelemetryHub()
+        ) as handle:
+            result = run_campaign(get_scenario("link-flaps"), seed=0)
+        hub = handle.telemetry
+        assert result.reports  # campaign itself unaffected
+        assert hub.flight.events > 0
+        kinds = {
+            event["kind"]
+            for snap in hub.flight.snapshots
+            for events in snap["components"].values()
+            for event in events
+        }
+        assert "chaos.fault" in kinds
+        triggers = [snap["trigger"] for snap in hub.flight.snapshots]
+        assert any(t.startswith("chaos.fault:") for t in triggers)
+
+    def test_campaign_measurement_identical_with_telemetry(self):
+        from repro import obs
+
+        plain = run_campaign(get_scenario("link-flaps"), seed=0)
+        with obs.capture(metrics=False, tracing=False, telemetry=True):
+            observed = run_campaign(get_scenario("link-flaps"), seed=0)
+        assert intervals_fingerprint(plain.intervals) == (
+            intervals_fingerprint(observed.intervals)
+        )

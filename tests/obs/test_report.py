@@ -119,6 +119,59 @@ class TestBuildReport:
         assert report.retry_timeline() == []
 
 
+class TestTelemetrySection:
+    """The 'Network telemetry' section from embedded job digests."""
+
+    def test_records_without_telemetry_render_no_section(self):
+        report = build_report(DATA / "run_v3")
+        assert report.telemetry_records() == []
+        assert "Network telemetry" not in report.to_markdown()
+        assert "Network telemetry" not in report.to_html()
+
+    def test_overview_sums_across_jobs(self):
+        report = build_report(DATA / "run_telemetry")
+        totals = report.telemetry_overview()
+        assert totals == {
+            "jobs": 2,
+            "postcards": 321,
+            "packets_sampled": 334,
+            "flight_events": 2,
+            "flight_snapshots": 1,
+        }
+
+    def test_queue_and_link_rows_keep_job_order(self):
+        report = build_report(DATA / "run_telemetry")
+        queues = report.telemetry_queue_rows()
+        assert [q["queue"] for q in queues] == [
+            "spine0[3]", "leaf1[0]", "instaplc-switch[0]",
+        ]
+        links = report.telemetry_link_rows()
+        assert links[0]["port"] == "spine0[3]"
+        assert links[0]["utilization"] == 0.775
+
+    def test_markdown_renders_tables_and_percentages(self):
+        text = build_report(DATA / "run_telemetry").to_markdown()
+        assert "## Network telemetry" in text
+        assert "- INT postcards: 321 (334 packets sampled)" in text
+        assert "| spine0[3] | 17 | 120 |" in text
+        assert "77.50%" in text
+        # a link without a utilization estimate renders a dash
+        assert "| vplc2[0] | 27320 | 218.56us | - |" in text
+
+    def test_html_renders_section(self):
+        html = build_report(DATA / "run_telemetry").to_html()
+        assert "<h2>Network telemetry</h2>" in html
+        assert "<h3>Top congested queues</h3>" in html
+        assert "<h3>Link utilization</h3>" in html
+        assert "77.50%" in html
+
+    def test_markdown_is_byte_stable(self, update_golden):
+        text = build_report(DATA / "run_telemetry").to_markdown()
+        assert_matches_golden(
+            text, "report_telemetry.golden.md", update_golden
+        )
+
+
 class TestGoldenRendering:
     def test_markdown_is_byte_stable_v3(self, update_golden):
         text = build_report(DATA / "run_v3").to_markdown()

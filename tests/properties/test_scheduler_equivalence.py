@@ -145,6 +145,72 @@ class TestBackendEquivalence:
         assert heap_run == calendar_run, f"trial seed {seed}"
 
 
+class TestTelemetryEquivalence:
+    """Backend equivalence extends to the in-band telemetry plane.
+
+    The telemetry rings record ``(sim.now, value)`` pairs from event
+    callbacks, so any backend-dependent reordering — especially inside
+    the calendar queue's same-timestamp buckets — would surface as a
+    ring-content diff.  These workloads pile events onto identical
+    timestamps straddling bucket promotions (single Event -> _Bucket)
+    and assert the rings match bit for bit.
+    """
+
+    def _drive(self, backend_name, seed):
+        from repro.obs.telemetry import RingSampler
+
+        rng = random.Random(seed)
+        sim = Simulator(scheduler=backend_name)
+        ring = RingSampler("equiv", capacity=64)
+        order = []
+
+        def record(tag):
+            order.append(tag)
+            ring.record(sim.now, tag)
+
+        # Dense collisions: 40 events over only 5 distinct timestamps,
+        # mixed priorities, plus same-instant reschedules (an event at
+        # time T scheduling another event at time T crosses the bucket's
+        # consumed/pending boundary mid-drain).
+        instants = [0, 1, 1, 2, 5]
+        for tag in range(40):
+            at = rng.choice(instants)
+            priority = rng.choice((-10, 0, 10))
+            if tag % 7 == 0:
+                sim.schedule(
+                    lambda t=tag: (
+                        record(t),
+                        sim.schedule(lambda t2=t: record(t2 + 1000), after=0),
+                    ),
+                    at=at, priority=priority,
+                )
+            else:
+                sim.schedule(lambda t=tag: record(t), at=at, priority=priority)
+        sim.run()
+        return order, ring.snapshot()
+
+    @pytest.mark.parametrize("seed", trial_seeds(7700)[:8])
+    def test_ring_contents_identical_across_backends(self, seed):
+        heap_order, heap_ring = self._drive("heap", seed)
+        cal_order, cal_ring = self._drive("calendar", seed)
+        assert heap_order == cal_order, f"trial seed {seed}"
+        assert heap_ring == cal_ring, f"trial seed {seed}"
+
+    def test_identical_timestamp_flood_decimates_identically(self):
+        # Everything at t=0: the pathological single-bucket case.
+        from repro.obs.telemetry import RingSampler
+
+        def run(backend_name):
+            sim = Simulator(scheduler=backend_name)
+            ring = RingSampler("flood", capacity=8)
+            for tag in range(100):
+                sim.schedule(lambda t=tag: ring.record(sim.now, t), at=0)
+            sim.run()
+            return ring.snapshot()
+
+        assert run("heap") == run("calendar")
+
+
 class TestSchedulerFactory:
     def test_make_scheduler_knows_both_backends(self):
         assert isinstance(make_scheduler("heap"), EventQueue)

@@ -44,10 +44,16 @@ class TestDetection:
 
 class TestRepositoryIsClean:
     def test_no_deprecated_calls_in_repo(self):
-        failures = lint_paths(
-            ["src", "tests", "benchmarks", "figures"], REPO
-        )
+        from lint_schedule_api import DEFAULT_PATHS
+
+        failures = lint_paths(list(DEFAULT_PATHS), REPO)
         assert failures == [], "\n".join(failures)
+
+    def test_default_paths_cover_examples_and_benchmarks(self):
+        from lint_schedule_api import DEFAULT_PATHS
+
+        assert "examples" in DEFAULT_PATHS
+        assert "benchmarks" in DEFAULT_PATHS
 
     def test_cli_exit_status(self):
         result = subprocess.run(

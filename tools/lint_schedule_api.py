@@ -19,7 +19,8 @@ walks the AST (so strings and comments never false-positive) and flags:
 Only attribute calls are checked, so unrelated module-level functions
 named ``schedule`` are left alone.  Usage::
 
-    python tools/lint_schedule_api.py [paths...]   # default: src tests benchmarks figures
+    python tools/lint_schedule_api.py [paths...]
+    # default: src tests benchmarks examples figures
 """
 
 from __future__ import annotations
@@ -28,7 +29,7 @@ import ast
 import sys
 from pathlib import Path
 
-DEFAULT_PATHS = ("src", "tests", "benchmarks", "figures")
+DEFAULT_PATHS = ("src", "tests", "benchmarks", "examples", "figures")
 
 #: Files allowed to mention the legacy forms: the shim itself and its tests.
 ALLOWED = {
