@@ -77,8 +77,13 @@ def add_chaos_parser(subparsers: argparse._SubParsersAction) -> None:
         "--strict", action="store_true",
         help="exit non-zero when any campaign verdict is 'fail'",
     )
-    from ..cli import _add_resilience_args, _add_status_args
+    from ..cli import (
+        _add_backend_args,
+        _add_resilience_args,
+        _add_status_args,
+    )
 
+    _add_backend_args(sub)
     _add_resilience_args(sub)
     _add_status_args(sub)
 
@@ -144,6 +149,7 @@ def _job_label(record) -> str:
 def _run_run(args: argparse.Namespace) -> int:
     from ..cli import (
         EXIT_DEGRADED,
+        _backend_kwargs,
         _report_degraded,
         _resilience_kwargs,
         _status_path,
@@ -175,6 +181,7 @@ def _run_run(args: argparse.Namespace) -> int:
             manifest_path.parent if manifest_path is not None else None,
         ),
         **_resilience_kwargs(args),
+        **_backend_kwargs(args),
     )
     campaign_dir: Path | None = getattr(args, "campaign_dir", None)
     for outcome in result.outcomes:

@@ -171,6 +171,32 @@ def _add_cache_args(sub: argparse.ArgumentParser) -> None:
         "--no-cache", action="store_true",
         help="recompute everything; do not read or write the cache",
     )
+    _add_backend_args(sub)
+
+
+def _add_backend_args(sub: argparse.ArgumentParser) -> None:
+    """``--backend``/``--stream-rows``/``--chunk-rows`` — shared with the
+    chaos CLI, which has its own cache/jobs flags."""
+    sub.add_argument(
+        "--backend", default=None, metavar="SPEC",
+        help=(
+            "executor backend NAME[:WORKERS]: serial, local-pool[:N], or "
+            "subprocess:N ('repro worker' children over stdio); default: "
+            "auto (env REPRO_BACKEND, else picked from --jobs)"
+        ),
+    )
+    sub.add_argument(
+        "--stream-rows", nargs="?", const="auto", default=None, metavar="DIR",
+        help=(
+            "stream job rows through content-addressed chunked JSONL files "
+            "instead of the supervising process's memory; DIR defaults to "
+            "the cache's row store (so the default needs the cache enabled)"
+        ),
+    )
+    sub.add_argument(
+        "--chunk-rows", type=int, default=None, metavar="N",
+        help="rows per streamed chunk file (default: 256)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -271,6 +297,14 @@ def build_parser() -> argparse.ArgumentParser:
     _add_resilience_args(sub)
     _add_status_args(sub)
     _add_telemetry_args(sub)
+
+    subparsers.add_parser(
+        "worker",
+        help=(
+            "run as a stdio job-protocol worker (internal: spawned by the "
+            "'subprocess' executor backend, locally or over SSH)"
+        ),
+    )
 
     from .chaos.cli import add_chaos_parser
 
@@ -518,6 +552,18 @@ def _resilience_kwargs(args: argparse.Namespace) -> dict[str, Any]:
     }
 
 
+def _backend_kwargs(args: argparse.Namespace) -> dict[str, Any]:
+    """Resolve ``--backend`` / ``--stream-rows`` / ``--chunk-rows``."""
+    kwargs: dict[str, Any] = {"backend": getattr(args, "backend", None)}
+    stream = getattr(args, "stream_rows", None)
+    if stream is not None:
+        kwargs["stream_rows"] = True if stream == "auto" else Path(stream)
+    chunk = getattr(args, "chunk_rows", None)
+    if chunk is not None:
+        kwargs["chunk_rows"] = chunk
+    return kwargs
+
+
 def _report_degraded(result, resume_hint: str) -> None:
     failures = result.failures
     print(
@@ -569,6 +615,7 @@ def _run_all(args: argparse.Namespace) -> int:
         progress=_make_progress(len(jobs)),
         checkpoint=manifest_path,
         status_path=_status_path(args, out_dir),
+        **_backend_kwargs(args),
         **_telemetry_kwargs(args, out_dir),
         **_resilience_kwargs(args),
     )
@@ -634,6 +681,7 @@ def _run_sweep(args: argparse.Namespace) -> int:
             out_dir,
             manifest_path.parent if manifest_path is not None else None,
         ),
+        **_backend_kwargs(args),
         **_telemetry_kwargs(
             args,
             out_dir,
@@ -1046,6 +1094,12 @@ def dispatch(args: argparse.Namespace) -> int:
         for name, spec in registry().items():
             print(f"{name:12s} {spec.doc}")
         return 0
+    if command == "worker":
+        # The stdio protocol owns stdout; no friendly-error wrapping — a
+        # protocol violation must kill the child visibly.
+        from .runner.worker import worker_main
+
+        return worker_main()
     try:
         if command == "all":
             return _run_all(args)

@@ -640,6 +640,35 @@ def _load_rows_csv(path: Path) -> list[dict[str, Any]]:
     return list(csv.DictReader(io.StringIO(path.read_text())))
 
 
+def _load_rows_chunks(
+    chunks: list[str], base: Path
+) -> list[dict[str, Any]] | None:
+    """Load a streamed record's rows from its JSONL chunk files.
+
+    Each chunk path is tried as written and then relative to the run
+    directory (mirroring the ``rows_path`` fallback); any unreadable
+    chunk makes the whole record's rows unavailable rather than partial.
+    """
+    from ..runner.rowstream import iter_chunk_rows
+
+    resolved: list[Path] = []
+    for chunk in chunks:
+        recorded = Path(chunk)
+        for candidate in (
+            recorded if recorded.is_absolute() else base / recorded,
+            base / recorded.name,
+        ):
+            if candidate.exists():
+                resolved.append(candidate)
+                break
+        else:
+            return None
+    try:
+        return list(iter_chunk_rows(resolved))
+    except (OSError, ValueError):
+        return None
+
+
 def resolve_manifest_path(target: Path | str) -> Path:
     """Accept a run directory or a manifest file path."""
     target = Path(target)
@@ -661,27 +690,32 @@ def build_report(
     Row CSVs referenced by each record's ``rows_path`` are loaded when
     present — tried as written (absolute or relative to the manifest's
     directory) and then by file name inside the run directory, so a run
-    directory copied from another machine still reports fully.  Reads all
-    manifest schema versions (v1–v3).
+    directory copied from another machine still reports fully.  Records
+    from a streamed sweep (PR-8) that exported no CSV are read from their
+    ``row_chunks`` JSONL files instead, with the same as-written /
+    by-name fallback.  Reads all manifest schema versions (v1–v3).
     """
     manifest_path = resolve_manifest_path(target)
     base = manifest_path.parent
     manifest = RunManifest.load(manifest_path)
     rows_by_index: dict[int, list[dict[str, Any]]] = {}
     for index, record in enumerate(manifest.records):
-        if not record.rows_path:
-            continue
-        recorded = Path(record.rows_path)
-        for candidate in (
-            recorded if recorded.is_absolute() else base / recorded,
-            base / recorded.name,
-        ):
-            if candidate.exists():
-                try:
-                    rows_by_index[index] = _load_rows_csv(candidate)
-                except (OSError, csv.Error):
-                    pass
-                break
+        if record.rows_path:
+            recorded = Path(record.rows_path)
+            for candidate in (
+                recorded if recorded.is_absolute() else base / recorded,
+                base / recorded.name,
+            ):
+                if candidate.exists():
+                    try:
+                        rows_by_index[index] = _load_rows_csv(candidate)
+                    except (OSError, csv.Error):
+                        pass
+                    break
+        elif record.row_chunks:
+            rows = _load_rows_chunks(record.row_chunks, base)
+            if rows is not None:
+                rows_by_index[index] = rows
     return RunReport(
         source=base.name or str(base),
         manifest=manifest,

@@ -18,6 +18,7 @@ touching its workers, cache keys, or results.  The JSON schema
       "failed": 1,                 // failed/timeout so far
       "retries": 3,                // retry attempts charged so far
       "workers": 4,
+      "backend": "local-pool",     // executor backend; null before dispatch
       "current": ["fig5 seed=3"],  // cells in flight right now
       "elapsed_s": 81.4,
       "eta_s": 42.0,               // null until a computed job finishes
@@ -57,11 +58,18 @@ class SweepStatus:
     """Writer side: owned by the sweep supervisor, one per ``run_jobs``."""
 
     def __init__(
-        self, path: Path | str, total: int, workers: int = 1
+        self,
+        path: Path | str,
+        total: int,
+        workers: int = 1,
+        backend: str | None = None,
     ) -> None:
         self.path = Path(path)
         self.total = total
         self.workers = max(workers, 1)
+        #: Executor backend name; settable after construction because the
+        #: engine resolves it only once it knows what is pending.
+        self.backend = backend
         self.done = 0
         self.ok = 0
         self.cached = 0
@@ -131,6 +139,7 @@ class SweepStatus:
             "failed": self.failed,
             "retries": self.retries,
             "workers": self.workers,
+            "backend": self.backend,
             "current": [self._current[k] for k in sorted(self._current)],
             "elapsed_s": round(time.monotonic() - self._started, 3),
             "eta_s": round(eta, 3) if eta is not None else None,

@@ -15,6 +15,15 @@ Public API:
 - :class:`ResultCache` / :func:`cache_key` — the on-disk cache.
 - :class:`RunManifest` / :class:`JobRecord` — the JSON run manifest
   (schema :data:`MANIFEST_SCHEMA`, with per-job ``status``).
+- :class:`ExecutorBackend` + :func:`resolve_backend` — pluggable
+  executors (:class:`SerialBackend`, :class:`LocalPoolBackend`,
+  :class:`SubprocessWorkerBackend`); specs like ``"subprocess:2"`` come
+  from ``--backend`` / the ``REPRO_BACKEND`` env var.
+- :func:`shard_jobs` — deterministic round-robin split of a job list
+  (or lazy :class:`JobGrid`) across distributed participants.
+- :class:`LazyRows` / :func:`write_row_chunks` — disk-backed streaming
+  rows (see :mod:`repro.runner.rowstream`), used when ``run_jobs`` runs
+  with ``stream_rows=``.
 
 Example::
 
@@ -33,15 +42,33 @@ Example::
                       resume_from="sweep-manifest.json")
 """
 
+from .backends import (
+    BACKEND_AUTO,
+    BACKEND_ENV,
+    ExecutorBackend,
+    LocalPoolBackend,
+    SerialBackend,
+    SubprocessWorkerBackend,
+    parse_backend_spec,
+    resolve_backend,
+)
 from .cache import DEFAULT_CACHE_DIR, ResultCache, cache_key
 from .engine import (
     Job,
+    JobGrid,
     JobOutcome,
     SweepResult,
     ensure_writable_dir,
     expand_grid,
     make_job,
     run_jobs,
+    shard_jobs,
+)
+from .rowstream import (
+    DEFAULT_CHUNK_ROWS,
+    LazyRows,
+    iter_chunk_rows,
+    write_row_chunks,
 )
 from .manifest import (
     MANIFEST_SCHEMA,
@@ -62,10 +89,17 @@ from .supervisor import (
 )
 
 __all__ = [
+    "BACKEND_AUTO",
+    "BACKEND_ENV",
     "DEFAULT_CACHE_DIR",
+    "DEFAULT_CHUNK_ROWS",
+    "ExecutorBackend",
     "Job",
+    "JobGrid",
     "JobOutcome",
     "JobRecord",
+    "LazyRows",
+    "LocalPoolBackend",
     "MANIFEST_SCHEMA",
     "MANIFEST_SCHEMA_V1",
     "MANIFEST_SCHEMA_V2",
@@ -79,10 +113,17 @@ __all__ = [
     "STATUS_FAILED",
     "STATUS_OK",
     "STATUS_TIMEOUT",
+    "SerialBackend",
+    "SubprocessWorkerBackend",
     "SweepResult",
     "cache_key",
     "ensure_writable_dir",
     "expand_grid",
+    "iter_chunk_rows",
     "make_job",
+    "parse_backend_spec",
+    "resolve_backend",
     "run_jobs",
+    "shard_jobs",
+    "write_row_chunks",
 ]

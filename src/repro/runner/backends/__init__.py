@@ -1,0 +1,41 @@
+"""Executor backends for the sweep engine.
+
+The engine (:func:`repro.runner.run_jobs`) is backend-agnostic: it
+expands grids, serves cache hits, writes manifests/checkpoints/status —
+and hands the pending tasks to an :class:`ExecutorBackend` to actually
+run.  Three backends ship today:
+
+- :class:`SerialBackend` — in-process, deterministic, pool-free;
+- :class:`LocalPoolBackend` — the supervised ``ProcessPoolExecutor``
+  with quarantine-based guilt attribution (the former default path);
+- :class:`SubprocessWorkerBackend` — ``repro worker`` children over a
+  stdio JSON protocol, the stepping stone to multi-host sweeps.
+
+All three honor one contract (retries, timeouts, heartbeat events,
+uncharged bystanders), enforced by
+``tests/runner/test_backend_conformance.py``.
+"""
+
+from .base import (
+    BACKEND_AUTO,
+    BACKEND_ENV,
+    ExecutorBackend,
+    charge_failure,
+    parse_backend_spec,
+    resolve_backend,
+)
+from .local_pool import LocalPoolBackend
+from .serial import SerialBackend
+from .subprocess_worker import SubprocessWorkerBackend
+
+__all__ = [
+    "BACKEND_AUTO",
+    "BACKEND_ENV",
+    "ExecutorBackend",
+    "LocalPoolBackend",
+    "SerialBackend",
+    "SubprocessWorkerBackend",
+    "charge_failure",
+    "parse_backend_spec",
+    "resolve_backend",
+]

@@ -32,16 +32,21 @@ from typing import Any, Callable, Iterable, Mapping, Sequence
 from ..figures import Rows, get_spec
 from ..simcore.stats import collect as collect_stats
 from .. import obs
+from .backends import (
+    ExecutorBackend,
+    LocalPoolBackend,
+    SerialBackend,
+    resolve_backend,
+)
 from .cache import ResultCache, cache_key
 from .manifest import JobRecord, RunManifest
+from .rowstream import DEFAULT_CHUNK_ROWS, LazyRows, write_row_chunks
 from .supervisor import (
     OK_STATUSES,
     STATUS_CACHED,
     STATUS_OK,
     RetryPolicy,
     Task,
-    run_inline,
-    run_supervised,
 )
 
 
@@ -65,10 +70,16 @@ class Job:
 
 @dataclass
 class JobOutcome:
-    """A job plus its rows and manifest record."""
+    """A job plus its rows and manifest record.
+
+    ``rows`` is an eager :class:`~repro.figures.Rows` for in-memory runs
+    and a disk-backed :class:`~repro.runner.rowstream.LazyRows` when the
+    sweep streamed rows; both iterate, measure, render, and compare the
+    same way.
+    """
 
     job: Job
-    rows: Rows
+    rows: "Rows | LazyRows"
     record: JobRecord
 
 
@@ -94,7 +105,9 @@ class SweepResult:
         """Whether every cell completed (computed or cached)."""
         return not self.failures
 
-    def rows_for(self, figure: str, seed: int | None = None) -> Rows:
+    def rows_for(
+        self, figure: str, seed: int | None = None
+    ) -> "Rows | LazyRows":
         """Rows of the first *completed* outcome matching ``figure``
         (and ``seed``); failed cells raise with their recorded error."""
         failed: JobOutcome | None = None
@@ -136,40 +149,122 @@ def make_job(
     )
 
 
+class JobGrid:
+    """A lazy, re-iterable expansion of figures × seeds × parameter grid.
+
+    Validation (unknown figures, undeclared grid parameters, value
+    coercion) happens eagerly at construction so errors surface where the
+    grid is written, but the :class:`Job` cells themselves are generated
+    on demand: ``len()`` is computed arithmetically and iterating never
+    holds more than one job in memory.  The grid can be iterated any
+    number of times (every pass yields identical jobs in identical
+    order), sliced, and indexed — consumers that need a list can just
+    call ``list(grid)``.
+    """
+
+    def __init__(
+        self,
+        figures: Sequence[str],
+        seeds: Iterable[int] = (0,),
+        grid: Mapping[str, Sequence[Any]] | None = None,
+    ) -> None:
+        grid = dict(grid or {})
+        self._seeds = list(seeds)
+        specs = [get_spec(name) for name in figures]
+        if grid:
+            declared = {p.name for spec in specs for p in spec.params}
+            unknown = sorted(set(grid) - declared)
+            if unknown:
+                raise ValueError(
+                    f"grid parameter(s) {', '.join(unknown)} not declared "
+                    f"by any selected figure "
+                    f"({', '.join(s.name for s in specs)})"
+                )
+        #: Per-figure plan: (name, grid param names, coerced value lists).
+        self._plan: list[tuple[str, list[str], list[list[Any]]]] = []
+        for spec in specs:
+            names = [p.name for p in spec.params if p.name in grid]
+            values = [
+                [spec.param(name).coerce(v) for v in grid[name]]
+                for name in names
+            ]
+            self._plan.append((spec.name, names, values))
+
+    def __len__(self) -> int:
+        total = 0
+        for _, _, values in self._plan:
+            combos = 1
+            for column in values:
+                combos *= len(column)
+            total += combos * len(self._seeds)
+        return total
+
+    def __iter__(self):
+        for name, names, values in self._plan:
+            for seed in self._seeds:
+                for combo in itertools.product(*values) if names else [()]:
+                    overrides = dict(zip(names, combo))
+                    yield make_job(name, seed=seed, params=overrides)
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return list(itertools.islice(
+                iter(self), *index.indices(len(self))
+            ))
+        size = len(self)
+        if index < 0:
+            index += size
+        if not 0 <= index < size:
+            raise IndexError(index)
+        return next(itertools.islice(iter(self), index, None))
+
+    def __eq__(self, other: Any) -> bool:
+        if isinstance(other, (JobGrid, list, tuple)):
+            return list(self) == list(other)
+        return NotImplemented
+
+    def __repr__(self) -> str:
+        figures = ", ".join(name for name, _, _ in self._plan)
+        return f"JobGrid({len(self)} jobs over [{figures}])"
+
+
 def expand_grid(
     figures: Sequence[str],
     seeds: Iterable[int] = (0,),
     grid: Mapping[str, Sequence[Any]] | None = None,
-) -> list[Job]:
+) -> JobGrid:
     """Expand figures × seeds × parameter grid into concrete jobs.
 
     ``grid`` maps parameter names to lists of values.  A grid parameter is
     applied to every selected figure that declares it; figures that do not
     declare it run once with their defaults.  A parameter no selected
     figure declares is an error (it would otherwise sweep nothing).
+
+    Returns a lazy :class:`JobGrid` — sized, sliceable, and re-iterable
+    like the list this function used to build, but generating cells on
+    demand so a million-cell grid costs no memory until executed.
     """
-    grid = dict(grid or {})
-    seeds = list(seeds)
-    specs = [get_spec(name) for name in figures]
-    if grid:
-        declared = {p.name for spec in specs for p in spec.params}
-        unknown = sorted(set(grid) - declared)
-        if unknown:
-            raise ValueError(
-                f"grid parameter(s) {', '.join(unknown)} not declared by any "
-                f"selected figure ({', '.join(s.name for s in specs)})"
-            )
-    jobs: list[Job] = []
-    for spec in specs:
-        names = [p.name for p in spec.params if p.name in grid]
-        values = [
-            [spec.param(name).coerce(v) for v in grid[name]] for name in names
-        ]
-        for seed in seeds:
-            for combo in itertools.product(*values) if names else [()]:
-                overrides = dict(zip(names, combo))
-                jobs.append(make_job(spec.name, seed=seed, params=overrides))
-    return jobs
+    return JobGrid(figures, seeds=seeds, grid=grid)
+
+
+def shard_jobs(
+    jobs: Iterable[Job], shards: int
+) -> list[list[Job]]:
+    """Deal ``jobs`` round-robin into ``shards`` ordered buckets.
+
+    The assignment depends only on job order and shard count — every
+    participant in a distributed sweep computes the same split without
+    coordination, and a single pass over a lazy :class:`JobGrid` (or any
+    one-shot iterator) suffices.  Buckets may be empty when there are
+    fewer jobs than shards; concatenating buckets index-by-index
+    round-robin restores the original order.
+    """
+    if shards < 1:
+        raise ValueError(f"shards must be >= 1, got {shards}")
+    buckets: list[list[Job]] = [[] for _ in range(shards)]
+    for position, job in enumerate(jobs):
+        buckets[position % shards].append(job)
+    return buckets
 
 
 #: Monotonic suffix keeping concurrent probes in one process distinct.
@@ -207,12 +302,26 @@ def _trace_stem(figure: str, seed: int, index: int) -> str:
 def _compute(
     payload: tuple[
         int, str, int, tuple[tuple[str, Any], ...], str | None, bool,
-        str | None, int,
+        str | None, int, str, str | None, int,
     ]
 ):
-    """Pool worker: run one figure job and return (index, result dict)."""
+    """Worker: run one figure job and return (index, result dict).
+
+    Runs inside whatever executor backend the sweep chose — a forked pool
+    worker, a ``repro worker`` subprocess, or the supervising process
+    itself.  When the payload carries a stream root, the rows are written
+    as content-addressed JSONL chunks (see :mod:`.rowstream`) and the
+    result references them (``row_chunks``/``rows_count``) instead of
+    carrying the rows inline — the supervising process never holds them.
+
+    Accepts the pre-streaming 8-tuple payload too (no key/stream fields),
+    so externally recorded payloads keep replaying.
+    """
     (index, figure, seed, params, trace_dir, profile,
-     telemetry_dir, telemetry_interval) = payload
+     telemetry_dir, telemetry_interval) = payload[:8]
+    key = payload[8] if len(payload) > 8 else None
+    stream_root = payload[9] if len(payload) > 9 else None
+    chunk_rows = payload[10] if len(payload) > 10 else DEFAULT_CHUNK_ROWS
     spec = get_spec(figure)
     observe = trace_dir is not None or profile
     hub = None
@@ -235,11 +344,18 @@ def _compute(
             rows = spec.run(seed=seed, **dict(params))
     verdict = spec.verdict(rows) if spec.verdict is not None else None
     result: dict[str, Any] = {
-        "rows": list(rows),
         "stats": stats.as_dict(),
         "wall_time_s": time.perf_counter() - start,
         "verdict": verdict,
     }
+    if stream_root is not None:
+        chunk_paths, count = write_row_chunks(
+            stream_root, key, rows, chunk_rows
+        )
+        result["row_chunks"] = [str(path) for path in chunk_paths]
+        result["rows_count"] = count
+    else:
+        result["rows"] = list(rows)
     if observe:
         result["metrics"] = cap.registry.snapshot()
         if cap.profiler is not None:
@@ -277,13 +393,16 @@ def _resumable_keys(resume_from: RunManifest | Path | str | None) -> set[str]:
 
 
 def run_jobs(
-    jobs: Sequence[Job],
+    jobs: Iterable[Job],
     workers: int | None = None,
     cache: ResultCache | None = None,
     progress: Callable[[JobRecord], None] | None = None,
     trace_dir: Path | str | None = None,
     profile: bool = False,
     *,
+    backend: "str | ExecutorBackend | None" = None,
+    stream_rows: Path | str | bool | None = None,
+    chunk_rows: int = DEFAULT_CHUNK_ROWS,
     telemetry_dir: Path | str | None = None,
     telemetry_interval: int = 64,
     timeout_s: float | None = None,
@@ -295,11 +414,30 @@ def run_jobs(
 ) -> SweepResult:
     """Execute ``jobs``, serving repeats from ``cache`` when given.
 
-    ``workers`` defaults to ``os.cpu_count()``; values <= 1 (or a single
-    pending job) run inline, which keeps single-job invocations free of
-    pool overhead and easy to debug.  Setting ``timeout_s`` forces the
-    supervised pool path even for one job — a hung job can only be killed
-    from outside its process.
+    ``jobs`` may be any iterable of :class:`Job` — a list, a lazy
+    :class:`JobGrid` from :func:`expand_grid`, or a one-shot generator;
+    it is consumed exactly once.
+
+    **Executor backends:** ``backend`` selects how pending cells execute
+    — a spec string (``"serial"``, ``"local-pool[:N]"``,
+    ``"subprocess:N"``), an :class:`ExecutorBackend` instance, or
+    ``None``/"auto", which consults the ``REPRO_BACKEND`` environment
+    variable and otherwise picks for itself: ``workers`` <= 1 (or a
+    single pending job) runs serially in-process, which keeps single-job
+    invocations free of pool overhead and easy to debug; anything bigger
+    uses the supervised local pool.  Setting ``timeout_s`` forces the
+    pool even for one auto-selected job — a hung job can only be killed
+    from outside its process.  Results, manifests, retries, and
+    checkpoints are identical across backends (enforced by the
+    backend-conformance suite); each computed record notes its backend.
+
+    **Streaming rows:** ``stream_rows`` routes each job's rows through
+    content-addressed chunked JSONL files (``chunk_rows`` rows per chunk,
+    see :mod:`repro.runner.rowstream`) instead of shipping them through
+    the supervising process — peak memory stays flat in grid size.  Pass
+    a directory, or ``True`` to use ``cache.rows_dir()`` (requires
+    ``cache``).  Outcomes then carry :class:`LazyRows` (iterate/render
+    identically to eager rows) and records list their ``row_chunks``.
 
     **Fault tolerance** (see :mod:`repro.runner.supervisor`): a raising
     figure, a job exceeding ``timeout_s``, or a worker process dying
@@ -340,8 +478,22 @@ def run_jobs(
     ``repro obs tail --follow``.  The writer lives in the supervising
     process only; job payloads, cache keys, and results are untouched.
     """
+    jobs = list(jobs)
     workers = workers if workers is not None else (os.cpu_count() or 1)
     start = time.perf_counter()
+    stream_root: str | None = None
+    if stream_rows:
+        if isinstance(stream_rows, (str, Path)):
+            stream_root = str(ensure_writable_dir(stream_rows, "row stream"))
+        elif cache is not None:
+            stream_root = str(
+                ensure_writable_dir(cache.rows_dir(), "row stream")
+            )
+        else:
+            raise ValueError(
+                "stream_rows=True streams into the cache's row store; pass "
+                "a cache, or give stream_rows an explicit directory"
+            )
     if trace_dir is not None:
         trace_dir = str(ensure_writable_dir(trace_dir, "trace output"))
     if telemetry_dir is not None:
@@ -365,6 +517,9 @@ def run_jobs(
             timeout_s=timeout_s,
             **({"backoff_base_s": backoff} if backoff is not None else {}),
         )
+    chosen = resolve_backend(backend, workers=workers)
+    #: Recorded on each computed JobRecord; stays None for cache hits.
+    backend_name: str | None = None
     resume_keys = _resumable_keys(resume_from)
     keys = [job.key() for job in jobs]
     outcomes: list[JobOutcome | None] = [None] * len(jobs)
@@ -393,7 +548,7 @@ def run_jobs(
     pending: list[
         tuple[
             int, str, int, tuple[tuple[str, Any], ...], str | None, bool,
-            str | None, int,
+            str | None, int, str, str | None, int,
         ]
     ] = []
     for index, (job, key) in enumerate(zip(jobs, keys)):
@@ -424,6 +579,7 @@ def run_jobs(
                 (
                     index, job.figure, job.seed, job.params, trace_dir,
                     profile, telemetry_dir, telemetry_interval,
+                    key, stream_root, chunk_rows,
                 )
             )
 
@@ -431,12 +587,26 @@ def run_jobs(
         job = jobs[index]
         status = result.get("status", STATUS_OK)
         if status in OK_STATUSES:
-            rows = Rows(result["rows"])
-            if cache is not None:
-                cache.put(
-                    keys[index], rows,
-                    figure=job.figure, seed=job.seed, params=job.params_dict,
-                )
+            rows: Rows | LazyRows
+            if "row_chunks" in result:
+                # The worker streamed the rows to disk; only paths and a
+                # count cross back into the supervising process.
+                rows = LazyRows(result["row_chunks"], result["rows_count"])
+                if cache is not None:
+                    cache.put_streamed(
+                        keys[index], result["row_chunks"],
+                        result["rows_count"],
+                        figure=job.figure, seed=job.seed,
+                        params=job.params_dict,
+                    )
+            else:
+                rows = Rows(result["rows"])
+                if cache is not None:
+                    cache.put(
+                        keys[index], rows,
+                        figure=job.figure, seed=job.seed,
+                        params=job.params_dict,
+                    )
             record = JobRecord(
                 figure=job.figure,
                 seed=job.seed,
@@ -452,6 +622,8 @@ def run_jobs(
                 verdict=result.get("verdict"),
                 telemetry=result.get("telemetry"),
                 telemetry_path=result.get("telemetry_path"),
+                backend=backend_name,
+                row_chunks=result.get("row_chunks"),
                 attempts=result.get("attempts", 1),
             )
         else:
@@ -469,6 +641,7 @@ def run_jobs(
                 status=status,
                 error=result.get("error"),
                 traceback=result.get("traceback"),
+                backend=backend_name,
                 attempts=result.get("attempts", 1),
             )
             rows = Rows()
@@ -496,14 +669,21 @@ def run_jobs(
             for payload in pending
         ]
         on_event = _on_event if status is not None else None
-        inline = min(workers, len(pending)) <= 1 and policy.timeout_s is None
-        if inline:
-            run_inline(tasks, _compute, policy, _finish, on_event=on_event)
-        else:
-            run_supervised(
-                tasks, _compute, max(workers, 1), policy, _finish,
-                on_event=on_event,
+        if chosen is None:
+            # Auto: tiny sweeps run serially in-process (no pool
+            # overhead, trivially debuggable); timeouts force the pool —
+            # a hung job can only be killed from outside its process.
+            inline = (
+                min(workers, len(pending)) <= 1 and policy.timeout_s is None
             )
+            chosen = (
+                SerialBackend() if inline
+                else LocalPoolBackend(workers=max(workers, 1))
+            )
+        backend_name = chosen.name
+        if status is not None:
+            status.backend = backend_name
+        chosen.run(tasks, _compute, policy, _finish, on_event=on_event)
 
     done = [outcome for outcome in outcomes if outcome is not None]
     manifest = RunManifest(

@@ -27,6 +27,9 @@ it cost.  The JSON schema (``repro.runner/manifest/v3``)::
           "error": null,             // one-line error for failed/timeout jobs
           "traceback": null,         // worker traceback when one was caught
           "attempts": 1,             // executions incl. retries
+          // -- PR-8 distributed/streaming fields (additive, optional) ------
+          "backend": "local-pool",   // executor backend (null for cache hits)
+          "row_chunks": null,        // chunked JSONL row files when streamed
           "stats": {                 // Simulator.stats totals; null if cached
             "simulators": 1,
             "events_scheduled": 241035,
@@ -117,6 +120,13 @@ class JobRecord:
     telemetry: dict[str, Any] | None = None
     #: Full ``.telemetry.json`` snapshot written for this job.
     telemetry_path: str | None = None
+    #: Executor backend that computed the job (PR-8: "serial",
+    #: "local-pool", "subprocess"; ``None`` for cache hits and pre-PR-8
+    #: manifests).
+    backend: str | None = None
+    #: Chunked JSONL row files when the sweep streamed rows to disk
+    #: (see :mod:`repro.runner.rowstream`); ``None`` for in-memory runs.
+    row_chunks: list[str] | None = None
     #: Terminal state (v3): "ok", "failed", "timeout", or "cached".
     status: str = "ok"
     #: One-line error description for failed/timeout jobs (v3).
@@ -148,6 +158,8 @@ class JobRecord:
             "verdict": self.verdict,
             "telemetry": self.telemetry,
             "telemetry_path": self.telemetry_path,
+            "backend": self.backend,
+            "row_chunks": self.row_chunks,
             "status": self.status,
             "error": self.error,
             "traceback": self.traceback,
@@ -179,6 +191,8 @@ class JobRecord:
             verdict=payload.get("verdict"),
             telemetry=payload.get("telemetry"),
             telemetry_path=payload.get("telemetry_path"),
+            backend=payload.get("backend"),
+            row_chunks=payload.get("row_chunks"),
             status=payload.get("status") or ("cached" if cached else "ok"),
             error=payload.get("error"),
             traceback=payload.get("traceback"),

@@ -26,22 +26,25 @@ those events into *data* instead of aborts:
 Retries rerun the identical payload — same figure, same seed, same
 params — so backoff can never perturb simulation results; only wall
 time and the ``attempts`` field change.
+
+As of PR-8 the execution loops live behind the
+:class:`~repro.runner.backends.ExecutorBackend` interface
+(:mod:`repro.runner.backends`): the supervised pool loop moved verbatim
+to :class:`~repro.runner.backends.LocalPoolBackend`, sequential
+execution to :class:`~repro.runner.backends.SerialBackend`.  This module
+keeps the vocabulary every backend shares — statuses,
+:class:`RetryPolicy`, :class:`Task`, :func:`guard` — plus
+:func:`run_inline`/:func:`run_supervised` as thin compatibility
+delegates.
 """
 
 from __future__ import annotations
 
 import hashlib
-import heapq
-import itertools
-import multiprocessing
 import time
 import traceback
-from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
-from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import Any, Callable, Sequence
-
-from .. import obs
 
 #: Obs counter incremented (with a ``figure`` label) on every retry.
 RETRIES_COUNTER = "chaos.runner.retries"
@@ -120,30 +123,6 @@ def guard(compute: Callable[[Any], tuple[int, dict]], payload: Any):
         }
 
 
-def _fork_context():
-    """Prefer the ``fork`` start method where available.
-
-    Forked workers inherit the parent's figure registry (including specs
-    registered at runtime, e.g. by tests or plugins), matching the
-    semantics of the PR-1 ``multiprocessing.Pool`` path.
-    """
-    methods = multiprocessing.get_all_start_methods()
-    if "fork" in methods:
-        return multiprocessing.get_context("fork")
-    return None
-
-
-def _terminate(executor: ProcessPoolExecutor) -> None:
-    """Shut an executor down *now*, killing any still-running workers."""
-    processes = list(getattr(executor, "_processes", {}).values())
-    executor.shutdown(wait=False, cancel_futures=True)
-    for process in processes:
-        if process.is_alive():
-            process.terminate()
-    for process in processes:
-        process.join(timeout=2.0)
-
-
 def run_inline(
     tasks: Sequence[Task],
     compute: Callable[[Any], tuple[int, dict]],
@@ -151,12 +130,15 @@ def run_inline(
     finish: Callable[[int, dict], None],
     on_event: Callable[[str, Task], None] | None = None,
 ) -> None:
-    """Sequential supervised execution (no pool, no timeout enforcement).
+    """Sequential in-process execution (compatibility delegate).
 
-    Used for single-worker / single-job sweeps where pool overhead is not
-    worth paying.  Exceptions are isolated and retried exactly like the
-    pool path; timeouts require a pool (you cannot kill your own frame)
-    and are enforced by :func:`run_supervised` instead.
+    Now a thin wrapper over
+    :class:`~repro.runner.backends.SerialBackend`; used for
+    single-worker / single-job sweeps where pool overhead is not worth
+    paying.  Exceptions are isolated and retried exactly like the pool
+    path.  Timeouts are enforced *post hoc* (the attempt runs to
+    completion, then is recorded as a timeout) — preemptive enforcement
+    needs process isolation, i.e. :func:`run_supervised`.
 
     ``on_event`` (shared with :func:`run_supervised`) receives
     ``("start", task)`` before every execution and ``("retry", task)``
@@ -164,28 +146,9 @@ def run_inline(
     (:class:`repro.obs.status.SweepStatus`) hangs off.  It runs in the
     supervising process only and never touches job payloads or results.
     """
-    for task in tasks:
-        while True:
-            task.attempts += 1
-            if on_event is not None:
-                on_event("start", task)
-            index, result = guard(compute, task.payload)
-            if "error" not in result:
-                result["attempts"] = task.attempts
-                finish(index, result)
-                break
-            if task.attempts <= policy.retries:
-                obs.get_registry().counter(
-                    RETRIES_COUNTER, figure=task.figure
-                ).inc()
-                if on_event is not None:
-                    on_event("retry", task)
-                time.sleep(policy.backoff_s(task.key, task.attempts))
-                continue
-            result["status"] = STATUS_FAILED
-            result["attempts"] = task.attempts
-            finish(index, result)
-            break
+    from .backends.serial import SerialBackend
+
+    SerialBackend().run(tasks, compute, policy, finish, on_event=on_event)
 
 
 def run_supervised(
@@ -196,167 +159,20 @@ def run_supervised(
     finish: Callable[[int, dict], None],
     on_event: Callable[[str, Task], None] | None = None,
 ) -> None:
-    """Run ``tasks`` over a supervised :class:`ProcessPoolExecutor`.
+    """Run ``tasks`` over a supervised pool (compatibility delegate).
 
-    Calls ``finish(index, result)`` exactly once per task, in completion
-    order.  ``result`` is either the worker's success dict or a failure
-    dict carrying ``status`` (``"failed"``/``"timeout"``), ``error``,
-    ``traceback`` (when available), ``wall_time_s``, and ``attempts``.
-
-    **Attribution on worker death:** a dead worker breaks every in-flight
-    future, so the guilty job cannot be told apart from bystanders in the
-    moment.  All suspects are *quarantined*: rerun one at a time, with
-    exclusive use of the pool, and without being charged an attempt.  A
-    quarantined job that breaks the pool alone is guilty beyond doubt and
-    charged; one that completes is released.  This terminates — every
-    pool break either charges exactly one job (bounded by the retry
-    budget) or shrinks the set of unquarantined jobs.
+    Now a thin wrapper over
+    :class:`~repro.runner.backends.LocalPoolBackend`, which carries the
+    supervision loop — broken-pool detection, quarantine-based guilt
+    attribution, timeout teardown with uncharged bystander resubmission —
+    unchanged.  Calls ``finish(index, result)`` exactly once per task, in
+    completion order; ``result`` is either the worker's success dict or a
+    failure dict carrying ``status`` (``"failed"``/``"timeout"``),
+    ``error``, ``traceback`` (when available), ``wall_time_s``, and
+    ``attempts``.
     """
-    queue: list[Task] = list(tasks)
-    sleeping: list[tuple[float, int, Task]] = []  # (due, tiebreak, task)
-    inflight: dict[Future, Task] = {}
-    quarantined: set[int] = set()  # task indices under solo suspicion
-    tick = itertools.count()
-    executor = ProcessPoolExecutor(
-        max_workers=workers, mp_context=_fork_context()
+    from .backends.local_pool import LocalPoolBackend
+
+    LocalPoolBackend(workers=workers).run(
+        tasks, compute, policy, finish, on_event=on_event
     )
-
-    def fail(task: Task, result: dict, status: str) -> None:
-        """Charge a failed attempt: reschedule or finalize the task."""
-        if task.attempts <= policy.retries:
-            obs.get_registry().counter(
-                RETRIES_COUNTER, figure=task.figure
-            ).inc()
-            if on_event is not None:
-                on_event("retry", task)
-            due = time.monotonic() + policy.backoff_s(task.key, task.attempts)
-            heapq.heappush(sleeping, (due, next(tick), task))
-            return
-        quarantined.discard(task.index)
-        result.setdefault("wall_time_s", time.monotonic() - task.started_at)
-        result["status"] = status
-        result["attempts"] = task.attempts
-        finish(task.index, result)
-
-    def submit(task: Task, charged: bool = True) -> None:
-        if charged:
-            task.attempts += 1
-        task.started_at = time.monotonic()
-        if on_event is not None:
-            on_event("start", task)
-        inflight[executor.submit(guard, compute, task.payload)] = task
-
-    def rebuild_pool() -> None:
-        nonlocal executor
-        _terminate(executor)
-        executor = ProcessPoolExecutor(
-            max_workers=workers, mp_context=_fork_context()
-        )
-
-    try:
-        while queue or sleeping or inflight:
-            now = time.monotonic()
-            while sleeping and sleeping[0][0] <= now:
-                queue.append(heapq.heappop(sleeping)[2])
-
-            # Submission, under the quarantine discipline: a quarantined
-            # task only runs alone, and nothing joins it mid-flight.
-            solo = any(t.index in quarantined for t in inflight.values())
-            if not solo:
-                ready = [t for t in queue if t.index in quarantined]
-                if ready:
-                    if not inflight:
-                        task = ready[0]
-                        queue.remove(task)
-                        submit(task)
-                    # else: drain the pool before the suspect runs solo.
-                else:
-                    while queue and len(inflight) < workers:
-                        submit(queue.pop(0))
-
-            if not inflight:
-                # Every task is in backoff: sleep until the first is due.
-                time.sleep(max(sleeping[0][0] - time.monotonic(), 0.0))
-                continue
-
-            wait_s: float | None = None
-            if policy.timeout_s is not None:
-                deadlines = [
-                    t.started_at + policy.timeout_s - now
-                    for t in inflight.values()
-                ]
-                wait_s = max(min(deadlines), 0.01)
-            if sleeping:
-                until_due = max(sleeping[0][0] - now, 0.01)
-                wait_s = until_due if wait_s is None else min(wait_s, until_due)
-            done, _ = wait(inflight, timeout=wait_s, return_when=FIRST_COMPLETED)
-
-            suspects: list[Task] = []
-            for future in done:
-                task = inflight.pop(future)
-                exc = future.exception()
-                if exc is None:
-                    index, result = future.result()
-                    if "error" in result:
-                        fail(task, result, STATUS_FAILED)
-                    else:
-                        quarantined.discard(task.index)
-                        result["attempts"] = task.attempts
-                        finish(index, result)
-                elif isinstance(exc, BrokenProcessPool):
-                    suspects.append(task)
-                else:
-                    fail(
-                        task,
-                        {"error": f"{type(exc).__name__}: {exc}"},
-                        STATUS_FAILED,
-                    )
-
-            if suspects:
-                # The pool broke: every remaining in-flight future is
-                # doomed too.  One suspect → guilty, charge it.  Several →
-                # quarantine them all, uncharged, for solo reruns.
-                suspects.extend(inflight.values())
-                inflight.clear()
-                if len(suspects) == 1:
-                    quarantined.add(suspects[0].index)
-                    fail(
-                        suspects[0],
-                        {"error": "worker process died before returning a "
-                                  "result (killed, crashed, or exited)"},
-                        STATUS_FAILED,
-                    )
-                else:
-                    for task in suspects:
-                        task.attempts -= 1
-                        quarantined.add(task.index)
-                        queue.append(task)
-                rebuild_pool()
-                continue
-
-            if policy.timeout_s is not None:
-                now = time.monotonic()
-                timed_out = [
-                    (future, task)
-                    for future, task in inflight.items()
-                    if now - task.started_at >= policy.timeout_s
-                ]
-                if timed_out:
-                    # A hung worker cannot be killed selectively: tear the
-                    # pool down, charge the timed-out jobs, and resubmit
-                    # the in-flight bystanders without charging them.
-                    for future, task in timed_out:
-                        del inflight[future]
-                        fail(
-                            task,
-                            {"error": f"job exceeded timeout of "
-                                      f"{policy.timeout_s:g}s"},
-                            STATUS_TIMEOUT,
-                        )
-                    for task in inflight.values():
-                        task.attempts -= 1
-                        queue.append(task)
-                    inflight.clear()
-                    rebuild_pool()
-    finally:
-        _terminate(executor)

@@ -48,6 +48,22 @@ def steady(seed: int = 0) -> Rows:
     return Rows([{"seed": seed, "value": seed * 2}])
 
 
+def wide(seed: int = 0, rows: int = 200, width: int = 8) -> Rows:
+    """Deterministically produces ``rows`` rows of ``width`` columns.
+
+    The bulk-data figure for streaming/bounded-memory tests: cheap to
+    compute, non-trivial to hold for a whole grid at once.
+    """
+    return Rows(
+        [
+            {"seed": seed, "i": i,
+             **{f"c{c}": (seed * 31 + i * 7 + c) % 1000
+                for c in range(width)}}
+            for i in range(rows)
+        ]
+    )
+
+
 BOOM = FigureSpec(name="test-boom", doc="always raises", fn=boom)
 SLEEPY = FigureSpec(
     name="test-sleepy", doc="sleeps sleep_s", fn=sleepy,
@@ -59,6 +75,16 @@ FLAKY = FigureSpec(
     params=(ParamSpec("marker", "", "attempt marker path", parse=str),),
 )
 STEADY = FigureSpec(name="test-steady", doc="always succeeds", fn=steady)
+WIDE = FigureSpec(
+    name="test-wide", doc="bulk deterministic rows", fn=wide,
+    params=(
+        ParamSpec("rows", 200, "rows to produce", parse=int),
+        ParamSpec("width", 8, "columns per row", parse=int),
+    ),
+)
+
+#: Every spec this module defines, for bulk (de)registration.
+ALL_SPECS = (BOOM, SLEEPY, DIE, FLAKY, STEADY, WIDE)
 
 
 @contextmanager
@@ -66,7 +92,10 @@ def registered(*specs: FigureSpec):
     """Temporarily add ``specs`` to the figure registry.
 
     Pool workers are forked after registration (the supervisor prefers
-    the ``fork`` start method), so they see the same registry.
+    the ``fork`` start method), so they see the same registry.  Fresh
+    ``repro worker`` subprocesses do NOT inherit it — pass
+    ``preload=["tests.runner.faulty:install"]`` to the subprocess backend
+    so each child re-registers via :func:`install`.
     """
     for spec in specs:
         figures._SPECS[spec.name] = spec
@@ -75,3 +104,37 @@ def registered(*specs: FigureSpec):
     finally:
         for spec in specs:
             figures._SPECS.pop(spec.name, None)
+
+
+#: Appended to by :func:`mark_preload`; lets protocol tests observe that
+#: a worker ran its preload hooks before the first job.
+PRELOAD_CALLS: list[str] = []
+
+
+def mark_preload() -> None:
+    """Record that a worker invoked its preload hooks."""
+    PRELOAD_CALLS.append("called")
+
+
+def protocol_compute(payload):
+    """Module-level compute for in-process worker-protocol tests.
+
+    Mirrors the engine contract: ``payload -> (index, result_dict)``,
+    raising when asked so :func:`repro.runner.supervisor.guard` has an
+    exception to convert.
+    """
+    index, value = payload[0], payload[1]
+    if value == "boom":
+        raise ValueError("boom from protocol_compute")
+    return index, {"status": "ok", "echo": value, "payload": repr(payload)}
+
+
+def install() -> None:
+    """Idempotently register every faulty spec (subprocess preload hook).
+
+    Invoked inside ``repro worker`` children via the init message's
+    ``preload`` entries, where :func:`registered`'s fork-inheritance
+    trick cannot reach.
+    """
+    for spec in ALL_SPECS:
+        figures._SPECS[spec.name] = spec

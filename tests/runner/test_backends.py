@@ -1,0 +1,202 @@
+"""Unit tests for the backend spec grammar and the stdio worker protocol.
+
+The conformance suite (``test_backend_conformance.py``) proves the
+backends behave identically end-to-end; this file covers the seams —
+spec parsing, backend resolution, and the child-side protocol loop run
+in-process against ``StringIO`` pipes.
+"""
+
+import json
+from io import StringIO
+
+import pytest
+
+from repro.runner import (
+    BACKEND_ENV,
+    LocalPoolBackend,
+    SerialBackend,
+    SubprocessWorkerBackend,
+    parse_backend_spec,
+    resolve_backend,
+)
+from repro.runner.backends.subprocess_worker import compute_spec
+from repro.runner.worker import _as_payload, resolve_callable, worker_main
+
+from . import faulty
+
+
+class TestParseBackendSpec:
+    def test_bare_name(self):
+        assert parse_backend_spec("serial") == ("serial", None)
+
+    def test_name_with_workers(self):
+        assert parse_backend_spec("subprocess:4") == ("subprocess", 4)
+
+    def test_case_and_whitespace_are_forgiven(self):
+        assert parse_backend_spec("  Local-Pool:8 ") == ("local-pool", 8)
+
+    def test_empty_spec_rejected(self):
+        with pytest.raises(ValueError, match="NAME\\[:WORKERS\\]"):
+            parse_backend_spec("   ")
+
+    def test_non_numeric_workers_rejected(self):
+        with pytest.raises(ValueError, match="bad worker count"):
+            parse_backend_spec("serial:many")
+
+    def test_zero_workers_rejected(self):
+        with pytest.raises(ValueError, match="at least 1 worker"):
+            parse_backend_spec("local-pool:0")
+
+
+class TestResolveBackend:
+    def test_instance_passes_through(self):
+        backend = SerialBackend()
+        assert resolve_backend(backend) is backend
+
+    def test_none_without_env_means_auto(self):
+        assert resolve_backend(None, env={}) is None
+
+    def test_auto_spec_means_auto(self):
+        assert resolve_backend("auto", env={}) is None
+
+    def test_env_supplies_default(self):
+        backend = resolve_backend(None, env={BACKEND_ENV: "subprocess:3"})
+        assert isinstance(backend, SubprocessWorkerBackend)
+        assert backend.workers == 3
+
+    def test_explicit_spec_beats_env(self):
+        backend = resolve_backend("serial", env={BACKEND_ENV: "subprocess"})
+        assert isinstance(backend, SerialBackend)
+
+    def test_spec_workers_beat_jobs_workers(self):
+        backend = resolve_backend("local-pool:5", workers=2)
+        assert isinstance(backend, LocalPoolBackend)
+        assert backend.workers == 5
+
+    def test_jobs_workers_fill_in(self):
+        backend = resolve_backend("local-pool", workers=3)
+        assert backend.workers == 3
+
+    def test_subprocess_defaults_to_two_workers(self):
+        backend = resolve_backend("subprocess", env={})
+        assert isinstance(backend, SubprocessWorkerBackend)
+        assert backend.workers == 2
+
+    def test_unknown_backend_lists_options(self):
+        with pytest.raises(ValueError, match="serial, local-pool"):
+            resolve_backend("quantum", env={})
+
+
+class TestComputeSpec:
+    def test_module_level_function_round_trips(self):
+        spec = compute_spec(faulty.protocol_compute)
+        assert spec == "tests.runner.faulty:protocol_compute"
+        assert resolve_callable(spec) is faulty.protocol_compute
+
+    def test_lambda_rejected(self):
+        with pytest.raises(ValueError, match="not importable by name"):
+            compute_spec(lambda payload: payload)
+
+    def test_local_function_rejected(self):
+        def local(payload):
+            return payload
+
+        with pytest.raises(ValueError, match="not importable by name"):
+            compute_spec(local)
+
+
+class TestResolveCallable:
+    def test_bad_spec_shape(self):
+        with pytest.raises(ValueError, match="module:qualname"):
+            resolve_callable("no-colon-here")
+
+    def test_non_callable_target(self):
+        with pytest.raises(TypeError, match="non-callable"):
+            resolve_callable("tests.runner.faulty:ALL_SPECS")
+
+
+class TestPayloadRoundTrip:
+    def test_lists_become_tuples(self):
+        assert _as_payload([0, "fig", 1]) == (0, "fig", 1)
+
+    def test_param_pairs_become_tuple_of_tuples(self):
+        raw = [3, "fig", [["a", 1], ["b", "x"]]]
+        assert _as_payload(raw) == (3, "fig", (("a", 1), ("b", "x")))
+
+    def test_non_list_passes_through(self):
+        assert _as_payload({"already": "decoded"}) == {"already": "decoded"}
+
+
+def drive_worker(*messages):
+    """Run ``worker_main`` in-process over StringIO pipes."""
+    stdin = StringIO("".join(json.dumps(m) + "\n" for m in messages))
+    out = StringIO()
+    code = worker_main(stdin=stdin, protocol_out=out)
+    replies = [json.loads(line) for line in out.getvalue().splitlines()]
+    return code, replies
+
+
+INIT = {
+    "type": "init",
+    "sys_path": [],
+    "preload": [],
+    "compute": "tests.runner.faulty:protocol_compute",
+}
+
+
+class TestWorkerProtocol:
+    def test_init_job_shutdown_happy_path(self):
+        code, replies = drive_worker(
+            INIT,
+            {"type": "job", "payload": [0, "hello"]},
+            {"type": "shutdown"},
+        )
+        assert code == 0
+        assert replies[0] == {"type": "ready"}
+        assert replies[1]["type"] == "result"
+        assert replies[1]["index"] == 0
+        assert replies[1]["result"]["echo"] == "hello"
+
+    def test_figure_exception_becomes_failure_result(self):
+        code, replies = drive_worker(
+            INIT,
+            {"type": "job", "payload": [7, "boom"]},
+            {"type": "shutdown"},
+        )
+        assert code == 0
+        result = replies[1]["result"]
+        assert replies[1]["index"] == 7
+        assert "boom from protocol_compute" in result["error"]
+        assert "ValueError" in result["traceback"]
+
+    def test_multiple_jobs_processed_in_order(self):
+        code, replies = drive_worker(
+            INIT,
+            {"type": "job", "payload": [1, "a"]},
+            {"type": "job", "payload": [2, "b"]},
+            {"type": "shutdown"},
+        )
+        assert [r["index"] for r in replies[1:]] == [1, 2]
+
+    def test_preload_hooks_run_before_first_job(self):
+        before = len(faulty.PRELOAD_CALLS)
+        init = dict(INIT, preload=["tests.runner.faulty:mark_preload"])
+        code, replies = drive_worker(init, {"type": "shutdown"})
+        assert code == 0
+        assert replies == [{"type": "ready"}]
+        assert len(faulty.PRELOAD_CALLS) == before + 1
+
+    def test_job_before_init_is_a_protocol_error(self):
+        with pytest.raises(RuntimeError, match="'job' before 'init'"):
+            drive_worker({"type": "job", "payload": [0, "x"]})
+
+    def test_unknown_message_is_a_protocol_error(self):
+        with pytest.raises(RuntimeError, match="unknown message"):
+            drive_worker(INIT, {"type": "dance"})
+
+    def test_eof_without_shutdown_exits_cleanly(self):
+        # A dying parent just closes the pipe; the child must not hang
+        # or traceback.
+        code, replies = drive_worker(INIT)
+        assert code == 0
+        assert replies == [{"type": "ready"}]

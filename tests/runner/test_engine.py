@@ -7,12 +7,14 @@ import pytest
 from repro.runner import (
     MANIFEST_SCHEMA,
     MANIFEST_SCHEMA_V1,
+    JobGrid,
     ResultCache,
     RunManifest,
     ensure_writable_dir,
     expand_grid,
     make_job,
     run_jobs,
+    shard_jobs,
 )
 
 #: A cheap two-figure workload used throughout (sub-second per job).
@@ -71,6 +73,71 @@ class TestGridExpansion:
         assert a == b and hash(a) == hash(b)
         assert a.key() == b.key()
         assert a.key() != make_job("fig4-delay", params={"cycles": 31}).key()
+
+
+class TestLazyGrid:
+    """expand_grid returns a lazy JobGrid; consumers must never rely on
+    it being a list."""
+
+    def test_expand_grid_returns_job_grid(self):
+        grid = expand_grid(["fig1"], seeds=[0, 1])
+        assert isinstance(grid, JobGrid)
+        assert "2 jobs" in repr(grid)
+
+    def test_len_is_arithmetic_not_materialization(self):
+        # A million-cell grid sizes instantly because __len__ multiplies
+        # plan dimensions instead of generating cells.
+        grid = expand_grid(["fig1"], seeds=range(1_000_000))
+        assert len(grid) == 1_000_000
+
+    def test_reiteration_yields_identical_jobs(self):
+        grid = expand_grid(
+            ["fig1", "fig4-delay"], seeds=[0, 1], grid={"cycles": [30, 60]}
+        )
+        assert list(grid) == list(grid)
+        assert grid == list(grid)
+
+    def test_indexing_and_slicing(self):
+        grid = expand_grid(["fig1"], seeds=[0, 1, 2])
+        jobs = list(grid)
+        assert grid[0] == jobs[0]
+        assert grid[-1] == jobs[-1]
+        assert grid[1:3] == jobs[1:3]
+        with pytest.raises(IndexError):
+            grid[3]
+
+    def test_run_jobs_accepts_one_shot_iterators(self):
+        jobs = list(expand_grid(["fig1"], seeds=[0, 1]))
+        result = run_jobs(iter(jobs), workers=1)
+        assert result.ok
+        assert len(result.outcomes) == 2
+
+    def test_shard_jobs_consumes_a_lazy_grid_in_one_pass(self):
+        grid = expand_grid(["fig1"], seeds=range(7))
+        parts = shard_jobs(iter(grid), 3)
+        assert [len(p) for p in parts] == [3, 2, 2]
+        assert sorted(
+            (j.figure, j.seed) for part in parts for j in part
+        ) == sorted((j.figure, j.seed) for j in grid)
+
+    def test_shard_jobs_rejects_zero_shards(self):
+        with pytest.raises(ValueError, match="shards"):
+            shard_jobs([], 0)
+
+    def test_resume_consumes_the_grid_twice(self, tmp_path):
+        grid = expand_grid(["fig1", "fig4-delay"], grid=CHEAP_GRID)
+        checkpoint = tmp_path / "manifest.json"
+        cache = ResultCache(tmp_path / "cache")
+        first = run_jobs(
+            grid, workers=1, cache=cache, checkpoint=checkpoint
+        )
+        assert first.ok
+        # Second pass re-iterates the same JobGrid instance.
+        resumed = run_jobs(
+            grid, workers=1, cache=cache, resume_from=checkpoint
+        )
+        assert resumed.ok
+        assert all(r.cached for r in resumed.manifest.records)
 
 
 class TestRunJobs:

@@ -1,0 +1,207 @@
+"""Streaming row storage: chunk files, LazyRows, and bounded memory.
+
+Covers the :mod:`repro.runner.rowstream` primitives in isolation, then
+the property the whole machinery exists for: a streamed sweep's peak
+memory stays flat as the grid grows, instead of scaling with
+(cells × rows-per-cell) the way in-memory results do.
+"""
+
+import json
+import tracemalloc
+
+import pytest
+
+from repro.figures import Rows
+from repro.runner import (
+    DEFAULT_CHUNK_ROWS,
+    LazyRows,
+    SerialBackend,
+    iter_chunk_rows,
+    make_job,
+    run_jobs,
+    write_row_chunks,
+)
+from repro.runner.rowstream import chunk_dir, chunk_name
+
+from .faulty import WIDE, registered, wide
+
+KEY = "ab12cd34" * 8  # shaped like a real SHA-256 job key
+
+
+def sample_rows(n):
+    return [{"i": i, "sq": i * i} for i in range(n)]
+
+
+class TestWriteRowChunks:
+    def test_rows_split_into_fixed_size_chunks(self, tmp_path):
+        paths, count = write_row_chunks(
+            tmp_path, KEY, sample_rows(10), chunk_rows=4
+        )
+        assert count == 10
+        assert [p.name for p in paths] == [
+            chunk_name(KEY, 0), chunk_name(KEY, 1), chunk_name(KEY, 2),
+        ]
+        assert all(p.parent == chunk_dir(tmp_path, KEY) for p in paths)
+        sizes = [len(p.read_text().splitlines()) for p in paths]
+        assert sizes == [4, 4, 2]
+
+    def test_chunks_are_valid_jsonl(self, tmp_path):
+        paths, _ = write_row_chunks(
+            tmp_path, KEY, sample_rows(3), chunk_rows=2
+        )
+        rows = [
+            json.loads(line)
+            for p in paths
+            for line in p.read_text().splitlines()
+        ]
+        assert rows == sample_rows(3)
+
+    def test_no_temp_files_left_behind(self, tmp_path):
+        write_row_chunks(tmp_path, KEY, sample_rows(7), chunk_rows=3)
+        leftovers = [
+            p for p in tmp_path.rglob("*") if ".tmp." in p.name
+        ]
+        assert leftovers == []
+
+    def test_consumes_a_generator_once(self, tmp_path):
+        pulls = []
+
+        def produce():
+            for i in range(5):
+                pulls.append(i)
+                yield {"i": i}
+
+        paths, count = write_row_chunks(tmp_path, KEY, produce(), chunk_rows=2)
+        assert count == 5
+        assert pulls == [0, 1, 2, 3, 4]
+        assert list(iter_chunk_rows(paths)) == [{"i": i} for i in range(5)]
+
+    def test_empty_rows_write_nothing(self, tmp_path):
+        paths, count = write_row_chunks(tmp_path, KEY, [])
+        assert paths == []
+        assert count == 0
+
+    def test_chunk_rows_must_be_positive(self, tmp_path):
+        with pytest.raises(ValueError, match="chunk_rows"):
+            write_row_chunks(tmp_path, KEY, sample_rows(1), chunk_rows=0)
+
+
+class TestLazyRows:
+    @pytest.fixture
+    def lazy(self, tmp_path):
+        paths, count = write_row_chunks(
+            tmp_path, KEY, sample_rows(9), chunk_rows=4
+        )
+        return LazyRows(paths, count)
+
+    def test_len_and_bool_use_recorded_count(self, lazy):
+        assert len(lazy) == 9
+        assert bool(lazy)
+        assert not LazyRows([], 0)
+
+    def test_iteration_streams_in_order(self, lazy):
+        assert list(lazy) == sample_rows(9)
+        assert list(lazy) == sample_rows(9)  # re-iterable
+
+    def test_indexing_and_slicing(self, lazy):
+        assert lazy[0] == {"i": 0, "sq": 0}
+        assert lazy[-1] == {"i": 8, "sq": 64}
+        assert lazy[2:4] == sample_rows(9)[2:4]
+        with pytest.raises(IndexError):
+            lazy[9]
+
+    def test_equality_against_lists_and_rows(self, lazy):
+        assert lazy == sample_rows(9)
+        assert not (lazy == sample_rows(8))
+
+    def test_rendering_matches_eager_rows(self, lazy):
+        eager = Rows(sample_rows(9))
+        assert lazy.to_csv() == eager.to_csv()
+        assert lazy.to_json(indent=2) == eager.to_json(indent=2)
+        assert lazy.to_table() == eager.to_table()
+        assert lazy.render("csv") == eager.render("csv")
+
+    def test_empty_lazy_rows_render(self):
+        empty = LazyRows([], 0)
+        assert empty.to_csv() == ""
+        assert empty.to_json() == "[]"
+
+    def test_materialize_returns_eager_rows(self, lazy):
+        rows = lazy.materialize()
+        assert isinstance(rows, Rows)
+        assert rows == sample_rows(9)
+
+    def test_default_chunk_size_is_sane(self):
+        assert DEFAULT_CHUNK_ROWS >= 16
+
+
+class TestBoundedMemory:
+    """The regression guard: streamed peak memory must not scale with
+    the grid, and must undercut the in-memory equivalent.
+
+    Uses the deterministic bulk-data WIDE figure on the serial backend so
+    every allocation happens in this process where tracemalloc sees it.
+    """
+
+    ROWS = 400
+
+    def _sweep(self, tmp_path, label, seeds, stream):
+        jobs = [
+            make_job("test-wide", seed=s, params={"rows": self.ROWS})
+            for s in range(seeds)
+        ]
+        kwargs = {}
+        if stream:
+            kwargs = dict(
+                stream_rows=tmp_path / f"rows-{label}", chunk_rows=64
+            )
+        tracemalloc.start()
+        try:
+            result = run_jobs(
+                jobs, workers=1, backend=SerialBackend(), **kwargs
+            )
+            _, peak = tracemalloc.get_traced_memory()
+        finally:
+            tracemalloc.stop()
+        assert result.ok
+        return peak
+
+    def test_streamed_peak_stays_flat_as_grid_grows(self, tmp_path):
+        # Warm up imports/caches so the first measurement isn't inflated.
+        self._sweep(tmp_path, "warmup", seeds=1, stream=True)
+        small = self._sweep(tmp_path, "small", seeds=2, stream=True)
+        large = self._sweep(tmp_path, "large", seeds=12, stream=True)
+        # 6x the cells must cost well under 6x the peak; 3x is a
+        # generous ceiling that still catches accidental accumulation.
+        assert large < small * 3, (
+            f"streamed peak grew with the grid: {small} -> {large} bytes"
+        )
+
+    def test_streaming_undercuts_in_memory_peak(self, tmp_path):
+        self._sweep(tmp_path, "warmup2", seeds=1, stream=True)
+        streamed = self._sweep(tmp_path, "streamed", seeds=12, stream=True)
+        in_memory = self._sweep(tmp_path, "eager", seeds=12, stream=False)
+        assert streamed < in_memory, (
+            f"streaming should be cheaper: streamed={streamed} "
+            f"in_memory={in_memory} bytes"
+        )
+
+    def test_streamed_rows_identical_to_in_memory(self, tmp_path):
+        jobs = [
+            make_job("test-wide", seed=s, params={"rows": 50})
+            for s in range(3)
+        ]
+        eager = run_jobs(jobs, workers=1, backend=SerialBackend())
+        lazy = run_jobs(
+            jobs, workers=1, backend=SerialBackend(),
+            stream_rows=tmp_path / "rows", chunk_rows=16,
+        )
+        for left, right in zip(eager.outcomes, lazy.outcomes):
+            assert isinstance(right.rows, LazyRows)
+            assert right.rows == list(wide(right.job.seed, rows=50))
+            assert left.rows.to_csv() == right.rows.to_csv()
+
+    @pytest.fixture(autouse=True)
+    def _wide_registered(self):
+        with registered(WIDE):
+            yield
