@@ -23,6 +23,6 @@ See ``DESIGN.md`` for the per-experiment index and ``EXPERIMENTS.md`` for
 paper-vs-measured results.
 """
 
-__version__ = "1.8.0"
+__version__ = "1.9.0"
 
 __all__ = ["__version__"]

@@ -156,6 +156,17 @@ def _add_status_args(sub: argparse.ArgumentParser) -> None:
         "--no-status", action="store_true",
         help="disable the live status heartbeat",
     )
+    sub.add_argument(
+        "--sweeptrace", nargs="?", const="auto", default=None,
+        metavar="FILE",
+        help=(
+            "record the sweep control plane's distributed trace "
+            "(submission, attempts, retries, worker lifecycle, "
+            "checkpoints, cache hits) to FILE (default: "
+            "sweep.events.jsonl next to the manifest; see "
+            "'repro obs timeline')"
+        ),
+    )
 
 
 def _add_cache_args(sub: argparse.ArgumentParser) -> None:
@@ -314,25 +325,28 @@ def build_parser() -> argparse.ArgumentParser:
         "obs",
         help=(
             "observability: summarize a run manifest, 'tail' a running "
-            "sweep's status heartbeat, or inspect 'telemetry' / 'flight' "
-            "snapshots"
+            "sweep's status heartbeat, render a sweep 'timeline', or "
+            "inspect 'telemetry' / 'flight' snapshots"
         ),
     )
     sub.add_argument(
-        "target", metavar="MANIFEST|tail|telemetry|flight",
+        "target", metavar="RUN|tail|timeline|telemetry|flight",
         help=(
-            "manifest JSON written by 'repro sweep'/'repro all'; or the "
-            "literal 'tail' to watch a live sweep; or 'telemetry' / "
-            "'flight' to render *.telemetry.json snapshots written by "
-            "--telemetry"
+            "manifest JSON (or run directory) written by 'repro sweep'/"
+            "'repro all'; or the literal 'tail' to watch a live sweep; "
+            "'timeline' to render the control-plane Gantt + critical "
+            "path from a --sweeptrace run; or 'telemetry' / 'flight' to "
+            "render *.telemetry.json snapshots written by --telemetry"
         ),
     )
     sub.add_argument(
         "tail_path", nargs="?", type=Path, default=None, metavar="PATH",
         help=(
             "with 'tail': the status.json (or the sweep's run directory "
-            "holding one); with 'telemetry'/'flight': a .telemetry.json "
-            "file or the telemetry directory; default: current directory"
+            "holding one); with 'timeline': the run directory (or its "
+            "sweep.events.jsonl); with 'telemetry'/'flight': a "
+            ".telemetry.json file or the telemetry directory; default: "
+            "current directory"
         ),
     )
     sub.add_argument(
@@ -346,6 +360,13 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_argument(
         "--interval", type=float, default=0.5, metavar="SEC",
         help="with 'tail --follow': polling interval (default: 0.5)",
+    )
+    sub.add_argument(
+        "--chrome", type=Path, default=None, metavar="OUT",
+        help=(
+            "with 'timeline': also merge the engine events and per-job "
+            "Chrome traces into one cross-process trace file at OUT"
+        ),
     )
 
     sub = subparsers.add_parser(
@@ -542,6 +563,21 @@ def _telemetry_kwargs(
     }
 
 
+def _sweeptrace_kwargs(
+    args: argparse.Namespace, *bases: Path | None
+) -> dict[str, Any]:
+    """Resolve ``--sweeptrace [FILE]`` against the run directory."""
+    choice = getattr(args, "sweeptrace", None)
+    if choice is None:
+        return {}
+    if choice != "auto":
+        return {"sweeptrace": Path(choice)}
+    from .obs.sweeptrace import EVENTS_FILENAME
+
+    base = next((Path(b) for b in bases if b is not None), Path("."))
+    return {"sweeptrace": base / EVENTS_FILENAME}
+
+
 def _resilience_kwargs(args: argparse.Namespace) -> dict[str, Any]:
     resume = getattr(args, "resume", None)
     return {
@@ -617,6 +653,7 @@ def _run_all(args: argparse.Namespace) -> int:
         status_path=_status_path(args, out_dir),
         **_backend_kwargs(args),
         **_telemetry_kwargs(args, out_dir),
+        **_sweeptrace_kwargs(args, out_dir),
         **_resilience_kwargs(args),
     )
     for outcome in result.outcomes:
@@ -687,6 +724,11 @@ def _run_sweep(args: argparse.Namespace) -> int:
             out_dir,
             manifest_path.parent if manifest_path is not None else None,
         ),
+        **_sweeptrace_kwargs(
+            args,
+            out_dir,
+            manifest_path.parent if manifest_path is not None else None,
+        ),
         **_resilience_kwargs(args),
     )
     if out_dir is not None:
@@ -734,15 +776,35 @@ def _job_label(record: JobRecord) -> str:
     return " ".join(parts)
 
 
+def _run_obs_timeline(args: argparse.Namespace) -> int:
+    """``repro obs timeline RUN_DIR [--chrome OUT]``."""
+    from .obs import sweeptrace as st
+
+    target = getattr(args, "tail_path", None) or Path(".")
+    events_path = st.resolve_events_path(target)
+    timeline = st.build_timeline(st.load_events(events_path))
+    segments = st.critical_path(timeline)
+    print(st.format_timeline(timeline, segments))
+    chrome = getattr(args, "chrome", None)
+    if chrome is not None:
+        count = st.write_merged_chrome(events_path, chrome)
+        print(f"\nwrote {chrome} ({count} trace events)")
+    return 0
+
+
 def _run_obs(args: argparse.Namespace) -> int:
     target = getattr(args, "target", None)
     if target == "tail":
         return _run_obs_tail(args)
+    if target == "timeline":
+        return _run_obs_timeline(args)
     if target == "telemetry":
         return _run_obs_telemetry(args)
     if target == "flight":
         return _run_obs_flight(args)
     path = Path(args.target)
+    if path.is_dir():
+        path = path / "manifest.json"
     try:
         manifest = RunManifest.load(path)
     except OSError as exc:
@@ -765,6 +827,31 @@ def _run_obs(args: argparse.Namespace) -> int:
             f"  {_job_label(record)}: {record.status.upper()} after "
             f"{record.attempts} attempt(s): {record.error or '?'}"
         )
+    slowest = sorted(
+        (record for record in records if not record.cached),
+        key=lambda record: record.wall_time_s,
+        reverse=True,
+    )[:5]
+    if slowest:
+        print("\nslowest jobs:")
+        table = [("job", "wall", "attempts", "backend")] + [
+            (
+                _job_label(record),
+                f"{record.wall_time_s:.2f}s",
+                str(record.attempts),
+                record.backend or "-",
+            )
+            for record in slowest
+        ]
+        widths = [
+            max(len(row[col]) for row in table) for col in range(4)
+        ]
+        for row in table:
+            print(
+                "  " + "  ".join(
+                    cell.ljust(width) for cell, width in zip(row, widths)
+                ).rstrip()
+            )
     if not observed:
         print(
             "  (no metrics in this manifest; rerun the sweep with "

@@ -62,7 +62,7 @@ from .telemetry import (
 from .tracing import NULL_TRACER, NullTracer, SIM_TRACK, Span, Tracer
 
 #: Cross-run submodules resolved on first attribute access.
-_LAZY_SUBMODULES = ("history", "report", "status")
+_LAZY_SUBMODULES = ("history", "report", "status", "sweeptrace")
 
 
 def __getattr__(name: str):

@@ -17,6 +17,10 @@ markdown with byte-stable tables, suitable for golden-snapshot testing:
 - a **network telemetry** section (postcard counts, top congested queues,
   per-link utilization) when the sweep ran with ``--telemetry``
   (:mod:`repro.obs.telemetry`),
+- a **"Where the time went"** section when the sweep ran with
+  ``--sweeptrace``: the critical-path phase breakdown (queue / spawn /
+  compute / retry / checkpoint / idle) from ``sweep.events.jsonl`` plus
+  per-job queue/compute timings from the manifest's PR-10 fields,
 - a **failure/retry timeline** from the supervisor's v3 attempt fields,
 - **chaos campaign verdicts** when the sweep contained ``chaos-*`` cells.
 
@@ -42,6 +46,14 @@ from ..core.requirements import (
 from ..runner.manifest import JobRecord, RunManifest
 from ..simcore.units import MS, US
 from .metrics import sorted_histogram_items
+from .sweeptrace import (
+    EVENTS_FILENAME,
+    PHASES,
+    build_timeline,
+    critical_path,
+    load_events,
+    phase_breakdown,
+)
 
 #: How many merged hot-spot rows the report shows.
 DEFAULT_TOP_HOTSPOTS = 10
@@ -204,6 +216,9 @@ class RunReport:
         default_factory=dict
     )
     top_hotspots: int = DEFAULT_TOP_HOTSPOTS
+    #: ``sweep.events.jsonl`` events when the sweep ran with
+    #: ``--sweeptrace`` (``None`` otherwise).
+    sweep_events: list[dict[str, Any]] | None = None
 
     # -- derived sections --------------------------------------------------
 
@@ -303,6 +318,21 @@ class RunReport:
             for link in (record.telemetry or {}).get("links", []):
                 out.append({"job": job_label(record), **link})
         return out
+
+    def timing_records(self) -> list[JobRecord]:
+        """Jobs carrying PR-10 queue/compute timings, in job order."""
+        return [
+            record
+            for record in self.manifest.records
+            if record.queue_s is not None or record.compute_s is not None
+        ]
+
+    def sweep_phases(self) -> dict[str, float] | None:
+        """Critical-path phase breakdown from the sweep trace, if any."""
+        if not self.sweep_events:
+            return None
+        timeline = build_timeline(self.sweep_events)
+        return phase_breakdown(critical_path(timeline))
 
     def retry_timeline(self) -> list[JobRecord]:
         """Jobs that failed, timed out, or needed more than one attempt."""
@@ -421,6 +451,39 @@ class RunReport:
                         f"| {l['job']} | {l['port']} | {l['tx_bytes']} "
                         f"| {_fmt_ns(l['busy_ns'])} "
                         f"| {_fmt_util(l.get('utilization'))} |"
+                    )
+        phases = self.sweep_phases()
+        timed = self.timing_records()
+        if phases is not None or timed:
+            lines += ["", "## Where the time went", ""]
+            if phases is not None:
+                total = sum(phases.values())
+                lines += [
+                    "| phase | time | share |",
+                    "| --- | --- | --- |",
+                ]
+                for phase in PHASES:
+                    seconds = phases.get(phase, 0.0)
+                    if seconds <= 0 and phase != "compute":
+                        continue
+                    share = (seconds / total * 100) if total else 0.0
+                    lines.append(
+                        f"| {phase} | {_fmt_s(seconds)} | {share:.1f}% |"
+                    )
+                lines.append(f"| total | {_fmt_s(total)} | 100.0% |")
+            if timed:
+                lines += [
+                    "",
+                    "| job | queue | compute | wall | attempts |",
+                    "| --- | --- | --- | --- | --- |",
+                ]
+                for record in timed:
+                    lines.append(
+                        f"| {job_label(record)} "
+                        f"| {_fmt_s(record.queue_s or 0.0)} "
+                        f"| {_fmt_s(record.compute_s or 0.0)} "
+                        f"| {_fmt_s(record.wall_time_s)} "
+                        f"| {record.attempts} |"
                     )
         lines += ["", "## Failures and retries", ""]
         timeline = self.retry_timeline()
@@ -580,6 +643,37 @@ class RunReport:
                         ],
                     )
                 )
+        phases = self.sweep_phases()
+        timed = self.timing_records()
+        if phases is not None or timed:
+            sections.append("<h2>Where the time went</h2>")
+            if phases is not None:
+                total = sum(phases.values())
+                phase_rows = []
+                for phase in PHASES:
+                    seconds = phases.get(phase, 0.0)
+                    if seconds <= 0 and phase != "compute":
+                        continue
+                    share = (seconds / total * 100) if total else 0.0
+                    phase_rows.append(
+                        [phase, _fmt_s(seconds), f"{share:.1f}%"]
+                    )
+                phase_rows.append(["total", _fmt_s(total), "100.0%"])
+                sections.append(
+                    table(["phase", "time", "share"], phase_rows)
+                )
+            if timed:
+                sections.append(
+                    table(
+                        ["job", "queue", "compute", "wall", "attempts"],
+                        [
+                            [job_label(r), _fmt_s(r.queue_s or 0.0),
+                             _fmt_s(r.compute_s or 0.0),
+                             _fmt_s(r.wall_time_s), r.attempts]
+                            for r in timed
+                        ],
+                    )
+                )
         sections.append("<h2>Failures and retries</h2>")
         timeline = self.retry_timeline()
         if timeline:
@@ -716,9 +810,17 @@ def build_report(
             rows = _load_rows_chunks(record.row_chunks, base)
             if rows is not None:
                 rows_by_index[index] = rows
+    sweep_events = None
+    events_path = base / EVENTS_FILENAME
+    if events_path.exists():
+        try:
+            sweep_events = load_events(events_path) or None
+        except OSError:
+            sweep_events = None
     return RunReport(
         source=base.name or str(base),
         manifest=manifest,
         rows_by_index=rows_by_index,
         top_hotspots=top_hotspots,
+        sweep_events=sweep_events,
     )

@@ -74,6 +74,10 @@ class Tracer:
         self.events: list[dict[str, Any]] = []
         self.pid = os.getpid()
         self._epoch_ns = time.perf_counter_ns()
+        # Wall-clock birth time of this tracer: the anchor the sweep-trace
+        # merger uses to shift this process's (perf-counter-relative)
+        # events onto the supervising process's absolute timeline.
+        self.epoch_unix = time.time()
         # Name the process track so Perfetto shows something readable.
         self.events.append(
             {
@@ -165,6 +169,7 @@ class Tracer:
         return {
             "traceEvents": self.events,
             "displayTimeUnit": "ms",
+            "otherData": {"epoch_unix": round(self.epoch_unix, 6)},
         }
 
     def write_chrome(self, path) -> int:

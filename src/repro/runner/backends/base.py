@@ -72,9 +72,20 @@ class ExecutorBackend(Protocol):
         compute: Callable[[Any], tuple[int, dict]],
         policy: RetryPolicy,
         finish: Callable[[int, dict], None],
-        on_event: Callable[[str, Task], None] | None = None,
+        on_event: Callable[..., None] | None = None,
     ) -> None:
-        """Execute ``tasks``, calling ``finish`` exactly once per task."""
+        """Execute ``tasks``, calling ``finish`` exactly once per task.
+
+        ``on_event(kind, task, info=None)`` is the engine's lifecycle
+        channel.  Kinds every backend emits: ``"start"`` (before each
+        attempt), ``"retry"`` (``info={"delay_s": ...}``) and
+        ``"attempt_end"`` (``info={"outcome", "wall_s", "error"}``) —
+        both via :func:`charge_failure` — plus ``"attempt_end"`` with
+        ``outcome="preempted"`` for uncharged bystander reruns.  The
+        subprocess backend additionally emits worker-lifecycle events
+        (``"worker_spawn"``/``"worker_ready"``/``"worker_dead"``) with
+        ``task=None``.
+        """
         ...
 
 
@@ -83,9 +94,11 @@ def charge_failure(
     result: dict,
     status: str,
     policy: RetryPolicy,
-    finish: Callable[[int, dict], None],
-    on_event: Callable[[str, Task], None] | None,
+    finish: Callable[..., None],
+    on_event: Callable[..., None] | None,
     reschedule: Callable[[Task, float], None],
+    *,
+    release: Callable[[Task], None] | None = None,
 ) -> None:
     """Shared retry bookkeeping: reschedule with backoff, or finalize.
 
@@ -93,15 +106,34 @@ def charge_failure(
     increment the retry counter, fire ``on_event("retry")``, and hand the
     backend a backend-specific ``reschedule(task, delay_s)`` — extracted
     so Serial/Subprocess backends cannot drift from the local pool.
+
+    Every charged attempt closes with ``on_event("attempt_end", task,
+    {...})`` carrying the outcome, so the sweep trace sees failed and
+    timed-out attempts exactly like successful ones.  ``release`` is a
+    backend hook invoked just before a task is finalized (the local pool
+    lifts its quarantine there).
     """
+    if on_event is not None:
+        on_event(
+            "attempt_end",
+            task,
+            {
+                "outcome": status,
+                "wall_s": result.get("wall_time_s"),
+                "error": result.get("error"),
+            },
+        )
     if task.attempts <= policy.retries:
         obs.get_registry().counter(
             RETRIES_COUNTER, figure=task.figure
         ).inc()
+        delay_s = policy.backoff_s(task.key, task.attempts)
         if on_event is not None:
-            on_event("retry", task)
-        reschedule(task, policy.backoff_s(task.key, task.attempts))
+            on_event("retry", task, {"delay_s": delay_s})
+        reschedule(task, delay_s)
         return
+    if release is not None:
+        release(task)
     result["status"] = status
     result["attempts"] = task.attempts
     finish(task.index, result)

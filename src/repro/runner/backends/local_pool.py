@@ -24,15 +24,14 @@ from concurrent.futures import (
 from concurrent.futures.process import BrokenProcessPool
 from typing import Any, Callable, Sequence
 
-from ... import obs
 from ..supervisor import (
-    RETRIES_COUNTER,
     STATUS_FAILED,
     STATUS_TIMEOUT,
     RetryPolicy,
     Task,
     guard,
 )
+from .base import charge_failure
 
 
 def _fork_context():
@@ -83,7 +82,7 @@ class LocalPoolBackend:
         compute: Callable[[Any], tuple[int, dict]],
         policy: RetryPolicy,
         finish: Callable[[int, dict], None],
-        on_event: Callable[[str, Task], None] | None = None,
+        on_event: Callable[..., None] | None = None,
     ) -> None:
         workers = self.workers
         queue: list[Task] = list(tasks)
@@ -95,26 +94,32 @@ class LocalPoolBackend:
             max_workers=workers, mp_context=_fork_context()
         )
 
+        def reschedule(task: Task, delay_s: float) -> None:
+            heapq.heappush(
+                sleeping, (time.monotonic() + delay_s, next(tick), task)
+            )
+
         def fail(task: Task, result: dict, status: str) -> None:
             """Charge a failed attempt: reschedule or finalize the task."""
-            if task.attempts <= policy.retries:
-                obs.get_registry().counter(
-                    RETRIES_COUNTER, figure=task.figure
-                ).inc()
-                if on_event is not None:
-                    on_event("retry", task)
-                due = time.monotonic() + policy.backoff_s(
-                    task.key, task.attempts
-                )
-                heapq.heappush(sleeping, (due, next(tick), task))
-                return
-            quarantined.discard(task.index)
             result.setdefault(
                 "wall_time_s", time.monotonic() - task.started_at
             )
-            result["status"] = status
-            result["attempts"] = task.attempts
-            finish(task.index, result)
+            charge_failure(
+                task, result, status, policy, finish, on_event, reschedule,
+                release=lambda t: quarantined.discard(t.index),
+            )
+
+        def preempted(task: Task) -> None:
+            """Close the attempt trace of an uncharged bystander rerun."""
+            if on_event is not None:
+                on_event(
+                    "attempt_end",
+                    task,
+                    {
+                        "outcome": "preempted",
+                        "wall_s": time.monotonic() - task.started_at,
+                    },
+                )
 
         def submit(task: Task, charged: bool = True) -> None:
             if charged:
@@ -214,6 +219,7 @@ class LocalPoolBackend:
                         )
                     else:
                         for task in suspects:
+                            preempted(task)
                             task.attempts -= 1
                             quarantined.add(task.index)
                             queue.append(task)
@@ -241,6 +247,7 @@ class LocalPoolBackend:
                                 STATUS_TIMEOUT,
                             )
                         for task in inflight.values():
+                            preempted(task)
                             task.attempts -= 1
                             queue.append(task)
                         inflight.clear()

@@ -41,7 +41,7 @@ class SerialBackend:
         compute: Callable[[Any], tuple[int, dict]],
         policy: RetryPolicy,
         finish: Callable[[int, dict], None],
-        on_event: Callable[[str, Task], None] | None = None,
+        on_event: Callable[..., None] | None = None,
     ) -> None:
         for task in tasks:
             self._run_one(task, compute, policy, finish, on_event)
@@ -52,7 +52,7 @@ class SerialBackend:
         compute: Callable[[Any], tuple[int, dict]],
         policy: RetryPolicy,
         finish: Callable[[int, dict], None],
-        on_event: Callable[[str, Task], None] | None,
+        on_event: Callable[..., None] | None,
     ) -> None:
         while True:
             task.attempts += 1

@@ -43,11 +43,17 @@ from ..supervisor import (
 )
 from .base import charge_failure
 
-#: A child that dies before completing a single job counts as a strike;
-#: this many consecutive strikes aborts the sweep (children are clearly
-#: unable to start — bad preload, broken interpreter) instead of
-#: respawning forever.
+#: A child that dies (or violates the protocol) before completing a
+#: single job counts as a strike; this many consecutive strikes aborts
+#: the sweep (children are clearly unable to start — bad preload, broken
+#: interpreter, corrupt worker binary) instead of respawning forever.
 _MAX_SPAWN_STRIKES = 5
+
+#: Hard cap on one protocol line from a child.  A healthy ``repro
+#: worker`` result is a few KB (rows travel through the content store,
+#: not the pipe); a child streaming an unbounded newline-free blob is a
+#: protocol violation, and reading it forever would wedge the parent.
+_MAX_LINE_BYTES = 64 * 1024 * 1024
 
 
 def compute_spec(compute: Callable[..., Any]) -> str:
@@ -128,7 +134,7 @@ class SubprocessWorkerBackend:
         compute: Callable[[Any], tuple[int, dict]],
         policy: RetryPolicy,
         finish: Callable[[int, dict], None],
-        on_event: Callable[[str, Task], None] | None = None,
+        on_event: Callable[..., None] | None = None,
     ) -> None:
         init = {
             "type": "init",
@@ -148,14 +154,58 @@ class SubprocessWorkerBackend:
         messages: "queue.Queue[tuple[int, dict | None]]" = queue.Queue()
         strikes = 0
 
+        def emit(kind: str, **info: Any) -> None:
+            if on_event is not None:
+                on_event(kind, None, info)
+
         def watch(child: _Child) -> None:
+            def violation(why: str) -> None:
+                messages.put(
+                    (child.id, {"type": "__protocol_error__", "why": why})
+                )
+
             def pump() -> None:
+                # A child's output is untrusted input: malformed JSON, a
+                # truncated write from a dying process, or an unbounded
+                # newline-free blob must convict *this* child, not crash
+                # the reader thread (which would silently wedge its slot).
                 try:
                     assert child.proc.stdout is not None
-                    for line in child.proc.stdout:
+                    cap = _MAX_LINE_BYTES
+                    while True:
+                        line = child.proc.stdout.readline(cap + 1)
+                        if not line:
+                            break  # EOF: the sentinel below reports it
+                        if not line.endswith("\n"):
+                            if len(line) > cap:
+                                violation(
+                                    f"protocol line exceeds "
+                                    f"{cap} bytes"
+                                )
+                            else:
+                                violation(
+                                    "partial protocol line (child died "
+                                    "mid-write)"
+                                )
+                            break
                         line = line.strip()
-                        if line:
-                            messages.put((child.id, json.loads(line)))
+                        if not line:
+                            continue
+                        try:
+                            message = json.loads(line)
+                        except ValueError:
+                            violation(
+                                f"malformed JSON on protocol stream: "
+                                f"{line[:120]!r}"
+                            )
+                            break
+                        if not isinstance(message, dict):
+                            violation(
+                                f"non-object protocol message: "
+                                f"{line[:120]!r}"
+                            )
+                            break
+                        messages.put((child.id, message))
                 finally:
                     messages.put((child.id, None))
 
@@ -197,7 +247,7 @@ class SubprocessWorkerBackend:
             task.attempts += 1
             task.started_at = time.monotonic()
             if on_event is not None:
-                on_event("start", task)
+                on_event("start", task, {"worker": child_id})
             child = children[child_id]
             try:
                 assert child.proc.stdin is not None
@@ -213,8 +263,13 @@ class SubprocessWorkerBackend:
                 # The child died while idle — not this task's doing.
                 # Uncharge it, discard the corpse, and let the loop
                 # respawn; the EOF message is already in flight.
+                if on_event is not None:
+                    on_event(
+                        "attempt_end", task, {"outcome": "preempted"}
+                    )
                 task.attempts -= 1
                 pending.insert(0, task)
+                emit("worker_dead", worker=child_id, reason="dead pipe")
                 reap(child_id)
                 return False
             busy[child_id] = task
@@ -234,6 +289,7 @@ class SubprocessWorkerBackend:
                 while len(children) < want:
                     child = self._spawn(next(ids), init)
                     children[child.id] = child
+                    emit("worker_spawn", worker=child.id, pid=child.proc.pid)
                     watch(child)
 
                 while pending and idle:
@@ -264,7 +320,32 @@ class SubprocessWorkerBackend:
                 except queue.Empty:
                     child_id, message = -1, {}
 
+                def convict(child_id: int, why: str) -> None:
+                    """A child broke the protocol: fail its job (if any),
+                    count a strike against never-productive children, and
+                    discard the child — siblings are never disturbed."""
+                    nonlocal strikes
+                    task = busy.pop(child_id, None)
+                    if task is not None:
+                        fail(
+                            task,
+                            {"error": f"worker protocol violation: {why}"},
+                            STATUS_FAILED,
+                        )
+                    child = children.get(child_id)
+                    if child is None or child.completed == 0:
+                        strikes += 1
+                        if strikes >= _MAX_SPAWN_STRIKES:
+                            raise RuntimeError(
+                                "subprocess workers keep dying or breaking "
+                                "protocol before completing a job; check "
+                                "stderr for import/preload errors"
+                            )
+                    emit("worker_dead", worker=child_id, reason=why)
+                    reap(child_id)
+
                 if child_id >= 0 and child_id not in discarded:
+                    kind = None if message is None else message.get("type")
                     if message is None:
                         # EOF: the child process died.
                         task = busy.pop(child_id, None)
@@ -287,23 +368,46 @@ class SubprocessWorkerBackend:
                                     "completing a job; check stderr for "
                                     "import/preload errors"
                                 )
+                        emit(
+                            "worker_dead", worker=child_id,
+                            reason="process exit",
+                        )
                         reap(child_id)
-                    elif message.get("type") == "result":
-                        task = busy.pop(child_id)
-                        child = children[child_id]
-                        child.completed += 1
-                        strikes = 0
-                        idle.append(child_id)
-                        result = message["result"]
-                        if "error" in result:
-                            fail(task, result, STATUS_FAILED)
+                    elif kind == "__protocol_error__":
+                        convict(child_id, message.get("why", "unreadable"))
+                    elif kind == "result":
+                        task = busy.pop(child_id, None)
+                        result = message.get("result")
+                        if task is None or not isinstance(result, dict):
+                            if task is not None:
+                                busy[child_id] = task  # convict() refails
+                            convict(
+                                child_id,
+                                "result for idle child"
+                                if task is None
+                                else "non-object result payload",
+                            )
                         else:
-                            result["attempts"] = task.attempts
-                            finish(message["index"], result)
-                    elif message.get("type") == "ready":
+                            child = children[child_id]
+                            child.completed += 1
+                            strikes = 0
+                            idle.append(child_id)
+                            if "error" in result:
+                                fail(task, result, STATUS_FAILED)
+                            else:
+                                result["attempts"] = task.attempts
+                                finish(task.index, result)
+                    elif kind == "ready":
+                        emit("worker_ready", worker=child_id)
                         if child_id in children and child_id not in idle:
                             idle.append(child_id)
-                    # Anything else: no action needed.
+                    else:
+                        # Unknown message types are protocol violations
+                        # too: a parent silently ignoring them would mask
+                        # a version-skewed or corrupted worker forever.
+                        convict(
+                            child_id, f"unknown message type {kind!r}"
+                        )
 
                 if policy.timeout_s is not None:
                     now = time.monotonic()
@@ -314,6 +418,10 @@ class SubprocessWorkerBackend:
                         # Surgical, unlike the pool: only the offender's
                         # child is killed; siblings keep running.
                         task = busy.pop(child_id)
+                        emit(
+                            "worker_dead", worker=child_id,
+                            reason="timeout kill",
+                        )
                         reap(child_id)
                         fail(
                             task,

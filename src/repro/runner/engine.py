@@ -322,6 +322,12 @@ def _compute(
     key = payload[8] if len(payload) > 8 else None
     stream_root = payload[9] if len(payload) > 9 else None
     chunk_rows = payload[10] if len(payload) > 10 else DEFAULT_CHUNK_ROWS
+    # Sweep-trace span context (PR-10): present only when the sweep runs
+    # with tracing on, so payloads — and therefore results — are
+    # byte-identical with tracing off.
+    span_ctx = payload[11] if len(payload) > 11 else None
+    if not isinstance(span_ctx, dict):
+        span_ctx = None
     spec = get_spec(figure)
     observe = trace_dir is not None or profile
     hub = None
@@ -332,12 +338,19 @@ def _compute(
     start = time.perf_counter()
     with collect_stats() as stats:
         if observe or hub is not None:
+            span_args = dict(params)
+            if span_ctx is not None:
+                # Stamping the engine-minted ids onto the child-side job
+                # span is what correlates this process's Chrome trace
+                # with the parent's sweep.events.jsonl.
+                span_args["trace"] = span_ctx.get("trace")
+                span_args["span"] = span_ctx.get("span")
             with obs.capture(
                 metrics=observe, tracing=observe, profile=profile,
                 telemetry=hub,
             ) as cap:
                 with cap.tracer.span(
-                    "runner.job", figure=figure, seed=seed, **dict(params)
+                    "runner.job", figure=figure, seed=seed, **span_args
                 ):
                     rows = spec.run(seed=seed, **dict(params))
         else:
@@ -348,6 +361,9 @@ def _compute(
         "wall_time_s": time.perf_counter() - start,
         "verdict": verdict,
     }
+    if span_ctx is not None:
+        result["worker_pid"] = os.getpid()
+        result["span"] = span_ctx.get("span")
     if stream_root is not None:
         chunk_paths, count = write_row_chunks(
             stream_root, key, rows, chunk_rows
@@ -411,6 +427,7 @@ def run_jobs(
     resume_from: RunManifest | Path | str | None = None,
     checkpoint: Path | str | None = None,
     status_path: Path | str | None = None,
+    sweeptrace: Path | str | None = None,
 ) -> SweepResult:
     """Execute ``jobs``, serving repeats from ``cache`` when given.
 
@@ -477,6 +494,19 @@ def run_jobs(
     in-flight cells, an ETA from completed-job durations), consumed by
     ``repro obs tail --follow``.  The writer lives in the supervising
     process only; job payloads, cache keys, and results are untouched.
+
+    **Sweep tracing:** ``sweeptrace`` names an append-only
+    ``sweep.events.jsonl`` (schema ``repro.obs/sweeptrace/v1``, see
+    :mod:`repro.obs.sweeptrace`) capturing the control plane's full
+    lifecycle — submission, queueing, every execution attempt with its
+    outcome, retries with their backoff delays, worker spawn/ready/death,
+    checkpoint writes, and cache hits — under a deterministic run-level
+    trace id with one span id per job.  Job payloads gain a trailing
+    span-context element (absent with tracing off, so results are
+    byte-identical either way), computed records gain
+    ``queue_s``/``compute_s``/``attempt_timings``/``span``, and ``repro
+    obs timeline`` turns the file into a per-worker Gantt view with a
+    critical-path phase breakdown.
     """
     jobs = list(jobs)
     workers = workers if workers is not None else (os.cpu_count() or 1)
@@ -523,10 +553,20 @@ def run_jobs(
     resume_keys = _resumable_keys(resume_from)
     keys = [job.key() for job in jobs]
     outcomes: list[JobOutcome | None] = [None] * len(jobs)
+    recorder: Any = None
+    if sweeptrace is not None:
+        from ..obs.sweeptrace import SweepTraceRecorder
+
+        sweeptrace = Path(sweeptrace)
+        ensure_writable_dir(sweeptrace.parent, "sweep trace")
+        recorder = SweepTraceRecorder(
+            sweeptrace, keys, total=len(jobs), workers=workers
+        )
 
     def _flush_checkpoint() -> None:
         if checkpoint is None:
             return
+        flush_start = time.perf_counter()
         manifest = RunManifest(
             workers=workers,
             cache_dir=str(cache.root) if cache is not None else None,
@@ -536,6 +576,11 @@ def run_jobs(
         tmp = checkpoint.with_suffix(f".tmp.{os.getpid()}")
         tmp.write_text(manifest.to_json() + "\n")
         os.replace(tmp, checkpoint)
+        if recorder is not None:
+            recorder.checkpoint(
+                done=sum(1 for o in outcomes if o is not None),
+                dur_s=time.perf_counter() - flush_start,
+            )
 
     def _complete(index: int, outcome: JobOutcome) -> None:
         outcomes[index] = outcome
@@ -553,6 +598,7 @@ def run_jobs(
     ] = []
     for index, (job, key) in enumerate(zip(jobs, keys)):
         rows = None
+        hit_start = time.perf_counter()
         if cache is not None and (resume_from is None or key in resume_keys):
             # On resume only previously-completed cells may be served from
             # cache; failed cells must recompute even if some stale entry
@@ -562,30 +608,58 @@ def run_jobs(
             # Verdicts are a pure function of the rows, so cache hits are
             # re-judged rather than recomputed.
             judge = get_spec(job.figure).verdict
+            verdict = judge(rows) if judge is not None else None
+            # The record carries the *actual* cache-service time (lookup
+            # + re-judging), not a hard-coded 0.0: consumers computing
+            # ETAs must exclude hits by their ``cached``/``status``
+            # marking, not rely on a zero sentinel deflating the mean.
+            hit_wall = time.perf_counter() - hit_start
             record = JobRecord(
                 figure=job.figure,
                 seed=job.seed,
                 params=job.params_dict,
                 key=key,
                 cached=True,
-                wall_time_s=0.0,
+                wall_time_s=hit_wall,
                 rows=len(rows),
-                verdict=judge(rows) if judge is not None else None,
+                verdict=verdict,
                 status=STATUS_CACHED,
+                span=recorder.span_for(index) if recorder is not None
+                else None,
             )
+            if recorder is not None:
+                recorder.cache_hit(index, job.figure, job.seed, hit_wall)
             _complete(index, JobOutcome(job=job, rows=rows, record=record))
         else:
-            pending.append(
-                (
-                    index, job.figure, job.seed, job.params, trace_dir,
-                    profile, telemetry_dir, telemetry_interval,
-                    key, stream_root, chunk_rows,
-                )
+            payload = (
+                index, job.figure, job.seed, job.params, trace_dir,
+                profile, telemetry_dir, telemetry_interval,
+                key, stream_root, chunk_rows,
             )
+            if recorder is not None:
+                recorder.job_submitted(
+                    index, job.figure, job.seed, position=len(pending)
+                )
+                payload = payload + (recorder.span_context(index),)
+            pending.append(payload)
 
     def _finish(index: int, result: dict[str, Any]) -> None:
         job = jobs[index]
         status = result.get("status", STATUS_OK)
+        timings: dict[str, Any] = {}
+        if recorder is not None:
+            if status in OK_STATUSES:
+                # Failed/timed-out attempts closed inside the backend
+                # (charge_failure); successes close here, where the
+                # engine first sees the result.
+                recorder.attempt_end(
+                    index,
+                    outcome="ok",
+                    wall_s=result.get("wall_time_s"),
+                    pid=result.get("worker_pid"),
+                )
+            timings = recorder.timings_for(index)
+            timings["span"] = recorder.span_for(index)
         if status in OK_STATUSES:
             rows: Rows | LazyRows
             if "row_chunks" in result:
@@ -625,6 +699,10 @@ def run_jobs(
                 backend=backend_name,
                 row_chunks=result.get("row_chunks"),
                 attempts=result.get("attempts", 1),
+                queue_s=timings.get("queue_s"),
+                compute_s=timings.get("compute_s"),
+                attempt_timings=timings.get("attempt_timings"),
+                span=timings.get("span"),
             )
         else:
             # Failed or timed out after exhausting the retry budget: the
@@ -643,11 +721,23 @@ def run_jobs(
                 traceback=result.get("traceback"),
                 backend=backend_name,
                 attempts=result.get("attempts", 1),
+                queue_s=timings.get("queue_s"),
+                compute_s=timings.get("compute_s"),
+                attempt_timings=timings.get("attempt_timings"),
+                span=timings.get("span"),
             )
             rows = Rows()
         _complete(index, JobOutcome(job=job, rows=rows, record=record))
 
-    def _on_event(kind: str, task: Task) -> None:
+    def _on_event(kind: str, task: Task | None, info: Any = None) -> None:
+        # Fan the backend's lifecycle channel out to both consumers: the
+        # status heartbeat (start/retry only) and the sweep-trace
+        # recorder (everything).  ``task`` is None for worker-level
+        # events, which only the recorder cares about.
+        if recorder is not None:
+            recorder.handle(kind, task, info)
+        if status is None or task is None:
+            return
         job = jobs[task.index]
         label = " ".join(
             [job.figure, f"seed={job.seed}"]
@@ -668,7 +758,11 @@ def run_jobs(
             )
             for payload in pending
         ]
-        on_event = _on_event if status is not None else None
+        on_event = (
+            _on_event
+            if status is not None or recorder is not None
+            else None
+        )
         if chosen is None:
             # Auto: tiny sweeps run serially in-process (no pool
             # overhead, trivially debuggable); timeouts force the pool —
@@ -697,4 +791,15 @@ def run_jobs(
         _flush_checkpoint()
     if status is not None:
         status.finalize()
+    if recorder is not None:
+        records = manifest.records
+        recorder.finalize(
+            wall_s=manifest.wall_time_s,
+            ok=sum(
+                1 for r in records if r.status == STATUS_OK and not r.cached
+            ),
+            failed=manifest.failed,
+            cached=manifest.cache_hits,
+            backend=backend_name,
+        )
     return result

@@ -20,7 +20,7 @@ it cost.  The JSON schema (``repro.runner/manifest/v3``)::
           "params": {"duration_ms": 3000, "crash_ms": 1500},
           "key": "ab3f…9c",          // content address in the cache
           "cached": false,
-          "wall_time_s": 0.52,       // 0.0 for cache hits
+          "wall_time_s": 0.52,       // cache-service time for cache hits
           "rows": 60,
           // -- v3 supervision fields (see repro.runner.supervisor) ---------
           "status": "ok",            // "ok" | "failed" | "timeout" | "cached"
@@ -30,6 +30,14 @@ it cost.  The JSON schema (``repro.runner/manifest/v3``)::
           // -- PR-8 distributed/streaming fields (additive, optional) ------
           "backend": "local-pool",   // executor backend (null for cache hits)
           "row_chunks": null,        // chunked JSONL row files when streamed
+          // -- PR-10 sweep-trace timing fields (additive; null unless the
+          //    sweep ran with --sweeptrace; see repro.obs.sweeptrace) ------
+          "queue_s": 0.004,          // submission -> first attempt start
+          "compute_s": 0.52,         // execution time across all attempts
+          "attempt_timings": [       // one entry per execution attempt
+            {"attempt": 1, "outcome": "ok", "start_s": 0.004, "wall_s": 0.52}
+          ],
+          "span": "9d41c2b07a3e5f18",  // span id in sweep.events.jsonl
           "stats": {                 // Simulator.stats totals; null if cached
             "simulators": 1,
             "events_scheduled": 241035,
@@ -135,6 +143,17 @@ class JobRecord:
     traceback: str | None = None
     #: Number of executions, including retries (v3).
     attempts: int = 1
+    #: Seconds between submission to the backend and the first execution
+    #: attempt (PR-10 sweep tracing; ``None`` when tracing was off).
+    queue_s: float | None = None
+    #: Seconds of actual execution across all attempts (PR-10).
+    compute_s: float | None = None
+    #: Per-attempt ``{"attempt", "outcome", "start_s", "wall_s"}`` log
+    #: from the sweep trace (PR-10; ``None`` when tracing was off).
+    attempt_timings: list[dict[str, Any]] | None = None
+    #: Sweep-trace span id correlating this record with
+    #: ``sweep.events.jsonl`` and the job's Chrome trace (PR-10).
+    span: str | None = None
 
     @property
     def ok(self) -> bool:
@@ -164,6 +183,10 @@ class JobRecord:
             "error": self.error,
             "traceback": self.traceback,
             "attempts": self.attempts,
+            "queue_s": self.queue_s,
+            "compute_s": self.compute_s,
+            "attempt_timings": self.attempt_timings,
+            "span": self.span,
         }
 
     @classmethod
@@ -197,6 +220,10 @@ class JobRecord:
             error=payload.get("error"),
             traceback=payload.get("traceback"),
             attempts=payload.get("attempts", 1),
+            queue_s=payload.get("queue_s"),
+            compute_s=payload.get("compute_s"),
+            attempt_timings=payload.get("attempt_timings"),
+            span=payload.get("span"),
         )
 
 

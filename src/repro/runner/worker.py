@@ -19,7 +19,13 @@ child → parent::
 
 The ``compute`` callable is resolved by qualified name so the protocol
 stays data-only (no pickles on the wire — a hard requirement for the SSH
-future, and what keeps the child inspectable with ``jq``).  ``preload``
+future, and what keeps the child inspectable with ``jq``).  When the
+sweep runs with ``--sweeptrace``, the payload's trailing element is the
+``{"trace": ..., "span": ...}`` span context minted by the engine
+(:mod:`repro.obs.sweeptrace`); ``_as_payload`` passes the dict through
+untouched and the engine-side ``_compute`` stamps it onto the child's
+``runner.job`` Chrome span, which is how child-side spans correlate with
+the parent's ``sweep.events.jsonl`` across the process boundary.  ``preload``
 entries are imported and called before the first job; they exist because
 a fresh child does *not* inherit figure specs registered at runtime in
 the parent the way forked pool workers do — a preload hook re-registers

@@ -414,6 +414,87 @@ class TestTelemetryCli:
         assert "## Network telemetry" in (run_dir / "report.md").read_text()
 
 
+class TestSweepTimelineCli:
+    def run_sweep(self, tmp_path, name="run", *extra):
+        run_dir = tmp_path / name
+        assert main([
+            "sweep", "fig1", "--seeds", "0,1",
+            "--jobs", "1", "--no-cache", "--no-status",
+            "--manifest", str(run_dir / "manifest.json"),
+            "--sweeptrace", *extra,
+        ]) == 0
+        return run_dir
+
+    def test_sweeptrace_writes_events_next_to_manifest(self, tmp_path):
+        from repro.obs.sweeptrace import EVENTS_FILENAME, load_events
+
+        run_dir = self.run_sweep(tmp_path)
+        events = load_events(run_dir / EVENTS_FILENAME)
+        assert events[0]["ev"] == "sweep_start"
+        assert events[-1]["ev"] == "sweep_end"
+        jobs = json.loads((run_dir / "manifest.json").read_text())["jobs"]
+        assert all(job["span"] for job in jobs)
+        assert all(job["queue_s"] is not None for job in jobs)
+
+    def test_explicit_sweeptrace_path_wins(self, tmp_path):
+        target = tmp_path / "elsewhere" / "trace.jsonl"
+        self.run_sweep(tmp_path, "run", str(target))
+        assert target.exists()
+
+    def test_obs_timeline_renders_phases_and_critical_path(
+        self, tmp_path, capsys
+    ):
+        run_dir = self.run_sweep(tmp_path)
+        capsys.readouterr()
+        assert main(["obs", "timeline", str(run_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "Sweep timeline — trace" in out
+        assert "Where the time went (critical path):" in out
+        assert "compute" in out and "total" in out
+        assert "Critical path (" in out
+
+    def test_obs_timeline_writes_merged_chrome(self, tmp_path, capsys):
+        run_dir = self.run_sweep(tmp_path)
+        merged = run_dir / "merged.trace.json"
+        assert main([
+            "obs", "timeline", str(run_dir), "--chrome", str(merged),
+        ]) == 0
+        assert "trace events" in capsys.readouterr().out
+        payload = json.loads(merged.read_text())
+        assert payload["traceEvents"]
+
+    def test_obs_timeline_without_trace_is_friendly(self, tmp_path, capsys):
+        tmp_path.joinpath("manifest.json").write_text("{}")
+        assert main(["obs", "timeline", str(tmp_path)]) == 2
+        err = capsys.readouterr().err
+        assert "--sweeptrace" in err
+        assert "Traceback" not in err
+
+
+class TestObsSlowestJobs:
+    def test_obs_accepts_run_directory(self, capsys):
+        assert main(["obs", str(DATA / "run_v3")]) == 0
+        out = capsys.readouterr().out
+        assert "4 job(s)" in out
+
+    def test_slowest_jobs_table_ranks_by_wall_time(self, capsys):
+        assert main(["obs", str(DATA / "run_v3" / "manifest.json")]) == 0
+        out = capsys.readouterr().out
+        assert "slowest jobs:" in out
+        table = out[out.index("slowest jobs:"):]
+        header, *rows = [
+            line.strip() for line in table.splitlines()[1:] if line.strip()
+        ]
+        assert header.split() == ["job", "wall", "attempts", "backend"]
+        # non-cached records only, slowest first
+        walls = []
+        for row in rows[:3]:
+            if "s" not in row:
+                break
+            walls.append(float(row.split()[-3].rstrip("s")))
+        assert walls == sorted(walls, reverse=True)
+
+
 class TestSweepHeartbeatUnperturbed:
     def test_results_unperturbed_by_heartbeat(self, tmp_path):
         with_status = tmp_path / "a" / "manifest.json"

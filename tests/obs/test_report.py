@@ -172,6 +172,49 @@ class TestTelemetrySection:
         )
 
 
+class TestSweepTimelineSection:
+    """The 'Where the time went' section from sweep.events.jsonl."""
+
+    def test_runs_without_trace_render_no_section(self):
+        report = build_report(DATA / "run_v3")
+        assert report.sweep_events is None
+        assert report.sweep_phases() is None
+        assert "Where the time went" not in report.to_markdown()
+        assert "Where the time went" not in report.to_html()
+
+    def test_events_loaded_from_run_dir(self):
+        report = build_report(DATA / "run_sweeptrace")
+        assert report.sweep_events is not None
+        assert report.sweep_events[0]["ev"] == "sweep_start"
+
+    def test_phase_breakdown_sums_to_wall_time(self):
+        report = build_report(DATA / "run_sweeptrace")
+        phases = report.sweep_phases()
+        assert sum(phases.values()) == pytest.approx(1.2, abs=1e-6)
+        assert phases["compute"] == pytest.approx(0.75)
+        assert phases["retry"] == pytest.approx(0.2)
+
+    def test_markdown_renders_phase_and_job_tables(self):
+        text = build_report(DATA / "run_sweeptrace").to_markdown()
+        assert "## Where the time went" in text
+        assert "| phase | time | share |" in text
+        assert "| retry | 0.20s | 16.7% |" in text
+        assert "| total | 1.20s | 100.0% |" in text
+        assert "| job | queue | compute | wall | attempts |" in text
+        assert "| fig5 seed=1 duration_ms=600 | 0.15s | 0.75s | 0.50s | 2 |" in text
+
+    def test_html_renders_section(self):
+        html = build_report(DATA / "run_sweeptrace").to_html()
+        assert "<h2>Where the time went</h2>" in html
+        assert "retry" in html
+
+    def test_markdown_is_byte_stable(self, update_golden):
+        text = build_report(DATA / "run_sweeptrace").to_markdown()
+        assert_matches_golden(
+            text, "report_sweeptrace.golden.md", update_golden
+        )
+
+
 class TestGoldenRendering:
     def test_markdown_is_byte_stable_v3(self, update_golden):
         text = build_report(DATA / "run_v3").to_markdown()

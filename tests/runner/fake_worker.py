@@ -1,0 +1,76 @@
+"""A deliberately misbehaving ``repro worker`` stand-in.
+
+The subprocess backend treats child output as untrusted input; these
+modes (selected by the ``FAKE_WORKER_MODE`` environment variable) each
+break the stdio protocol in one specific way so the parent's conviction
+logic can be exercised against a real pipe, not a mock:
+
+- ``malformed``      — non-JSON bytes on the protocol stream
+- ``oversized``      — one enormous newline-free line
+- ``partial``        — a truncated write, then death mid-line
+- ``unknown``        — a well-formed message of an unknown type
+- ``non_object``     — a JSON array where a message object belongs
+- ``early_result``   — a result before ever being handed a job
+- ``bad_result``     — a result whose payload is not an object
+- ``selective``      — correct protocol, but garbage for "evil" jobs
+
+Launched through a tiny shell shim passed as the backend's ``python=``
+interpreter (the tests create it in ``tmp_path``), so the parent-side
+loop runs completely unmodified.
+"""
+
+import json
+import os
+import sys
+
+
+def send(obj) -> None:
+    sys.stdout.write(json.dumps(obj) + "\n")
+    sys.stdout.flush()
+
+
+def raw(text: str) -> None:
+    sys.stdout.write(text)
+    sys.stdout.flush()
+
+
+def main() -> int:
+    mode = os.environ.get("FAKE_WORKER_MODE", "unknown")
+    sys.stdin.readline()  # the init message; contents ignored
+
+    if mode == "early_result":
+        send({"type": "result", "index": 0, "result": {"rogue": True}})
+        sys.stdin.read()  # linger until the parent closes the pipe
+        return 0
+
+    send({"type": "ready"})
+    for line in sys.stdin:
+        message = json.loads(line)
+        if message.get("type") != "job":
+            break
+        payload = message["payload"]
+        index, value = payload[0], payload[1]
+        if mode == "selective" and value != "evil":
+            send({"type": "result", "index": index,
+                  "result": {"echo": value}})
+            continue
+        if mode == "malformed":
+            raw("this is not json\n")
+        elif mode == "oversized":
+            raw("x" * 4096 + "\n")
+        elif mode == "partial":
+            raw('{"type":"result","index":')
+            return 0  # die mid-write
+        elif mode == "unknown":
+            send({"type": "surprise", "index": index})
+        elif mode == "non_object":
+            raw("[1, 2, 3]\n")
+        elif mode in ("bad_result", "selective"):
+            send({"type": "result", "index": index, "result": "not-a-dict"})
+        sys.stdin.read()  # linger: the parent must convict, not hang
+        return 0
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

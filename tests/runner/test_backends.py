@@ -7,7 +7,9 @@ in-process against ``StringIO`` pipes.
 """
 
 import json
+import sys
 from io import StringIO
+from pathlib import Path
 
 import pytest
 
@@ -19,7 +21,9 @@ from repro.runner import (
     parse_backend_spec,
     resolve_backend,
 )
+from repro.runner.backends import subprocess_worker
 from repro.runner.backends.subprocess_worker import compute_spec
+from repro.runner.supervisor import RetryPolicy, Task
 from repro.runner.worker import _as_payload, resolve_callable, worker_main
 
 from . import faulty
@@ -200,3 +204,125 @@ class TestWorkerProtocol:
         code, replies = drive_worker(INIT)
         assert code == 0
         assert replies == [{"type": "ready"}]
+
+
+def fake_worker_backend(tmp_path, monkeypatch, mode, workers=1):
+    """A subprocess backend whose children run ``fake_worker.py``.
+
+    The backend's ``python=`` hook takes a shell shim that ignores the
+    ``-m repro worker`` arguments and execs the misbehaving stand-in, so
+    the parent-side protocol loop under test runs completely unmodified.
+    """
+    shim = tmp_path / "fake-python"
+    script = Path(__file__).parent / "fake_worker.py"
+    shim.write_text(f'#!/bin/sh\nexec "{sys.executable}" "{script}"\n')
+    shim.chmod(0o755)
+    monkeypatch.setenv("FAKE_WORKER_MODE", mode)
+    return SubprocessWorkerBackend(workers=workers, python=str(shim))
+
+
+class TestProtocolRobustness:
+    """A child breaking the stdio protocol convicts only that child.
+
+    Each case runs the real parent loop against a real misbehaving
+    child process; the contract is: the busy job fails with a
+    ``worker protocol violation`` error, ``run`` returns (no hang, no
+    exception), and a ``worker_dead`` event names the reason.
+    """
+
+    def drive(self, tmp_path, monkeypatch, mode, values=("hello",),
+              workers=1):
+        backend = fake_worker_backend(tmp_path, monkeypatch, mode, workers)
+        tasks = [
+            Task(index=i, payload=[i, value], key=f"k{i}", figure="fake")
+            for i, value in enumerate(values)
+        ]
+        finished: dict[int, dict] = {}
+        events: list[tuple[str, object, object]] = []
+        backend.run(
+            tasks,
+            faulty.protocol_compute,
+            RetryPolicy(retries=0, timeout_s=30.0),
+            lambda index, result: finished.setdefault(index, result),
+            on_event=lambda kind, task, info=None: events.append(
+                (kind, task, info)
+            ),
+        )
+        return finished, events
+
+    def assert_convicted(self, finished, events, index=0, why=""):
+        result = finished[index]
+        assert "worker protocol violation" in result["error"]
+        assert why in result["error"]
+        reasons = [
+            (info or {}).get("reason")
+            for kind, _, info in events
+            if kind == "worker_dead"
+        ]
+        assert any(why in (reason or "") for reason in reasons)
+
+    def test_malformed_json_convicts_the_child(self, tmp_path, monkeypatch):
+        finished, events = self.drive(tmp_path, monkeypatch, "malformed")
+        self.assert_convicted(finished, events, why="malformed JSON")
+
+    def test_oversized_line_convicts_the_child(self, tmp_path, monkeypatch):
+        # Cap one protocol line far below the fake worker's 4 KiB blob so
+        # the parent classifies it as oversized rather than reading on.
+        monkeypatch.setattr(subprocess_worker, "_MAX_LINE_BYTES", 256)
+        finished, events = self.drive(tmp_path, monkeypatch, "oversized")
+        self.assert_convicted(finished, events, why="exceeds 256 bytes")
+
+    def test_partial_line_convicts_the_child(self, tmp_path, monkeypatch):
+        finished, events = self.drive(tmp_path, monkeypatch, "partial")
+        self.assert_convicted(finished, events, why="partial protocol line")
+
+    def test_unknown_message_type_convicts_the_child(
+        self, tmp_path, monkeypatch
+    ):
+        finished, events = self.drive(tmp_path, monkeypatch, "unknown")
+        self.assert_convicted(finished, events, why="unknown message type")
+
+    def test_non_object_message_convicts_the_child(
+        self, tmp_path, monkeypatch
+    ):
+        finished, events = self.drive(tmp_path, monkeypatch, "non_object")
+        self.assert_convicted(
+            finished, events, why="non-object protocol message"
+        )
+
+    def test_result_for_idle_child_convicts_without_a_job(
+        self, tmp_path, monkeypatch
+    ):
+        # The rogue result arrives before "ready" ever did; no job was
+        # dispatched, so there is nothing to fail — but the child dies
+        # and the (still pending) task is retried on a fresh child,
+        # which in this mode misbehaves identically until the strike
+        # limit aborts the sweep with a diagnostic.
+        backend = fake_worker_backend(tmp_path, monkeypatch, "early_result")
+        with pytest.raises(RuntimeError, match="breaking protocol"):
+            backend.run(
+                [Task(index=0, payload=[0, "x"], key="k0", figure="fake")],
+                faulty.protocol_compute,
+                RetryPolicy(retries=0, timeout_s=30.0),
+                lambda index, result: None,
+            )
+
+    def test_non_object_result_payload_convicts_the_child(
+        self, tmp_path, monkeypatch
+    ):
+        finished, events = self.drive(tmp_path, monkeypatch, "bad_result")
+        self.assert_convicted(
+            finished, events, why="non-object result payload"
+        )
+
+    def test_sibling_jobs_survive_a_convicted_child(
+        self, tmp_path, monkeypatch
+    ):
+        # Two children: one speaks the protocol correctly, one emits a
+        # garbage result.  Only the offender's job is failed.
+        finished, events = self.drive(
+            tmp_path, monkeypatch, "selective",
+            values=("good", "evil"), workers=2,
+        )
+        assert finished[0] == {"echo": "good", "attempts": 1}
+        assert "worker protocol violation" in finished[1]["error"]
